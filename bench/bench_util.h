@@ -1,0 +1,199 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared plumbing for the figure-reproduction harnesses: scale control,
+/// simulation runners, and aligned table printing.
+///
+/// Every figure binary prints the series the paper plots, with both the
+/// analytical (ODE) and simulated values where applicable. Set
+/// ICOLLECT_BENCH_SCALE to trade accuracy for speed:
+///   ICOLLECT_BENCH_SCALE=0.3  quick smoke run
+///   (unset)                   default, a few minutes total for all figures
+///   ICOLLECT_BENCH_SCALE=3    publication-quality averaging
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collection_system.h"
+#include "p2p/network.h"
+#include "stats/csv.h"
+#include "stats/summary.h"
+
+namespace icollect::bench {
+
+/// Global scale multiplier from the environment (default 1.0).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("ICOLLECT_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::strtod(env, nullptr);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return s;
+}
+
+/// Population size / durations scaled from defaults.
+inline std::size_t scaled_peers(std::size_t base) {
+  const double v = static_cast<double>(base) * scale();
+  return v < 20.0 ? 20 : static_cast<std::size_t>(v);
+}
+inline double scaled_time(double base) {
+  return base * (scale() < 1.0 ? scale() : 1.0 + (scale() - 1.0) * 0.5);
+}
+
+/// One steady-state simulation measurement.
+struct SimPoint {
+  double normalized_throughput = 0.0;
+  double goodput = 0.0;
+  double mean_block_delay = 0.0;
+  double mean_blocks_per_peer = 0.0;
+  double empty_fraction = 0.0;
+  double saved_per_peer_degree = 0.0;
+  double saved_per_peer_rank = 0.0;
+  double storage_overhead = 0.0;
+  std::uint64_t segments_lost = 0;
+  std::uint64_t segments_injected = 0;
+};
+
+/// Replication count for simulated points (ICOLLECT_BENCH_REPS, default 1):
+/// each figure point is averaged over this many independent seeds.
+inline int reps() {
+  static const int r = [] {
+    const char* env = std::getenv("ICOLLECT_BENCH_REPS");
+    if (env == nullptr) return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 1 && v <= 1000 ? static_cast<int>(v) : 1;
+  }();
+  return r;
+}
+
+/// Run a network to steady state (warm-up, then measure) and snapshot.
+inline SimPoint run_steady_state_once(const p2p::ProtocolConfig& cfg,
+                                      double warm = 10.0,
+                                      double measure = 25.0) {
+  p2p::Network net{cfg};
+  net.warm_up(scaled_time(warm));
+  net.run_until(net.now() + scaled_time(measure));
+  SimPoint pt;
+  pt.normalized_throughput = net.normalized_throughput();
+  pt.goodput = net.normalized_goodput();
+  pt.mean_block_delay = net.mean_block_delay();
+  pt.mean_blocks_per_peer = net.mean_blocks_per_peer();
+  pt.empty_fraction = net.empty_peer_fraction();
+  pt.storage_overhead = net.storage_overhead();
+  const auto census = net.saved_data_census();
+  const auto n = static_cast<double>(cfg.num_peers);
+  pt.saved_per_peer_degree = census.saved_original_blocks_degree / n;
+  pt.saved_per_peer_rank = census.saved_original_blocks_rank / n;
+  pt.segments_lost = net.metrics().segments_lost;
+  pt.segments_injected = net.metrics().segments_injected;
+  return pt;
+}
+
+/// run_steady_state_once averaged over reps() independent seeds.
+inline SimPoint run_steady_state(p2p::ProtocolConfig cfg, double warm = 10.0,
+                                 double measure = 25.0) {
+  const int n = reps();
+  if (n == 1) return run_steady_state_once(cfg, warm, measure);
+  SimPoint acc;
+  for (int r = 0; r < n; ++r) {
+    cfg.seed = cfg.seed * 1000003ULL + static_cast<std::uint64_t>(r) + 1;
+    const SimPoint p = run_steady_state_once(cfg, warm, measure);
+    acc.normalized_throughput += p.normalized_throughput;
+    acc.goodput += p.goodput;
+    acc.mean_block_delay += p.mean_block_delay;
+    acc.mean_blocks_per_peer += p.mean_blocks_per_peer;
+    acc.empty_fraction += p.empty_fraction;
+    acc.saved_per_peer_degree += p.saved_per_peer_degree;
+    acc.saved_per_peer_rank += p.saved_per_peer_rank;
+    acc.storage_overhead += p.storage_overhead;
+    acc.segments_lost += p.segments_lost;
+    acc.segments_injected += p.segments_injected;
+  }
+  const double k = 1.0 / n;
+  acc.normalized_throughput *= k;
+  acc.goodput *= k;
+  acc.mean_block_delay *= k;
+  acc.mean_blocks_per_peer *= k;
+  acc.empty_fraction *= k;
+  acc.saved_per_peer_degree *= k;
+  acc.saved_per_peer_rank *= k;
+  acc.storage_overhead *= k;
+  acc.segments_lost /= static_cast<std::uint64_t>(n);
+  acc.segments_injected /= static_cast<std::uint64_t>(n);
+  return acc;
+}
+
+/// Directory for optional CSV export (ICOLLECT_CSV_DIR); nullptr when
+/// unset. Each figure bench mirrors its printed table into
+/// `<dir>/<name>.csv` so results plot directly.
+inline std::unique_ptr<stats::CsvWriter> maybe_csv(const std::string& name) {
+  const char* dir = std::getenv("ICOLLECT_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  return std::make_unique<stats::CsvWriter>(std::string{dir} + "/" + name +
+                                            ".csv");
+}
+
+/// Aligned markdown-ish table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_{std::move(headers)} {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Mirror the table into a CSV file (no-op if writer is null).
+  void to_csv(stats::CsvWriter* csv) const {
+    if (csv == nullptr) return;
+    csv->write_row(headers_);
+    for (const auto& row : rows_) csv->write_row(row);
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) rule += "+";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace icollect::bench

@@ -1,0 +1,70 @@
+/// Reproduces **Figure 6**: data saved in each peer — the average number
+/// of original blocks buffered in the network that the servers have not
+/// reconstructed yet, per peer; λ = 20, μ = 10, γ = 1, curves per c.
+///
+/// Three series per c:
+///   ode        — Theorem 4: s·Σ_{i≥s}(w̃_i − m̃_i^s)
+///   sim-degree — the paper's decodability proxy (segment degree ≥ s)
+///   sim-rank   — exact: union rank of all buffered coefficient vectors
+///                equals s (only the real-coding content can tell this)
+///
+/// Expected shape: saved data decreases with s (higher throughput means
+/// more is already reconstructed) and decreases with c; by Theorem 1 the
+/// *total* buffered data is the same regardless of s — only its
+/// "freshness" changes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ode/closed_form.h"
+
+int main() {
+  using namespace icollect;
+  using bench::fmt;
+
+  const double lambda = 20.0;
+  const double mu = 10.0;
+  const double gamma = 1.0;
+  const std::vector<double> capacities{2.0, 5.0, 10.0};
+  const std::vector<std::size_t> sizes{1, 2, 5, 10, 20, 30, 40};
+
+  std::printf("== Figure 6: original blocks saved per peer vs s ==\n");
+  std::printf("lambda=%.0f mu=%.0f gamma=%.0f\n", lambda, mu, gamma);
+  std::printf("(total buffered blocks per peer is ~rho=%.1f regardless of s; "
+              "'saved' counts the not-yet-reconstructed share)\n\n",
+              ode::closed_form::rho(lambda, mu, gamma));
+
+  bench::Table table{{"s", "ode c=2", "deg c=2", "rank c=2", "ode c=5",
+                      "deg c=5", "rank c=5", "ode c=10", "deg c=10",
+                      "rank c=10"}};
+
+  for (const std::size_t s : sizes) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (const double c : capacities) {
+      p2p::ProtocolConfig cfg;
+      cfg.num_peers = bench::scaled_peers(150);
+      cfg.lambda = lambda;
+      cfg.mu = mu;
+      cfg.gamma = gamma;
+      cfg.segment_size = s;
+      cfg.buffer_cap = 160;
+      cfg.num_servers = 4;
+      cfg.set_normalized_capacity(c);
+      cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+      cfg.seed = 600 + s;
+      const auto ode_sol = CollectionSystem::analyze(cfg);
+      const auto sim = bench::run_steady_state(cfg, 10.0, 25.0);
+      row.push_back(fmt(ode_sol.saved_blocks_per_peer(), 2));
+      row.push_back(fmt(sim.saved_per_peer_degree, 2));
+      row.push_back(fmt(sim.saved_per_peer_rank, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  table.to_csv(bench::maybe_csv("fig6_saved_data").get());
+
+  std::printf(
+      "\nshape checks: saved data decreases with s and with c; the exact\n"
+      "rank census tracks the degree proxy from below.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// Micro-benchmarks (google-benchmark) for the RLNC codec across segment
+/// sizes — the "computational complexity" axis of the paper's
+/// resilience-complexity trade-off. The paper states decoding costs
+/// ≈ O(s) operations per input block [8]; BM_DecodeSegment reports
+/// per-block time so the linear trend in s is directly visible, and
+/// BM_Encode / BM_Recode cover the source and relay costs that motivate
+/// keeping s in the 20–40 range.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/segment_buffer.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace icollect;
+constexpr std::size_t kBlockBytes = 1024;
+
+std::vector<std::vector<std::uint8_t>> make_originals(std::size_t s,
+                                                      sim::Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> blocks(s);
+  for (auto& b : blocks) {
+    b.resize(kBlockBytes);
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.gf_element());
+  }
+  return blocks;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{11};
+  const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockBytes));
+}
+BENCHMARK(BM_Encode)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Recode(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{12};
+  const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
+  coding::SegmentBuffer buf{{1, 0}, s};
+  for (std::size_t k = 0; k < s; ++k) buf.add(k + 1, enc.encode(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.recode(rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockBytes));
+}
+BENCHMARK(BM_Recode)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_DecodeSegment(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{13};
+  const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
+  // Pre-generate enough coded blocks to complete the decode.
+  std::vector<coding::CodedBlock> blocks;
+  for (std::size_t k = 0; k < s + 8; ++k) blocks.push_back(enc.encode(rng));
+  for (auto _ : state) {
+    coding::Decoder dec{{1, 0}, s, kBlockBytes};
+    std::size_t k = 0;
+    while (!dec.complete()) dec.add(blocks[k++]);
+    benchmark::DoNotOptimize(dec.rank());
+  }
+  // Report per-original-block throughput: the paper's O(s)/block claim
+  // shows as items/s shrinking linearly with s.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s * kBlockBytes));
+}
+BENCHMARK(BM_DecodeSegment)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_InnovationCheck(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{14};
+  const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
+  coding::Decoder dec{{1, 0}, s, 0};
+  for (std::size_t k = 0; k + 1 < s; ++k) {
+    coding::CodedBlock b = enc.encode(rng);
+    b.payload.clear();
+    dec.add(b);
+  }
+  coding::CodedBlock probe = enc.encode(rng);
+  probe.payload.clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.is_innovative(probe));
+  }
+}
+BENCHMARK(BM_InnovationCheck)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_WireSerialize(benchmark::State& state) {
+  sim::Rng rng{15};
+  const coding::SegmentEncoder enc{{1, 0}, make_originals(20, rng)};
+  const coding::CodedBlock b = enc.encode(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coding::wire::serialize(b));
+  }
+}
+BENCHMARK(BM_WireSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/// Micro-benchmarks (google-benchmark) for the GF(2^8) arithmetic layer:
+/// the per-byte cost that bounds every coding operation in the system.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gf/gf256.h"
+#include "gf/gf_matrix.h"
+#include "gf/gf_vector.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace icollect;
+
+void BM_ScalarMul(benchmark::State& state) {
+  sim::Rng rng{1};
+  std::vector<gf::Element> a(4096), b(4096);
+  rng.fill_gf(a);
+  rng.fill_gf(b);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::GF256::mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalarMul);
+
+void BM_ScalarInv(benchmark::State& state) {
+  std::size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gf::GF256::inv(static_cast<gf::Element>(1 + (i & 254))));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalarInv);
+
+void BM_AddScaled(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{2};
+  std::vector<gf::Element> dst(n), src(n);
+  rng.fill_gf(dst);
+  rng.fill_gf(src);
+  gf::Element c = 1;
+  for (auto _ : state) {
+    gf::add_scaled(dst, src, c);
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<gf::Element>(c + 1) == 0 ? 1 : static_cast<gf::Element>(c + 1);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AddScaled)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{3};
+  std::vector<gf::Element> a(n), b(n);
+  rng.fill_gf(a);
+  rng.fill_gf(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::dot(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(1024);
+
+void BM_MatrixRank(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{4};
+  gf::Matrix m{n, n};
+  for (std::size_t r = 0; r < n; ++r) rng.fill_gf(m.row(r));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rank());
+  }
+}
+BENCHMARK(BM_MatrixRank)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{5};
+  gf::Matrix m{1, 1};
+  do {
+    gf::Matrix candidate{n, n};
+    for (std::size_t r = 0; r < n; ++r) rng.fill_gf(candidate.row(r));
+    if (candidate.invertible()) {
+      m = candidate;
+      break;
+    }
+  } while (true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.inverse());
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

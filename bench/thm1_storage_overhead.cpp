@@ -1,0 +1,69 @@
+/// Reproduces **Theorem 1** numerically: storage overhead and buffer
+/// occupancy across a (λ, μ, s) sweep. Three independent computations
+/// must agree:
+///   closed — the fixed point ρ = (1 − z̃_0)μ/γ + λ/γ (s = 1 form)
+///   ode    — steady state of system (7)
+///   sim    — time-weighted mean buffered blocks per peer
+/// and the overhead must stay below the theorem's bound μ/γ.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ode/closed_form.h"
+
+int main() {
+  using namespace icollect;
+  using bench::fmt;
+
+  struct Case {
+    double lambda;
+    double mu;
+    std::size_t s;
+  };
+  const std::vector<Case> cases{
+      {20.0, 10.0, 1}, {20.0, 10.0, 10}, {20.0, 10.0, 40},
+      {8.0, 4.0, 1},   {8.0, 4.0, 20},   {4.0, 16.0, 8},
+      {1.0, 2.0, 1},   {2.0, 1.0, 2},
+  };
+  const double gamma = 1.0;
+
+  std::printf("== Theorem 1: storage overhead (bound: mu/gamma) ==\n\n");
+  bench::Table table{{"lambda", "mu", "s", "rho closed", "rho ode",
+                      "rho sim", "overhead sim", "bound mu/g", "z0 closed",
+                      "z0 sim"}};
+
+  for (const auto& cs : cases) {
+    p2p::ProtocolConfig cfg;
+    cfg.num_peers = bench::scaled_peers(150);
+    cfg.lambda = cs.lambda;
+    cfg.mu = cs.mu;
+    cfg.gamma = gamma;
+    cfg.segment_size = cs.s;
+    cfg.buffer_cap =
+        static_cast<std::size_t>(3.0 * (cs.lambda + cs.mu) / gamma) + 4 * cs.s;
+    cfg.num_servers = 4;
+    cfg.set_normalized_capacity(cs.lambda / 4.0);
+    cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+    cfg.seed = 7;
+
+    const double rho_closed =
+        ode::closed_form::rho(cs.lambda, cs.mu, gamma);
+    const double z0_closed =
+        ode::closed_form::steady_z0(cs.lambda, cs.mu, gamma);
+    const auto ode_sol = CollectionSystem::analyze(cfg);
+    const auto sim = bench::run_steady_state(cfg, 12.0, 30.0);
+
+    table.add_row({fmt(cs.lambda, 0), fmt(cs.mu, 0), std::to_string(cs.s),
+                   fmt(rho_closed, 2), fmt(ode_sol.rho(), 2),
+                   fmt(sim.mean_blocks_per_peer, 2),
+                   fmt(sim.storage_overhead, 2), fmt(cs.mu / gamma, 1),
+                   fmt(z0_closed, 4), fmt(sim.empty_fraction, 4)});
+  }
+  table.print();
+  table.to_csv(bench::maybe_csv("thm1_storage_overhead").get());
+  std::printf(
+      "\nshape checks: the three rho columns agree; overhead stays below\n"
+      "mu/gamma; z0 matches for s=1 (batch injection at s>1 perturbs z0\n"
+      "only marginally at these loads).\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+/// \file segment_lifecycle.cpp
+/// Follow individual segments through the protocol using the trace
+/// stream: injection → gossip spread → server pulls → decoded or lost.
+/// Prints a few complete lifecycles plus aggregate lifecycle statistics
+/// (spread before first pull, pulls before decode, lifetime of lost
+/// segments) — the microscope view behind the Fig. 3-6 aggregates.
+///
+///   ./segment_lifecycle [num_peers] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "core/icollect.h"
+
+namespace {
+
+using namespace icollect;
+
+struct Lifecycle {
+  double injected_at = -1.0;
+  std::size_t origin = 0;
+  std::uint64_t gossip_copies = 0;
+  std::uint64_t pulls = 0;
+  std::uint64_t useful_pulls = 0;
+  double first_pull_at = -1.0;
+  double resolved_at = -1.0;  // decode or loss time
+  bool decoded = false;
+  bool lost = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 12;
+
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = n;
+  cfg.lambda = 20.0;
+  cfg.segment_size = 10;
+  cfg.mu = 10.0;
+  cfg.gamma = 1.0;
+  cfg.buffer_cap = 120;
+  cfg.num_servers = 4;
+  cfg.set_normalized_capacity(5.0);
+  cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+  cfg.seed = seed;
+
+  std::printf("== segment lifecycles: N=%zu lambda=20 s=10 mu=10 c=5 ==\n\n",
+              n);
+
+  p2p::Network net{cfg};
+  std::unordered_map<coding::SegmentId, Lifecycle> lives;
+  net.set_trace_sink([&](const p2p::TraceEvent& ev) {
+    switch (ev.kind) {
+      case p2p::TraceEventKind::kSegmentInjected: {
+        Lifecycle life;
+        life.injected_at = ev.at;
+        life.origin = ev.slot;
+        lives[ev.segment] = life;
+        break;
+      }
+      case p2p::TraceEventKind::kGossipSent:
+        if (auto it = lives.find(ev.segment); it != lives.end()) {
+          ++it->second.gossip_copies;
+        }
+        break;
+      case p2p::TraceEventKind::kServerPull:
+        if (auto it = lives.find(ev.segment); it != lives.end()) {
+          ++it->second.pulls;
+          it->second.useful_pulls += ev.aux;
+          if (it->second.first_pull_at < 0.0) {
+            it->second.first_pull_at = ev.at;
+          }
+        }
+        break;
+      case p2p::TraceEventKind::kSegmentDecoded:
+        if (auto it = lives.find(ev.segment); it != lives.end()) {
+          it->second.decoded = true;
+          it->second.resolved_at = ev.at;
+        }
+        break;
+      case p2p::TraceEventKind::kSegmentLost:
+        if (auto it = lives.find(ev.segment); it != lives.end()) {
+          it->second.lost = true;
+          it->second.resolved_at = ev.at;
+        }
+        break;
+      default:
+        break;
+    }
+  });
+  net.run_until(20.0);
+
+  // Show the first few resolved lifecycles of each fate.
+  std::printf("sample lifecycles (s = %zu blocks each):\n",
+              cfg.segment_size);
+  int shown_decoded = 0;
+  int shown_lost = 0;
+  for (const auto& [id, life] : lives) {
+    if (life.resolved_at < 0.0) continue;
+    const bool show = (life.decoded && shown_decoded < 3) ||
+                      (life.lost && shown_lost < 3);
+    if (!show) continue;
+    (life.decoded ? shown_decoded : shown_lost) += 1;
+    std::printf(
+        "  seg %-8s origin peer %-3zu  injected t=%6.2f  %2llu copies "
+        "gossiped  %2llu pulls (%llu useful)  %s t=%6.2f  (alive %.2f)\n",
+        id.to_string().c_str(), life.origin, life.injected_at,
+        static_cast<unsigned long long>(life.gossip_copies),
+        static_cast<unsigned long long>(life.pulls),
+        static_cast<unsigned long long>(life.useful_pulls),
+        life.decoded ? "DECODED" : "LOST   ", life.resolved_at,
+        life.resolved_at - life.injected_at);
+    if (shown_decoded >= 3 && shown_lost >= 3) break;
+  }
+
+  // Aggregates.
+  stats::Summary life_decoded;
+  stats::Summary life_lost;
+  stats::Summary copies_decoded;
+  stats::Summary copies_lost;
+  stats::Summary pulls_decoded;
+  std::size_t unresolved = 0;
+  for (const auto& [id, life] : lives) {
+    if (life.resolved_at < 0.0) {
+      ++unresolved;
+      continue;
+    }
+    const double alive = life.resolved_at - life.injected_at;
+    if (life.decoded) {
+      life_decoded.add(alive);
+      copies_decoded.add(static_cast<double>(life.gossip_copies));
+      pulls_decoded.add(static_cast<double>(life.pulls));
+    } else {
+      life_lost.add(alive);
+      copies_lost.add(static_cast<double>(life.gossip_copies));
+    }
+  }
+  std::printf("\n-- aggregates over %zu segments (%zu still unresolved) --\n",
+              lives.size(), unresolved);
+  std::printf("decoded:  %6llu segments, alive %.2f±%.2f, %.1f gossip "
+              "copies, %.1f pulls to finish\n",
+              static_cast<unsigned long long>(life_decoded.count()),
+              life_decoded.mean(), life_decoded.stddev(),
+              copies_decoded.mean(), pulls_decoded.mean());
+  std::printf("lost:     %6llu segments, alive %.2f±%.2f, %.1f gossip "
+              "copies\n",
+              static_cast<unsigned long long>(life_lost.count()),
+              life_lost.mean(), life_lost.stddev(), copies_lost.mean());
+  std::printf(
+      "\nthe ratio of the two populations is exactly what Fig. 3 plots as\n"
+      "throughput, and the decoded population's alive-time is Fig. 5's\n"
+      "delay — this is the same system seen one segment at a time.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file streaming_collection.cpp
+/// The full story end to end: run a real P2P streaming session (the
+/// application whose health the paper wants to monitor), let the
+/// indirect collection protocol gather the session's *measured* vital
+/// statistics, and then play network analyst — find the struggling
+/// peers from the logging servers' recovered records alone.
+///
+///   ./streaming_collection [num_peers] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/icollect.h"
+
+int main(int argc, char** argv) {
+  using namespace icollect;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9;
+
+  // --- 1. the application: a live-streaming swarm -------------------------
+  workload::StreamingConfig session_cfg;
+  session_cfg.num_peers = n;
+  session_cfg.chunk_rate = 10.0;
+  session_cfg.partners = 6;
+  session_cfg.request_rate = 40.0;
+  // Aggregate upload (n*12 + 60) comfortably exceeds the aggregate
+  // demand n*chunk_rate, so the swarm is healthy overall — the flagged
+  // peers below are the genuinely unlucky tail, not a starved fleet.
+  session_cfg.upload_chunks = 12.0;
+  session_cfg.source_upload_chunks = 60.0;
+  session_cfg.seed = seed;
+
+  // --- 2. the collection protocol -----------------------------------------
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = n;
+  cfg.lambda = 4.0;  // a few stats blocks per peer per time unit
+  cfg.segment_size = 4;
+  cfg.mu = 6.0;
+  cfg.gamma = 1.0;
+  cfg.buffer_cap = 60;
+  cfg.num_servers = 3;
+  cfg.set_normalized_capacity(5.0);
+  cfg.payload_bytes = 64;
+  cfg.seed = seed;
+
+  std::printf("== streaming session -> indirect collection -> analyst ==\n");
+  std::printf("swarm: %zu peers at %g chunks/s; collection: s=%zu c=%.1f\n\n",
+              n, session_cfg.chunk_rate, cfg.segment_size,
+              cfg.normalized_capacity());
+
+  CollectionSystem system{cfg};
+  // Pre-run the session for 30 time units, sampling each peer every 0.5.
+  system.use_streaming_session_payloads(session_cfg, 30.0, 0.5);
+  system.run(30.0);
+
+  const CollectionReport r = system.report();
+  std::printf("collection: %llu segments decoded (%llu injected), "
+              "CRC failures %llu\n",
+              static_cast<unsigned long long>(r.segments_decoded),
+              static_cast<unsigned long long>(r.segments_injected),
+              static_cast<unsigned long long>(r.payload_crc_failures));
+
+  // --- 3. the analyst ------------------------------------------------------
+  const auto store = system.recovered_record_store();
+  const auto health = store.health(0.0, 30.0);
+  std::printf("\nrecovered %zu records from %zu peers\n", store.size(),
+              store.peer_count());
+  std::printf("fleet: continuity %.3f±%.3f | buffer %.2fs | download %.0f "
+              "kbps | loss %.3f\n",
+              health.continuity.mean(), health.continuity.stddev(),
+              health.buffer_level.mean(), health.download_kbps.mean(),
+              health.loss_rate.mean());
+
+  const auto flagged = store.unhealthy_peers(0.95F, 0.25F);
+  std::printf("\npeers flagged by their latest recovered report "
+              "(continuity < 0.95 or loss > 0.25): %zu\n",
+              flagged.size());
+  for (std::size_t i = 0; i < flagged.size() && i < 8; ++i) {
+    const auto last = store.latest(flagged[i]);
+    std::printf("  peer %-4u cont=%.3f loss=%.3f buf=%.2fs (t=%.1f)\n",
+                flagged[i], last->playback_continuity, last->loss_rate,
+                last->buffer_level, last->timestamp);
+  }
+  std::printf(
+      "\nEvery number above came out of the logging servers' decoded\n"
+      "segments — measured by the swarm, packed into coded blocks,\n"
+      "gossiped, pulled, and Gaussian-eliminated back into records.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, regenerate every figure/table.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Environment:
+#   ICOLLECT_BENCH_SCALE  population/duration multiplier (default 1)
+#   ICOLLECT_BENCH_REPS   seeds averaged per simulated point (default 1)
+#   ICOLLECT_CSV_DIR      also mirror every table into CSV files
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,88 @@
+#include "coding/batch_decoder.h"
+
+#include <stdexcept>
+
+#include "gf/gf_matrix.h"
+
+namespace icollect::coding {
+
+namespace {
+
+/// Validate batch homogeneity and return the segment size (0 if empty).
+std::size_t check_batch(std::span<const CodedBlock> blocks,
+                        bool require_payloads) {
+  if (blocks.empty()) return 0;
+  const SegmentId id = blocks.front().segment;
+  const std::size_t s = blocks.front().segment_size();
+  const std::size_t payload = blocks.front().payload.size();
+  if (s == 0) throw std::invalid_argument("batch decode: empty coefficients");
+  for (const auto& b : blocks) {
+    if (b.segment != id) {
+      throw std::invalid_argument("batch decode: mixed segments");
+    }
+    if (b.segment_size() != s) {
+      throw std::invalid_argument("batch decode: inconsistent segment size");
+    }
+    if (require_payloads && b.payload.size() != payload) {
+      throw std::invalid_argument("batch decode: inconsistent payloads");
+    }
+  }
+  if (require_payloads && payload == 0) {
+    throw std::invalid_argument("batch decode: blocks carry no payload");
+  }
+  return s;
+}
+
+}  // namespace
+
+std::size_t BatchDecoder::rank(std::span<const CodedBlock> blocks) {
+  const std::size_t s = check_batch(blocks, /*require_payloads=*/false);
+  if (s == 0) return 0;
+  gf::Matrix m{0, s};
+  for (const auto& b : blocks) m.append_row(b.coefficients);
+  return m.rank();
+}
+
+bool BatchDecoder::decodable(std::span<const CodedBlock> blocks) {
+  if (blocks.empty()) return false;
+  return rank(blocks) == blocks.front().segment_size();
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> BatchDecoder::decode(
+    std::span<const CodedBlock> blocks) {
+  const std::size_t s = check_batch(blocks, /*require_payloads=*/true);
+  if (s == 0 || blocks.size() < s) return std::nullopt;
+
+  // Pick s independent rows, then solve C * X = P where row k of P is
+  // the payload of the k-th chosen block.
+  gf::Matrix probe{0, s};
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < blocks.size() && chosen.size() < s; ++i) {
+    gf::Matrix trial = probe;
+    trial.append_row(blocks[i].coefficients);
+    if (trial.rank() == chosen.size() + 1) {
+      probe = std::move(trial);
+      chosen.push_back(i);
+    }
+  }
+  if (chosen.size() < s) return std::nullopt;
+
+  const std::size_t payload = blocks.front().payload.size();
+  gf::Matrix coeffs{0, s};
+  gf::Matrix payloads{0, payload};
+  for (const std::size_t i : chosen) {
+    coeffs.append_row(blocks[i].coefficients);
+    payloads.append_row(std::span<const std::uint8_t>{
+        blocks[i].payload.data(), blocks[i].payload.size()});
+  }
+  const gf::Matrix originals = coeffs.solve(payloads);
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    const auto row = originals.row(k);
+    out.emplace_back(row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace icollect::coding

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file batch_decoder.h
+/// One-shot segment decoding from a batch of coded blocks via dense
+/// Gaussian elimination (gf::Matrix).
+///
+/// The progressive Decoder is the production path (servers absorb
+/// blocks as pulls arrive); this batch variant is the independent
+/// reference implementation used to cross-validate it, and the natural
+/// API when all blocks are already at hand (e.g. decoding a stored
+/// capture, or unit tests).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+
+namespace icollect::coding {
+
+class BatchDecoder {
+ public:
+  /// Rank of the coefficient vectors of `blocks` (all must belong to the
+  /// same segment and agree on the segment size; throws
+  /// std::invalid_argument otherwise; empty input has rank 0).
+  [[nodiscard]] static std::size_t rank(std::span<const CodedBlock> blocks);
+
+  /// True iff `blocks` suffice to reconstruct the segment.
+  [[nodiscard]] static bool decodable(std::span<const CodedBlock> blocks);
+
+  /// Reconstruct the original blocks, or nullopt if the batch is rank
+  /// deficient. All blocks must carry payloads of equal size.
+  [[nodiscard]] static std::optional<std::vector<std::vector<std::uint8_t>>>
+  decode(std::span<const CodedBlock> blocks);
+};
+
+}  // namespace icollect::coding

@@ -1,0 +1,79 @@
+#include "coding/coded_block.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace icollect::coding::wire {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>((v >> 8U) & 0xFFU));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> in,
+                                    std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] |
+                                    (static_cast<unsigned>(in[at + 1]) << 8U));
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> in,
+                                    std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const CodedBlock& block) {
+  ICOLLECT_EXPECTS(block.coefficients.size() <=
+                   std::numeric_limits<std::uint16_t>::max());
+  ICOLLECT_EXPECTS(block.payload.size() <=
+                   std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_size(block.coefficients.size(),
+                              block.payload.size()));
+  put_u32(out, block.segment.origin);
+  put_u32(out, block.segment.seq);
+  put_u16(out, static_cast<std::uint16_t>(block.coefficients.size()));
+  put_u32(out, static_cast<std::uint32_t>(block.payload.size()));
+  out.insert(out.end(), block.coefficients.begin(), block.coefficients.end());
+  out.insert(out.end(), block.payload.begin(), block.payload.end());
+  return out;
+}
+
+CodedBlock deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    throw std::invalid_argument("coded block: truncated header");
+  }
+  CodedBlock b;
+  b.segment.origin = get_u32(bytes, 0);
+  b.segment.seq = get_u32(bytes, 4);
+  const std::uint16_t s = get_u16(bytes, 8);
+  const std::uint32_t payload_len = get_u32(bytes, 10);
+  if (s == 0) {
+    throw std::invalid_argument("coded block: zero segment size");
+  }
+  const std::size_t expect = serialized_size(s, payload_len);
+  if (bytes.size() != expect) {
+    throw std::invalid_argument("coded block: length mismatch");
+  }
+  b.coefficients.assign(bytes.begin() + kHeaderBytes,
+                        bytes.begin() + kHeaderBytes + s);
+  b.payload.assign(bytes.begin() + kHeaderBytes + s, bytes.end());
+  return b;
+}
+
+}  // namespace icollect::coding::wire

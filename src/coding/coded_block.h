@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file coded_block.h
+/// A random-linear-coded block: the unit of storage and transfer.
+///
+/// Per Sec. 2 of the paper, a coded block of segment i is a linear
+/// combination of that segment's s original blocks over GF(2^8), and "the
+/// coding coefficients used to encode original blocks ... are embedded in
+/// the header of the coded block". We model exactly that: a block carries
+/// its segment id, the length-s coefficient vector (relative to the
+/// original blocks), and the combined payload bytes.
+///
+/// For large parameter sweeps the payload may be empty: linear-algebraic
+/// behaviour (innovation, decodability, redundancy) depends only on the
+/// coefficients, so sweeps run with 0-byte payloads while examples and
+/// end-to-end tests use real payloads and verify byte-exact recovery.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "coding/segment_id.h"
+#include "gf/gf256.h"
+#include "gf/gf_vector.h"
+
+namespace icollect::coding {
+
+struct CodedBlock {
+  SegmentId segment;
+  std::vector<gf::Element> coefficients;  ///< length = segment size s
+  std::vector<std::uint8_t> payload;      ///< combined data (may be empty)
+
+  /// Segment size this block was coded against.
+  [[nodiscard]] std::size_t segment_size() const noexcept {
+    return coefficients.size();
+  }
+
+  /// True if the coefficient vector is all-zero (a degenerate block that
+  /// carries no information; honest encoders never emit one).
+  [[nodiscard]] bool is_degenerate() const noexcept {
+    return gf::is_zero(coefficients);
+  }
+
+  /// Build the systematic block e_k (the k-th original block, coefficient
+  /// vector = unit vector k).
+  [[nodiscard]] static CodedBlock systematic(
+      SegmentId id, std::size_t s, std::size_t k,
+      std::vector<std::uint8_t> payload) {
+    ICOLLECT_EXPECTS(k < s);
+    CodedBlock b;
+    b.segment = id;
+    b.coefficients.assign(s, gf::Element{0});
+    b.coefficients[k] = 1;
+    b.payload = std::move(payload);
+    return b;
+  }
+};
+
+/// Wire representation of a coded block, so the library is usable as an
+/// actual transport payload and not only inside the simulator.
+///
+/// Layout (little-endian):
+///   u32 origin | u32 seq | u16 segment_size s | u32 payload_len
+///   | s coefficient bytes | payload bytes
+namespace wire {
+
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 2 + 4;
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const CodedBlock& block);
+
+/// Parse a serialized block. Throws std::invalid_argument on malformed
+/// input (truncation, inconsistent lengths, oversized segment).
+[[nodiscard]] CodedBlock deserialize(std::span<const std::uint8_t> bytes);
+
+/// Serialized size of a block with the given shape.
+[[nodiscard]] constexpr std::size_t serialized_size(
+    std::size_t segment_size, std::size_t payload_len) noexcept {
+  return kHeaderBytes + segment_size + payload_len;
+}
+
+}  // namespace wire
+
+}  // namespace icollect::coding

@@ -1,0 +1,100 @@
+#include "coding/decoder.h"
+
+#include "gf/gf_vector.h"
+
+namespace icollect::coding {
+
+Decoder::Decoder(SegmentId id, std::size_t segment_size,
+                 std::size_t payload_size)
+    : id_{id}, s_{segment_size}, payload_size_{payload_size}, rows_(s_) {
+  ICOLLECT_EXPECTS(segment_size > 0);
+}
+
+std::optional<std::size_t> Decoder::reduce(
+    std::vector<gf::Element>& coeffs,
+    std::vector<std::uint8_t>& payload) const {
+  // Forward elimination against every stored pivot row, in pivot order.
+  // After this loop the leading non-zero column (if any) has no stored
+  // pivot, so it becomes this block's pivot.
+  for (std::size_t p = 0; p < s_; ++p) {
+    const gf::Element f = coeffs[p];
+    if (f == 0 || !rows_[p].present) continue;
+    gf::add_scaled(coeffs, rows_[p].coeffs, f);
+    if (!payload.empty()) gf::add_scaled(payload, rows_[p].payload, f);
+  }
+  const std::size_t lead = gf::leading_index(coeffs);
+  if (lead == s_) return std::nullopt;
+  return lead;
+}
+
+bool Decoder::is_innovative(const CodedBlock& block) const {
+  ICOLLECT_EXPECTS(block.segment == id_);
+  ICOLLECT_EXPECTS(block.coefficients.size() == s_);
+  if (complete()) return false;
+  auto coeffs = block.coefficients;
+  std::vector<std::uint8_t> no_payload;  // coefficients decide innovation
+  return reduce(coeffs, no_payload).has_value();
+}
+
+bool Decoder::add(const CodedBlock& block) {
+  ICOLLECT_EXPECTS(block.segment == id_);
+  ICOLLECT_EXPECTS(block.coefficients.size() == s_);
+  ICOLLECT_EXPECTS(block.payload.empty() ||
+                   block.payload.size() == payload_size_);
+  if (complete()) {
+    ++redundant_;
+    return false;
+  }
+  auto coeffs = block.coefficients;
+  auto payload = block.payload;
+  if (payload.empty() && payload_size_ > 0) {
+    // Callers may legitimately strip payloads (coefficient-only sweeps);
+    // track linear algebra with a zero payload so decode stays consistent.
+    payload.assign(payload_size_, 0);
+  }
+  const auto pivot = reduce(coeffs, payload);
+  if (!pivot) {
+    ++redundant_;
+    return false;
+  }
+  const std::size_t p = *pivot;
+  // Normalize so the pivot coefficient is exactly 1.
+  const gf::Element lead = coeffs[p];
+  if (lead != 1) {
+    const gf::Element inv = gf::GF256::inv(lead);
+    gf::scale_assign(coeffs, inv);
+    gf::scale_assign(payload, inv);
+  }
+  // Back-substitute into already-stored rows so the matrix stays in
+  // reduced row-echelon form and completion implies the identity matrix.
+  for (std::size_t q = 0; q < s_; ++q) {
+    if (!rows_[q].present) continue;
+    const gf::Element f = rows_[q].coeffs[p];
+    if (f == 0) continue;
+    gf::add_scaled(rows_[q].coeffs, coeffs, f);
+    if (!rows_[q].payload.empty()) {
+      gf::add_scaled(rows_[q].payload, payload, f);
+    }
+  }
+  rows_[p] = Row{true, std::move(coeffs), std::move(payload)};
+  ++rank_;
+  return true;
+}
+
+const std::vector<std::uint8_t>& Decoder::original(std::size_t k) const {
+  ICOLLECT_EXPECTS(complete());
+  ICOLLECT_EXPECTS(k < s_);
+  // In RREF at full rank the coefficient matrix is the identity, so the
+  // payload stored at pivot k is exactly original block k.
+  return rows_[k].payload;
+}
+
+std::vector<std::vector<std::uint8_t>> Decoder::originals() const {
+  ICOLLECT_EXPECTS(complete());
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(s_);
+  for (std::size_t k = 0; k < s_; ++k) out.push_back(rows_[k].payload);
+  return out;
+}
+
+}  // namespace icollect::coding

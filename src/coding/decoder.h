@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file decoder.h
+/// Progressive Gaussian-elimination decoder for one segment.
+///
+/// The logging servers run one of these per segment: every pulled coded
+/// block is reduced against the rows already held; innovative blocks
+/// raise the rank, redundant ones are counted and discarded. When the
+/// rank reaches the segment size s, the internal matrix is (by
+/// construction of the incremental reduction) the identity and the stored
+/// payload rows *are* the original blocks — the "approximately O(s)
+/// operations per input block" decoding the paper cites [8].
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+#include "gf/gf256.h"
+
+namespace icollect::coding {
+
+class Decoder {
+ public:
+  /// Decoder for a segment of `segment_size` blocks whose payloads have
+  /// `payload_size` bytes (payload_size may be 0 for coefficient-only use).
+  Decoder(SegmentId id, std::size_t segment_size, std::size_t payload_size);
+
+  [[nodiscard]] const SegmentId& id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t segment_size() const noexcept { return s_; }
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return payload_size_;
+  }
+
+  /// Current rank (number of linearly independent blocks absorbed).
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// True once rank() == segment_size(): all originals recoverable.
+  [[nodiscard]] bool complete() const noexcept { return rank_ == s_; }
+
+  /// Number of blocks offered that carried no new information.
+  [[nodiscard]] std::uint64_t redundant_count() const noexcept {
+    return redundant_;
+  }
+
+  /// Would this block raise the rank? (const; does not modify state)
+  [[nodiscard]] bool is_innovative(const CodedBlock& block) const;
+
+  /// Absorb a coded block. Returns true if it was innovative.
+  /// Preconditions: matching segment id, coefficient length s, and (when
+  /// payloads are in use) matching payload length.
+  bool add(const CodedBlock& block);
+
+  /// The k-th recovered original block. Precondition: complete().
+  [[nodiscard]] const std::vector<std::uint8_t>& original(
+      std::size_t k) const;
+
+  /// All recovered originals in order. Precondition: complete().
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> originals() const;
+
+ private:
+  /// Reduce (coeffs, payload) against stored rows in place; returns the
+  /// pivot column if a non-zero leading coefficient remains, nullopt if
+  /// fully eliminated (non-innovative).
+  [[nodiscard]] std::optional<std::size_t> reduce(
+      std::vector<gf::Element>& coeffs,
+      std::vector<std::uint8_t>& payload) const;
+
+  SegmentId id_;
+  std::size_t s_;
+  std::size_t payload_size_;
+  std::size_t rank_ = 0;
+  std::uint64_t redundant_ = 0;
+  // Row with pivot at column p lives at rows_[p]; empty rows have no pivot.
+  struct Row {
+    bool present = false;
+    std::vector<gf::Element> coeffs;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace icollect::coding

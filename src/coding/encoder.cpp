@@ -1,0 +1,38 @@
+#include "coding/encoder.h"
+
+#include <utility>
+
+#include "gf/gf_vector.h"
+
+namespace icollect::coding {
+
+SegmentEncoder::SegmentEncoder(
+    SegmentId id, std::vector<std::vector<std::uint8_t>> originals)
+    : id_{id}, originals_{std::move(originals)} {
+  ICOLLECT_EXPECTS(!originals_.empty());
+  payload_size_ = originals_.front().size();
+  for (const auto& b : originals_) {
+    ICOLLECT_EXPECTS(b.size() == payload_size_);
+  }
+}
+
+CodedBlock SegmentEncoder::systematic_block(std::size_t k) const {
+  ICOLLECT_EXPECTS(k < originals_.size());
+  return CodedBlock::systematic(id_, originals_.size(), k, originals_[k]);
+}
+
+CodedBlock SegmentEncoder::encode(sim::Rng& rng) const {
+  CodedBlock out;
+  out.segment = id_;
+  out.coefficients.resize(originals_.size());
+  do {
+    rng.fill_gf(out.coefficients);
+  } while (gf::is_zero(out.coefficients));
+  out.payload.assign(payload_size_, 0);
+  for (std::size_t j = 0; j < originals_.size(); ++j) {
+    gf::add_scaled(out.payload, originals_[j], out.coefficients[j]);
+  }
+  return out;
+}
+
+}  // namespace icollect::coding

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file encoder.h
+/// Source-side encoder for one segment.
+///
+/// Holds the s original blocks B_1..B_s generated at a peer and produces
+/// coded blocks x = sum_j c_j B_j with coefficients drawn uniformly at
+/// random from GF(2^8) (Sec. 2). Also supports systematic emission (the
+/// k-th original with a unit coefficient vector), which peers use to seed
+/// their own buffer at injection time.
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+#include "sim/random.h"
+
+namespace icollect::coding {
+
+class SegmentEncoder {
+ public:
+  /// Create an encoder over `originals`, which must be non-empty and all
+  /// of the same length (the block payload size).
+  SegmentEncoder(SegmentId id,
+                 std::vector<std::vector<std::uint8_t>> originals);
+
+  [[nodiscard]] const SegmentId& id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t segment_size() const noexcept {
+    return originals_.size();
+  }
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return payload_size_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& originals()
+      const noexcept {
+    return originals_;
+  }
+
+  /// Emit the k-th systematic block.
+  [[nodiscard]] CodedBlock systematic_block(std::size_t k) const;
+
+  /// Emit a freshly coded block with uniformly random coefficients. The
+  /// all-zero draw (probability 256^-s) is rejected and redrawn so every
+  /// emitted block is non-degenerate.
+  [[nodiscard]] CodedBlock encode(sim::Rng& rng) const;
+
+ private:
+  SegmentId id_;
+  std::vector<std::vector<std::uint8_t>> originals_;
+  std::size_t payload_size_;
+};
+
+}  // namespace icollect::coding

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file segment_id.h
+/// Identity of a coding segment ("generation").
+///
+/// The paper groups the original statistics blocks produced at each peer
+/// into segments of s blocks (Sec. 2, "segment based network coding").
+/// A segment is therefore globally identified by the peer that generated
+/// it and a per-peer sequence number.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace icollect::coding {
+
+/// Identifier of the peer that *originated* a segment. Note this is the
+/// logical origin identity (stable across the churn replacement model's
+/// re-use of peer slots); see p2p::PeerSlot.
+using OriginId = std::uint32_t;
+
+struct SegmentId {
+  OriginId origin = 0;   ///< peer that generated the segment
+  std::uint32_t seq = 0; ///< per-origin sequence number
+
+  friend auto operator<=>(const SegmentId&, const SegmentId&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(origin) + ":" + std::to_string(seq);
+  }
+};
+
+}  // namespace icollect::coding
+
+template <>
+struct std::hash<icollect::coding::SegmentId> {
+  std::size_t operator()(const icollect::coding::SegmentId& id) const noexcept {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(id.origin) << 32U) | id.seq;
+    // SplitMix64 finalizer: cheap and well-distributed.
+    std::uint64_t x = k + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(x ^ (x >> 31U));
+  }
+};

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file assert.h
+/// Contract-checking macros in the spirit of the C++ Core Guidelines
+/// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+///
+/// Violations throw `icollect::ContractViolation` (a `std::logic_error`)
+/// rather than aborting, so unit tests can assert that contracts hold and
+/// long-running simulations fail loudly with a diagnosable message.
+
+#include <stdexcept>
+#include <string>
+
+namespace icollect {
+
+/// Thrown when an ICOLLECT_EXPECTS / ICOLLECT_ENSURES condition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " violated: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace icollect
+
+/// Precondition check. Always on: the cost is negligible next to the
+/// simulation work, and silent contract violations are the expensive bug.
+#define ICOLLECT_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::icollect::contract_violation("precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+/// Postcondition / invariant check.
+#define ICOLLECT_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::icollect::contract_violation("postcondition", #cond, __FILE__, \
+                                           __LINE__))

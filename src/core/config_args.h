@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file config_args.h
+/// key=value command-line parsing into ProtocolConfig, shared by the CLI
+/// driver (tools/icollect_sim) and any downstream embedding that wants
+/// string-driven configuration.
+///
+/// Recognized keys (all optional; unknown keys throw):
+///   peers=N            lambda=X      s=N          mu=X         gamma=X
+///   buffer=N           servers=N     c=X (normalized capacity)
+///   server_rate=X      payload=N     seed=N
+///   topology=complete|erdos-renyi|random-regular   degree=N
+///   churn=X            (mean lifetime; 0 disables)
+///   lifetimes=exponential|pareto   pareto_shape=A (> 1)
+///   fidelity=real-coding|state-counter
+///   pull=non-empty|all (server peer-selection policy)
+///
+/// Values are validated by ProtocolConfig::validate() after parsing.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "p2p/config.h"
+
+namespace icollect {
+
+/// Parse `key=value` tokens into `cfg` (later tokens win). Throws
+/// std::invalid_argument on malformed tokens, unknown keys, bad values,
+/// or an inconsistent final configuration.
+void apply_config_args(p2p::ProtocolConfig& cfg,
+                       std::span<const std::string_view> args);
+
+/// Convenience: parse argv[1..argc) over a default-constructed config.
+[[nodiscard]] p2p::ProtocolConfig parse_config_args(int argc,
+                                                    const char* const* argv);
+
+/// One-line human-readable rendering of a configuration.
+[[nodiscard]] std::string describe(const p2p::ProtocolConfig& cfg);
+
+/// The help text for the recognized keys.
+[[nodiscard]] const char* config_args_help() noexcept;
+
+}  // namespace icollect

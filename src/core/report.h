@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file report.h
+/// The aggregate outcome of a collection run, covering the four
+/// evaluation axes of Sec. 4: storage overhead, session throughput,
+/// delivery delay, and loss resilience.
+
+#include <cstdint>
+
+#include "p2p/network.h"
+
+namespace icollect {
+
+struct CollectionReport {
+  // --- run shape ------------------------------------------------------------
+  double measured_time = 0.0;  ///< length of the measurement window
+  double normalized_capacity = 0.0;  ///< c = c_s·N_s/N
+
+  // --- throughput (Theorem 2) ----------------------------------------------
+  double throughput = 0.0;             ///< useful (innovative) pulls / time
+  double normalized_throughput = 0.0;  ///< throughput / (N·λ)
+  double capacity_bound = 0.0;  ///< min(c, λ)/λ, the dashed line of Fig. 3
+  double goodput = 0.0;         ///< blocks of fully decoded segments / time
+  double normalized_goodput = 0.0;
+
+  // --- delay (Theorem 3) -----------------------------------------------------
+  double mean_block_delay = 0.0;    ///< segment delay / s
+  double mean_segment_delay = 0.0;
+  double max_segment_delay = 0.0;
+
+  // --- storage (Theorem 1) ---------------------------------------------------
+  double mean_blocks_per_peer = 0.0;  ///< empirical ρ
+  double storage_overhead = 0.0;      ///< ρ − λ/γ (gossip-held share)
+  double empty_peer_fraction = 0.0;   ///< empirical z̃_0
+  double overhead_bound = 0.0;        ///< μ/γ, Theorem 1's upper bound
+
+  // --- accounting -------------------------------------------------------------
+  std::uint64_t segments_injected = 0;
+  std::uint64_t segments_decoded = 0;
+  std::uint64_t segments_lost = 0;  ///< vanished from network undecoded
+  std::uint64_t blocks_injected = 0;
+  std::uint64_t original_blocks_recovered = 0;
+  std::uint64_t server_pulls = 0;
+  std::uint64_t redundant_pulls = 0;
+  std::uint64_t payload_crc_failures = 0;
+
+  // --- churn -------------------------------------------------------------------
+  std::uint64_t peers_departed = 0;
+  std::uint64_t blocks_lost_to_churn = 0;
+
+  // --- buffered data (Theorem 4) -----------------------------------------------
+  p2p::SavedDataCensus saved;
+
+  /// Fraction of pulls that were redundant: 1 − η, the coupon-collector
+  /// waste the coding is meant to reduce.
+  [[nodiscard]] double redundancy_fraction() const noexcept {
+    return server_pulls > 0 ? static_cast<double>(redundant_pulls) /
+                                  static_cast<double>(server_pulls)
+                            : 0.0;
+  }
+};
+
+}  // namespace icollect

@@ -1,0 +1,30 @@
+#include "gf/gf256.h"
+
+namespace icollect::gf {
+
+namespace {
+
+/// Full 256x256 multiplication table, 64 KiB. Built once at static
+/// initialization from the constexpr exp/log tables; read-only afterwards.
+/// Row-major: kMulTable[c][x] == c * x.
+struct MulTable {
+  std::array<std::array<Element, 256>, 256> rows{};
+  MulTable() noexcept {
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned x = 0; x < 256; ++x) {
+        rows[c][x] = GF256::mul(static_cast<Element>(c),
+                                static_cast<Element>(x));
+      }
+    }
+  }
+};
+
+const MulTable kMulTable{};
+
+}  // namespace
+
+const Element* GF256::mul_row(Element c) noexcept {
+  return kMulTable.rows[c].data();
+}
+
+}  // namespace icollect::gf

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file gf256.h
+/// Arithmetic over the Galois field GF(2^8), the field the paper's random
+/// linear code operates in (Sec. 2: "a coded block ... is a linear
+/// combination ... in the Galois field GF(2^8)").
+///
+/// Representation: field elements are bytes; addition is XOR; multiplication
+/// is carry-less polynomial multiplication modulo the primitive polynomial
+///   x^8 + x^4 + x^3 + x^2 + 1   (0x11D),
+/// the conventional choice for Reed-Solomon / network-coding codes. The
+/// element `2` (the polynomial x) is a generator of the multiplicative
+/// group, which lets us implement multiplication and inversion with
+/// exp/log tables computed at compile time.
+///
+/// All tables are `constexpr`, so there is no runtime initialization order
+/// to worry about and the compiler can constant-fold field expressions.
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace icollect::gf {
+
+/// A field element of GF(2^8). Plain byte; all structure lives in GF256.
+using Element = std::uint8_t;
+
+namespace detail {
+
+/// Multiply two elements the slow, table-free way (peasant multiplication).
+/// Used only at compile time to build the tables and in tests as an oracle.
+constexpr Element slow_mul(Element a, Element b) noexcept {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  for (int bit = 0; bit < 8; ++bit) {
+    if ((bb & 1U) != 0) acc ^= aa;
+    bb >>= 1U;
+    aa <<= 1U;
+    if ((aa & 0x100U) != 0) aa ^= 0x11DU;
+  }
+  return static_cast<Element>(acc & 0xFFU);
+}
+
+struct Tables {
+  // exp_[i] = g^i for generator g = 2, period 255; doubled to 512 entries so
+  // `exp_[log_[a] + log_[b]]` never needs an explicit modulo reduction.
+  std::array<Element, 512> exp_{};
+  std::array<Element, 256> log_{};
+  // inv_[a] = a^{-1}; inv_[0] unused (inversion of zero is a contract error).
+  std::array<Element, 256> inv_{};
+};
+
+constexpr Tables build_tables() noexcept {
+  Tables t{};
+  Element x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp_[static_cast<std::size_t>(i)] = x;
+    t.exp_[static_cast<std::size_t>(i + 255)] = x;
+    t.log_[x] = static_cast<Element>(i);
+    x = slow_mul(x, 2);
+  }
+  t.exp_[510] = t.exp_[0];
+  t.exp_[511] = t.exp_[1];
+  t.log_[0] = 0;  // sentinel; callers must never look up log of zero
+  for (unsigned a = 1; a < 256; ++a) {
+    const Element e = static_cast<Element>(a);
+    t.inv_[a] = t.exp_[static_cast<std::size_t>(255 - t.log_[e])];
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = build_tables();
+
+}  // namespace detail
+
+/// Static interface to GF(2^8) scalar arithmetic.
+class GF256 {
+ public:
+  /// The primitive (irreducible) polynomial, as an integer bit pattern.
+  static constexpr unsigned kPolynomial = 0x11D;
+  /// Multiplicative generator used by the exp/log tables.
+  static constexpr Element kGenerator = 2;
+  /// Order of the multiplicative group.
+  static constexpr unsigned kGroupOrder = 255;
+
+  /// Field addition: characteristic 2, so addition is XOR.
+  [[nodiscard]] static constexpr Element add(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+
+  /// Field subtraction coincides with addition in characteristic 2.
+  [[nodiscard]] static constexpr Element sub(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+
+  /// Field multiplication via exp/log tables.
+  [[nodiscard]] static constexpr Element mul(Element a, Element b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const auto& t = detail::kTables;
+    return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+  }
+
+  /// Multiplicative inverse. Precondition: `a != 0`.
+  [[nodiscard]] static Element inv(Element a) {
+    ICOLLECT_EXPECTS(a != 0);
+    return detail::kTables.inv_[a];
+  }
+
+  /// Field division `a / b`. Precondition: `b != 0`.
+  [[nodiscard]] static Element div(Element a, Element b) {
+    ICOLLECT_EXPECTS(b != 0);
+    if (a == 0) return 0;
+    const auto& t = detail::kTables;
+    return t.exp_[static_cast<std::size_t>(t.log_[a]) + kGroupOrder -
+                  t.log_[b]];
+  }
+
+  /// `a` raised to the (non-negative) integer power `n`.
+  [[nodiscard]] static constexpr Element pow(Element a, unsigned n) noexcept {
+    if (n == 0) return 1;
+    if (a == 0) return 0;
+    const auto& t = detail::kTables;
+    const unsigned e = (static_cast<unsigned>(t.log_[a]) * n) % kGroupOrder;
+    return t.exp_[e];
+  }
+
+  /// g^i for the table generator g = 2 (i taken mod 255).
+  [[nodiscard]] static constexpr Element exp(unsigned i) noexcept {
+    return detail::kTables.exp_[i % kGroupOrder];
+  }
+
+  /// Discrete log base g = 2. Precondition: `a != 0`.
+  [[nodiscard]] static Element log(Element a) {
+    ICOLLECT_EXPECTS(a != 0);
+    return detail::kTables.log_[a];
+  }
+
+  /// Slow reference multiplication — exposed for tests as an oracle.
+  [[nodiscard]] static constexpr Element mul_reference(Element a,
+                                                       Element b) noexcept {
+    return detail::slow_mul(a, b);
+  }
+
+  /// Pointer to the 256-entry row `row[x] = c * x` of the full
+  /// multiplication table. This is the workhorse of the bulk vector
+  /// operations: one table row lookup per byte, no branches.
+  [[nodiscard]] static const Element* mul_row(Element c) noexcept;
+
+ private:
+  GF256() = delete;  // purely static facade
+};
+
+}  // namespace icollect::gf

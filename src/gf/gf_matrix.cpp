@@ -1,0 +1,138 @@
+#include "gf/gf_matrix.h"
+
+#include <utility>
+
+#include "gf/gf_vector.h"
+
+namespace icollect::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, Element{0}) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols,
+               std::span<const Element> data)
+    : rows_{rows}, cols_{cols}, data_(data.begin(), data.end()) {
+  ICOLLECT_EXPECTS(data.size() == rows * cols);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+void Matrix::append_row(std::span<const Element> r) {
+  ICOLLECT_EXPECTS(r.size() == cols_);
+  data_.insert(data_.end(), r.begin(), r.end());
+  ++rows_;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  ICOLLECT_EXPECTS(cols_ == rhs.rows_);
+  Matrix out{rows_, rhs.cols_};
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Element a = at(i, k);
+      if (a == 0) continue;
+      add_scaled(out.row(i), rhs.row(k), a);
+    }
+  }
+  return out;
+}
+
+std::vector<Element> Matrix::multiply(std::span<const Element> v) const {
+  ICOLLECT_EXPECTS(v.size() == cols_);
+  std::vector<Element> out(rows_, Element{0});
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  return out;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix scratch{*this};
+  return scratch.reduce_to_rref();
+}
+
+std::size_t Matrix::reduce_to_rref(std::size_t pivot_cols) {
+  const std::size_t limit = std::min(pivot_cols, cols_);
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < limit && pivot_row < rows_; ++col) {
+    // Find a row at or below pivot_row with a non-zero entry in this column.
+    std::size_t sel = pivot_row;
+    while (sel < rows_ && at(sel, col) == 0) ++sel;
+    if (sel == rows_) continue;
+    if (sel != pivot_row) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(data_[sel * cols_ + c], data_[pivot_row * cols_ + c]);
+      }
+    }
+    // Normalize the pivot row so the pivot is 1.
+    const Element p = at(pivot_row, col);
+    if (p != 1) scale_assign(row(pivot_row), GF256::inv(p));
+    // Eliminate the column from every other row (full reduction).
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const Element f = at(r, col);
+      if (f != 0) add_scaled(row(r), row(pivot_row), f);
+    }
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+bool Matrix::invertible() const {
+  return rows_ == cols_ && rank() == rows_;
+}
+
+Matrix Matrix::inverse() const {
+  ICOLLECT_EXPECTS(rows_ == cols_);
+  // Gauss-Jordan on [A | I].
+  Matrix aug{rows_, 2 * cols_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.set(r, c, at(r, c));
+    aug.set(r, cols_ + r, 1);
+  }
+  const std::size_t rk = aug.reduce_to_rref(cols_);
+  ICOLLECT_EXPECTS(rk == rows_);  // invertibility precondition
+  Matrix inv{rows_, cols_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      inv.set(r, c, aug.at(r, cols_ + c));
+    }
+  }
+  return inv;
+}
+
+std::vector<Element> Matrix::solve(std::span<const Element> b) const {
+  ICOLLECT_EXPECTS(rows_ == cols_);
+  ICOLLECT_EXPECTS(b.size() == rows_);
+  Matrix rhs{rows_, 1};
+  for (std::size_t i = 0; i < rows_; ++i) rhs.set(i, 0, b[i]);
+  Matrix x = solve(rhs);
+  std::vector<Element> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = x.at(i, 0);
+  return out;
+}
+
+Matrix Matrix::solve(const Matrix& b) const {
+  ICOLLECT_EXPECTS(rows_ == cols_);
+  ICOLLECT_EXPECTS(b.rows() == rows_);
+  // Gauss-Jordan on [A | B].
+  Matrix aug{rows_, cols_ + b.cols()};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.set(r, c, at(r, c));
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      aug.set(r, cols_ + c, b.at(r, c));
+    }
+  }
+  const std::size_t rk = aug.reduce_to_rref(cols_);
+  ICOLLECT_EXPECTS(rk == rows_);  // system must be uniquely solvable
+  Matrix x{rows_, b.cols()};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      x.set(r, c, aug.at(r, cols_ + c));
+    }
+  }
+  return x;
+}
+
+}  // namespace icollect::gf

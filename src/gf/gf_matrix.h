@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file gf_matrix.h
+/// Dense matrices over GF(2^8) with Gaussian elimination.
+///
+/// The RLNC decoder in `src/coding/` keeps its own incremental echelon
+/// form for speed; this class is the general-purpose counterpart used for
+/// batch decoding, rank queries over peer buffers, invertibility checks
+/// and as the reference implementation the incremental decoder is tested
+/// against.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace icollect::gf {
+
+/// A rows x cols matrix over GF(2^8), row-major storage.
+class Matrix {
+ public:
+  /// Zero matrix of the given shape. Either dimension may be zero.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Build from row-major initializer data; `data.size()` must equal
+  /// `rows * cols`.
+  Matrix(std::size_t rows, std::size_t cols,
+         std::span<const Element> data);
+
+  /// Identity matrix of order n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Element at(std::size_t r, std::size_t c) const {
+    ICOLLECT_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, Element v) {
+    ICOLLECT_EXPECTS(r < rows_ && c < cols_);
+    data_[r * cols_ + c] = v;
+  }
+
+  /// Mutable / immutable view of one row.
+  [[nodiscard]] std::span<Element> row(std::size_t r) {
+    ICOLLECT_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const Element> row(std::size_t r) const {
+    ICOLLECT_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Append a row (must match cols()).
+  void append_row(std::span<const Element> r);
+
+  /// Matrix product this * rhs. Requires cols() == rhs.rows().
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Matrix-vector product this * v. Requires v.size() == cols().
+  [[nodiscard]] std::vector<Element> multiply(
+      std::span<const Element> v) const;
+
+  /// Rank via Gaussian elimination on a scratch copy (const).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Reduce *this* in place to reduced row-echelon form; returns the rank.
+  /// If `pivot_cols` is given, pivots are chosen only among the first
+  /// `pivot_cols` columns (used for augmented [A | B] elimination, where
+  /// pivoting into B would mask singularity of A).
+  std::size_t reduce_to_rref(std::size_t pivot_cols = SIZE_MAX);
+
+  /// True iff the matrix is square and has full rank.
+  [[nodiscard]] bool invertible() const;
+
+  /// Inverse of a square, full-rank matrix (Gauss-Jordan with an
+  /// augmented identity). Precondition: invertible().
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Solve `this * x = b` for x where *this* is square and invertible.
+  /// Precondition: b.size() == rows(). This is exactly the operation a
+  /// logging server performs to decode a segment once it holds s linearly
+  /// independent coded blocks.
+  [[nodiscard]] std::vector<Element> solve(std::span<const Element> b) const;
+
+  /// Solve the batched system `this * X = B` where each column of B (given
+  /// as row-major `rows() x width`) is an independent right-hand side.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  [[nodiscard]] bool operator==(const Matrix& rhs) const noexcept = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Element> data_;
+};
+
+}  // namespace icollect::gf

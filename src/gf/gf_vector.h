@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file gf_vector.h
+/// Bulk vector operations over GF(2^8) on contiguous byte ranges.
+///
+/// These are the hot loops of random linear network coding: encoding a
+/// block is `dst += c * src` repeated over the blocks being combined, and
+/// Gaussian elimination in the decoder is built from the same primitives.
+/// All functions operate on `std::span<Element>` so callers can pass
+/// vectors, arrays or sub-ranges without copies (Core Guidelines I.13).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/assert.h"
+#include "gf/gf256.h"
+
+namespace icollect::gf {
+
+/// dst[i] += src[i]  (XOR accumulate). Spans must have equal length.
+/// Word-at-a-time on the bulk (memcpy keeps it strict-aliasing clean and
+/// compiles to plain 64-bit loads/xors), byte tail at the end.
+inline void add_assign(std::span<Element> dst,
+                       std::span<const Element> src) {
+  ICOLLECT_EXPECTS(dst.size() == src.size());
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, sizeof(a));
+    std::memcpy(&b, src.data() + i, sizeof(b));
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// dst[i] *= c, in place.
+inline void scale_assign(std::span<Element> dst, Element c) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const Element* row = GF256::mul_row(c);
+  for (auto& b : dst) b = row[b];
+}
+
+/// dst[i] += c * src[i] — the fused multiply-accumulate at the heart of
+/// both encoding and decoding. Equal-length spans required.
+inline void add_scaled(std::span<Element> dst, std::span<const Element> src,
+                       Element c) {
+  ICOLLECT_EXPECTS(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    add_assign(dst, src);
+    return;
+  }
+  const Element* row = GF256::mul_row(c);
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+/// Inner product sum_i a[i] * b[i] over the field.
+[[nodiscard]] inline Element dot(std::span<const Element> a,
+                                 std::span<const Element> b) {
+  ICOLLECT_EXPECTS(a.size() == b.size());
+  Element acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc ^= GF256::mul(a[i], b[i]);
+  }
+  return acc;
+}
+
+/// True if every coefficient is zero.
+[[nodiscard]] inline bool is_zero(std::span<const Element> v) noexcept {
+  for (const Element b : v) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+/// Index of the first non-zero coefficient, or `v.size()` if all-zero.
+[[nodiscard]] inline std::size_t leading_index(
+    std::span<const Element> v) noexcept {
+  std::size_t i = 0;
+  while (i < v.size() && v[i] == 0) ++i;
+  return i;
+}
+
+}  // namespace icollect::gf

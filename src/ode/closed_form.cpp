@@ -1,0 +1,90 @@
+#include "ode/closed_form.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace icollect::ode::closed_form {
+
+double steady_z0(double lambda, double mu, double gamma) {
+  ICOLLECT_EXPECTS(lambda >= 0.0 && mu >= 0.0 && gamma > 0.0);
+  // g(z0) = exp(−((1−z0)μ + λ)/γ) is increasing in z0 with g(0) > 0 and
+  // g(1) < 1 ⇒ unique fixed point in (0, 1); simple iteration converges
+  // since |g'| = (μ/γ)·g < 1 near the fixed point for our regimes, but we
+  // use bisection for unconditional robustness.
+  auto g = [&](double z0) {
+    return std::exp(-(((1.0 - z0) * mu) + lambda) / gamma);
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) > mid) {
+      lo = mid;  // fixed point above mid
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double rho(double lambda, double mu, double gamma) {
+  const double z0 = steady_z0(lambda, mu, gamma);
+  return (1.0 - z0) * mu / gamma + lambda / gamma;
+}
+
+double storage_overhead(double lambda, double mu, double gamma) {
+  const double z0 = steady_z0(lambda, mu, gamma);
+  return (1.0 - z0) * mu / gamma;
+}
+
+std::vector<double> steady_peer_degrees(double lambda, double mu,
+                                        double gamma, std::size_t B) {
+  const double r = rho(lambda, mu, gamma);
+  std::vector<double> z(B + 1, 0.0);
+  // z_i ∝ ρ^i/i!, normalized over 0..B (truncated Poisson; for large B
+  // this is the paper's z̃_0 e^{ρ} normalization).
+  double term = 1.0;  // ρ^0/0!
+  double norm = 0.0;
+  for (std::size_t i = 0; i <= B; ++i) {
+    z[i] = term;
+    norm += term;
+    term *= r / static_cast<double>(i + 1);
+  }
+  for (auto& v : z) v /= norm;
+  return z;
+}
+
+double theta_plus(double lambda, double mu, double gamma, double c) {
+  ICOLLECT_EXPECTS(gamma > 0.0 && c > 0.0);
+  const double r = rho(lambda, mu, gamma);
+  if (r <= 0.0) throw std::invalid_argument("theta_plus: rho <= 0");
+  const double q = 1.0 - lambda / (r * gamma);
+  const double a2 = -gamma;
+  const double a1 = q * gamma + gamma + c / r;
+  const double a0 = -q * gamma;
+  const double disc = a1 * a1 - 4.0 * a2 * a0;
+  ICOLLECT_EXPECTS(disc >= 0.0);
+  const double sq = std::sqrt(disc);
+  const double r1 = (-a1 + sq) / (2.0 * a2);
+  const double r2 = (-a1 - sq) / (2.0 * a2);
+  return std::max(r1, r2);
+}
+
+double throughput_noncoding_per_peer(double lambda, double mu, double gamma,
+                                     double c) {
+  const double th = theta_plus(lambda, mu, gamma, c);
+  ICOLLECT_EXPECTS(th != 0.0);
+  return lambda * (1.0 - 1.0 / th);
+}
+
+double normalized_throughput_noncoding(double lambda, double mu, double gamma,
+                                       double c) {
+  if (lambda <= 0.0) return 0.0;
+  return std::clamp(
+      throughput_noncoding_per_peer(lambda, mu, gamma, c) / lambda, 0.0, 1.0);
+}
+
+}  // namespace icollect::ode::closed_form

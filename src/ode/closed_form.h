@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file closed_form.h
+/// Closed-form steady-state results of Theorems 1 and 2:
+///   - Theorem 1: z̃_i = z̃_0 ρ^i / i! with z̃_0 = e^{-ρ} and
+///     ρ = (1 − z̃_0)μ/γ + λ/γ (a one-dimensional fixed point);
+///     storage overhead (1 − z̃_0)μ/γ < μ/γ.
+///   - Theorem 2 (non-coding case s = 1): session throughput
+///     N·λ·(1 − 1/θ₊), θ₊ the larger root of α₂x² + α₁x + α₀ = 0 with
+///     α₀ = −qγ, α₁ = qγ + γ + c/ρ, α₂ = −γ, q = 1 − λ/(ργ).
+
+#include <cstddef>
+#include <vector>
+
+namespace icollect::ode::closed_form {
+
+/// Fixed point z̃_0 solving z0 = exp(−((1 − z0)·μ + λ)/γ).
+[[nodiscard]] double steady_z0(double lambda, double mu, double gamma);
+
+/// Theorem 1: steady mean blocks per peer ρ = (1 − z̃_0)μ/γ + λ/γ.
+[[nodiscard]] double rho(double lambda, double mu, double gamma);
+
+/// Theorem 1: storage overhead (1 − z̃_0)·μ/γ.
+[[nodiscard]] double storage_overhead(double lambda, double mu, double gamma);
+
+/// Theorem 1: the steady peer-degree law z̃_i = z̃_0 ρ^i / i!, i = 0..B.
+[[nodiscard]] std::vector<double> steady_peer_degrees(double lambda,
+                                                      double mu, double gamma,
+                                                      std::size_t B);
+
+/// Theorem 2 (s = 1): the larger root θ₊.
+[[nodiscard]] double theta_plus(double lambda, double mu, double gamma,
+                                double c);
+
+/// Theorem 2 (s = 1): session throughput per peer, λ·(1 − 1/θ₊).
+[[nodiscard]] double throughput_noncoding_per_peer(double lambda, double mu,
+                                                   double gamma, double c);
+
+/// Theorem 2 (s = 1): normalized session throughput (1 − 1/θ₊).
+[[nodiscard]] double normalized_throughput_noncoding(double lambda, double mu,
+                                                     double gamma, double c);
+
+}  // namespace icollect::ode::closed_form

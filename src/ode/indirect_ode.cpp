@@ -1,0 +1,369 @@
+#include "ode/indirect_ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "ode/closed_form.h"
+
+namespace icollect::ode {
+
+namespace {
+/// Below this, "1 − z_B" or "e" are treated as zero (no eligible
+/// receivers / no blocks to copy) to avoid 0/0 at the empty start state.
+constexpr double kDenomEps = 1e-12;
+}  // namespace
+
+void OdeParams::validate() const {
+  if (lambda < 0.0) throw std::invalid_argument("OdeParams: lambda < 0");
+  if (mu < 0.0) throw std::invalid_argument("OdeParams: mu < 0");
+  if (gamma <= 0.0) throw std::invalid_argument("OdeParams: gamma <= 0");
+  if (c < 0.0) throw std::invalid_argument("OdeParams: c < 0");
+  if (s == 0) throw std::invalid_argument("OdeParams: s == 0");
+  if (churn_rate < 0.0) {
+    throw std::invalid_argument("OdeParams: churn_rate < 0");
+  }
+  if (B != 0 && B < s) throw std::invalid_argument("OdeParams: B < s");
+  if (Imax != 0 && Imax < s) {
+    throw std::invalid_argument("OdeParams: Imax < s");
+  }
+}
+
+OdeParams OdeParams::resolved() const {
+  validate();
+  OdeParams r = *this;
+  const double rho = closed_form::rho(lambda, mu, gamma_eff());
+  if (r.B == 0) {
+    const double guard = rho + 6.0 * std::sqrt(std::max(rho, 1.0)) +
+                         static_cast<double>(s) + 5.0;
+    r.B = static_cast<std::size_t>(std::ceil(guard));
+  }
+  if (r.Imax == 0) {
+    // Segment degrees start at s and the stationary tail above s decays
+    // geometrically with ratio ≈ μ(1−z0)/(e·γ) < 1 (copy rate over
+    // deletion rate), so a guard band of 25 + ρ/2 above s keeps the
+    // truncated mass far below solver tolerance (asserted via tail_w).
+    const double guard = static_cast<double>(s) + 25.0 + 0.5 * rho;
+    r.Imax = static_cast<std::size_t>(std::ceil(guard));
+  }
+  return r;
+}
+
+IndirectOde::IndirectOde(OdeParams params)
+    : p_{params.resolved()},
+      rho_hint_{closed_form::rho(p_.lambda, p_.mu, p_.gamma_eff())} {}
+
+std::size_t IndirectOde::dimension() const noexcept {
+  return (p_.B + 1) + p_.Imax + p_.Imax * (p_.s + 1);
+}
+
+std::size_t IndirectOde::z_index(std::size_t i) const {
+  ICOLLECT_EXPECTS(i <= p_.B);
+  return i;
+}
+
+std::size_t IndirectOde::w_index(std::size_t i) const {
+  ICOLLECT_EXPECTS(i >= 1 && i <= p_.Imax);
+  return (p_.B + 1) + (i - 1);
+}
+
+std::size_t IndirectOde::m_index(std::size_t i, std::size_t j) const {
+  ICOLLECT_EXPECTS(i >= 1 && i <= p_.Imax);
+  ICOLLECT_EXPECTS(j <= p_.s);
+  return (p_.B + 1) + p_.Imax + (i - 1) * (p_.s + 1) + j;
+}
+
+State IndirectOde::initial_state() const {
+  State y(dimension(), 0.0);
+  y[z_index(0)] = 1.0;  // every peer starts with an empty buffer
+  return y;
+}
+
+void IndirectOde::derivative(const State& y, State& dy) const {
+  ICOLLECT_EXPECTS(y.size() == dimension());
+  ICOLLECT_EXPECTS(dy.size() == dimension());
+  std::fill(dy.begin(), dy.end(), 0.0);
+
+  const std::size_t B = p_.B;
+  const std::size_t I = p_.Imax;
+  const std::size_t s = p_.s;
+  const double lam_s = p_.lambda / static_cast<double>(s);
+
+  // Positivity-preserving read: the state components are densities, so
+  // negative values can only be discretization noise. Reading them as 0
+  // saturates the marginally-unstable zero-mass tail modes (high-index
+  // components whose per-degree rates are the stiffest) without
+  // affecting the non-negative steady state.
+  const auto v = [&y](std::size_t idx) { return std::max(y[idx], 0.0); };
+
+  const double z0 = v(z_index(0));
+  const double zB = v(z_index(B));
+  // Aggregate per-peer edge-addition rate: only non-empty peers transmit.
+  const double transfer = (1.0 - z0) * p_.mu;
+  const double recv_denom = 1.0 - zB;
+
+  // ---- z system: Eq. (7) --------------------------------------------------
+  // Gossip (Eq. 1): a receiver of degree i−1 (< B) moves to degree i.
+  if (transfer > 0.0 && recv_denom > kDenomEps) {
+    const double k = transfer / recv_denom;
+    for (std::size_t i = 0; i <= B; ++i) {
+      const double in = i >= 1 ? v(z_index(i - 1)) : 0.0;
+      const double out = i < B ? v(z_index(i)) : 0.0;
+      dy[z_index(i)] += (in - out) * k;
+    }
+  }
+  // TTL deletion (Eq. 3).
+  for (std::size_t i = 0; i <= B; ++i) {
+    double d = -static_cast<double>(i) * v(z_index(i));
+    if (i < B) d += static_cast<double>(i + 1) * v(z_index(i + 1));
+    dy[z_index(i)] += d * p_.gamma;
+  }
+  // Injection (Eq. 5), mass-conserving finite-B form: only peers with
+  // degree ≤ B − s can accept a fresh segment of s blocks.
+  if (p_.lambda > 0.0) {
+    for (std::size_t d = 0; d + s <= B; ++d) {
+      const double flow = v(z_index(d)) * lam_s;
+      dy[z_index(d)] -= flow;
+      dy[z_index(d + s)] += flow;
+    }
+  }
+  // Churn extension (replacement model): a peer of any degree is swapped
+  // for an empty one at rate 1/E[L] — a jump straight to degree 0.
+  if (p_.churn_rate > 0.0) {
+    for (std::size_t i = 1; i <= B; ++i) {
+      const double flow = v(z_index(i)) * p_.churn_rate;
+      dy[z_index(i)] -= flow;
+      dy[z_index(0)] += flow;
+    }
+  }
+
+  // ---- shared quantities for w / m ---------------------------------------
+  double e = 0.0;
+  for (std::size_t i = 1; i <= I; ++i) {
+    e += static_cast<double>(i) * v(w_index(i));
+  }
+  // True-dynamics invariant: every non-empty peer holds at least one
+  // block, so e ≥ 1 − z_0 at all times. The z and w subsystems are
+  // integrated side by side and their discretization errors can briefly
+  // violate this during the start-up transient, which would make the
+  // per-block copy rate transfer/e arbitrarily stiff; flooring the
+  // denominator restores the invariant without touching the steady state
+  // (where e ≈ ρ ≫ 1 − z_0).
+  const double e_eff = std::max(e, 1.0 - z0);
+  // Cap the per-degree copy/pull coefficients at 4x their steady-state
+  // values (steady copy_k = (1−z̃0)μ/ρ, pull_k = c/ρ). The caps only bind
+  // during the start-up transient, where e(t) ≪ ρ makes the exact
+  // coefficients arbitrarily stiff; steady-state solutions — the only
+  // thing the solver reports — are unaffected, and w/m consistency is
+  // preserved because both systems use the same coefficients.
+  const double rho_bar = std::max(rho_hint_, 1e-6);
+  const bool can_copy = transfer > 0.0 && e_eff > kDenomEps;
+  const double copy_k =
+      can_copy ? std::min(transfer / e_eff, 4.0 * p_.mu / rho_bar) : 0.0;
+  const bool can_pull = p_.c > 0.0 && e_eff > kDenomEps;
+  const double pull_k =
+      can_pull ? std::min(p_.c / e_eff, 4.0 * p_.c / rho_bar) : 0.0;
+
+  // ---- w system: Eq. (8) ---------------------------------------------------
+  for (std::size_t i = 1; i <= I; ++i) {
+    double d = 0.0;
+    if (can_copy) {
+      double g = 0.0;
+      if (i >= 2) {
+        g += static_cast<double>(i - 1) * v(w_index(i - 1));
+      }
+      if (i < I) {  // reflecting truncation boundary
+        g -= static_cast<double>(i) * v(w_index(i));
+      }
+      d += g * copy_k;
+    }
+    {
+      // Per-copy deletion: TTL plus (mean-field) churn loss.
+      double t = -static_cast<double>(i) * v(w_index(i));
+      if (i < I) t += static_cast<double>(i + 1) * v(w_index(i + 1));
+      d += t * p_.gamma_eff();
+    }
+    if (i == s) d += lam_s;  // fresh segments arrive at degree s
+    dy[w_index(i)] += d;
+  }
+
+  // ---- m system: Eq. (12) --------------------------------------------------
+  for (std::size_t i = 1; i <= I; ++i) {
+    const double di = static_cast<double>(i);
+    for (std::size_t j = 0; j <= s; ++j) {
+      double d = 0.0;
+      if (can_copy) {
+        double g = 0.0;
+        if (i >= 2) g += (di - 1.0) * v(m_index(i - 1, j));
+        if (i < I) g -= di * v(m_index(i, j));
+        d += g * copy_k;
+      }
+      {
+        double t = -di * v(m_index(i, j));
+        if (i < I) t += (di + 1.0) * v(m_index(i + 1, j));
+        d += t * p_.gamma_eff();
+      }
+      if (can_pull) {
+        if (j == 0) {
+          d -= pull_k * di * v(m_index(i, 0));
+        } else if (j < s) {
+          d += pull_k * di *
+               (v(m_index(i, j - 1)) - v(m_index(i, j)));
+        } else {  // j == s: absorbing collection state
+          d += pull_k * di * v(m_index(i, s - 1));
+        }
+      }
+      if (i == s && j == 0) d += lam_s;
+      dy[m_index(i, j)] += d;
+    }
+  }
+}
+
+OdeSolution IndirectOde::solve(SteadyStateOptions opt) const {
+  if (opt.dt <= 0.0) {
+    // Stability-driven defaults. In steady state the stiffest
+    // per-component rate is about max(Imax, B)·γ plus small gossip/pull
+    // contributions (copy_k ≈ μ/ρ, pull_k ≈ c/ρ). During the start-up
+    // transient, however, e(t) is small and the per-degree copy/pull
+    // coefficients temporarily reach ≈ μ and ≈ c, so the transient is
+    // integrated with a finer ramp step. RK4's real-axis stability
+    // interval is ≈ 2.78/|λ|; we keep a 2/|λ| margin, with the
+    // divergence-halving fallback covering anything unforeseen.
+    const double imax = static_cast<double>(p_.Imax);
+    const double zmax = static_cast<double>(std::max(p_.Imax, p_.B));
+    const double cap_rate =
+        imax * 4.0 * (p_.mu + p_.c) / std::max(rho_hint_, 1e-6);
+    const double max_rate = zmax * p_.gamma_eff() + p_.mu + p_.c +
+                            p_.lambda + p_.churn_rate + cap_rate;
+    opt.dt = 2.0 / max_rate;
+  }
+  State y = initial_state();
+  const auto conv = integrate_to_steady_state(
+      [this](const State& yy, State& dyy) { derivative(yy, dyy); }, y, opt);
+
+  OdeSolution sol;
+  sol.params = p_;
+  sol.convergence = conv;
+  sol.z.resize(p_.B + 1);
+  for (std::size_t i = 0; i <= p_.B; ++i) sol.z[i] = y[z_index(i)];
+  sol.w.assign(p_.Imax + 1, 0.0);
+  for (std::size_t i = 1; i <= p_.Imax; ++i) sol.w[i] = y[w_index(i)];
+  sol.m.assign(p_.Imax + 1, std::vector<double>(p_.s + 1, 0.0));
+  for (std::size_t i = 1; i <= p_.Imax; ++i) {
+    for (std::size_t j = 0; j <= p_.s; ++j) {
+      sol.m[i][j] = y[m_index(i, j)];
+    }
+  }
+  sol.z0 = sol.z[0];
+  sol.zB = sol.z[p_.B];
+  sol.tail_w = sol.w[p_.Imax];
+  sol.e = 0.0;
+  for (std::size_t i = 1; i <= p_.Imax; ++i) {
+    sol.e += static_cast<double>(i) * sol.w[i];
+  }
+  return sol;
+}
+
+std::vector<IndirectOde::TransientSample> IndirectOde::transient(
+    double t_end, double sample_interval) const {
+  ICOLLECT_EXPECTS(t_end > 0.0);
+  ICOLLECT_EXPECTS(sample_interval > 0.0);
+  // Use the same stability-driven default step as solve().
+  SteadyStateOptions opt;
+  const double imax = static_cast<double>(p_.Imax);
+  const double zmax = static_cast<double>(std::max(p_.Imax, p_.B));
+  const double cap_rate =
+      imax * 4.0 * (p_.mu + p_.c) / std::max(rho_hint_, 1e-6);
+  const double dt = 2.0 / (zmax * p_.gamma_eff() + p_.mu + p_.c +
+                           p_.lambda + p_.churn_rate + cap_rate);
+
+  State y = initial_state();
+  State k1(y.size()), k2(y.size()), k3(y.size()), k4(y.size()),
+      tmp(y.size());
+  const auto deriv = [this](const State& yy, State& dyy) {
+    derivative(yy, dyy);
+  };
+
+  std::vector<TransientSample> samples;
+  const auto snapshot = [&](double t) {
+    TransientSample s;
+    s.t = t;
+    s.z0 = y[z_index(0)];
+    for (std::size_t i = 1; i <= p_.Imax; ++i) {
+      const double wi = y[w_index(i)];
+      s.e += static_cast<double>(i) * wi;
+      s.segments += wi;
+      s.decoded_alive += y[m_index(i, p_.s)];
+    }
+    samples.push_back(s);
+  };
+
+  double t = 0.0;
+  double next_sample = 0.0;
+  while (t < t_end) {
+    if (t >= next_sample) {
+      snapshot(t);
+      next_sample += sample_interval;
+    }
+    rk4_step(deriv, y, dt, k1, k2, k3, k4, tmp);
+    t += dt;
+  }
+  snapshot(t);
+  return samples;
+}
+
+double OdeSolution::storage_overhead() const {
+  return (1.0 - z0) * params.mu / params.gamma;
+}
+
+double OdeSolution::collection_efficiency() const {
+  if (e <= 0.0) return 0.0;
+  double collected = 0.0;
+  for (std::size_t i = 1; i <= params.Imax; ++i) {
+    collected += static_cast<double>(i) * m[i][params.s];
+  }
+  return std::clamp(1.0 - collected / e, 0.0, 1.0);
+}
+
+double OdeSolution::throughput_per_peer() const {
+  return params.c * collection_efficiency();
+}
+
+double OdeSolution::normalized_throughput() const {
+  return params.lambda > 0.0
+             ? std::min(throughput_per_peer() / params.lambda, 1.0)
+             : 0.0;
+}
+
+double OdeSolution::block_delay() const {
+  const double sigma = normalized_throughput();
+  if (sigma <= 0.0 || params.lambda <= 0.0) return 0.0;
+  double sum_w = 0.0;
+  double sum_ms = 0.0;
+  for (std::size_t i = 1; i <= params.Imax; ++i) {
+    sum_w += w[i];
+    sum_ms += m[i][params.s];
+  }
+  return sum_w / params.lambda - sum_ms / (params.lambda * sigma);
+}
+
+double OdeSolution::saved_blocks_per_peer() const {
+  double sum = 0.0;
+  for (std::size_t i = params.s; i <= params.Imax; ++i) {
+    sum += w[i] - m[i][params.s];
+  }
+  return static_cast<double>(params.s) * std::max(sum, 0.0);
+}
+
+double OdeSolution::m_w_consistency() const {
+  double worst = 0.0;
+  for (std::size_t i = 1; i <= params.Imax; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j <= params.s; ++j) row += m[i][j];
+    worst = std::max(worst, std::abs(row - w[i]));
+  }
+  return worst;
+}
+
+}  // namespace icollect::ode

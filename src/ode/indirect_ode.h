@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file indirect_ode.h
+/// The paper's fluid model: ODE systems (7), (8) and (12) of Sec. 3,
+/// describing the N → ∞ limit of the bipartite graph process.
+///
+/// State:
+///   z_i, i = 0..B      — fraction of peers holding exactly i blocks
+///   w_i, i = 1..Imax   — segments of degree i per peer
+///   m_i^j, i = 1..Imax, j = 0..s — segments of degree i with j blocks
+///                        already collected by the servers, per peer
+///
+/// Faithfulness notes (documented deviations, all vanishing as B, Imax
+/// grow — the regime the paper derives the equations in):
+///   * Injection in (5)/(7) is written for "B large enough"; we use the
+///     mass-conserving finite-B form (peers with degree > B − s cannot
+///     inject), which coincides with the paper's equations when z is
+///     supported below B − s.
+///   * w and m are truncated at Imax with a reflecting upper boundary;
+///     Imax is auto-sized from ρ so the tail mass is negligible (the
+///     solver records w_{Imax} so callers can verify).
+
+#include <cstddef>
+#include <vector>
+
+#include "ode/rk4.h"
+
+namespace icollect::ode {
+
+struct OdeParams {
+  double lambda = 20.0;  ///< per-peer block generation rate λ
+  double mu = 10.0;      ///< per-peer gossip rate μ
+  double gamma = 1.0;    ///< per-block deletion rate γ
+  double c = 5.0;        ///< normalized server capacity c = c_s N_s / N
+  std::size_t s = 10;    ///< segment size
+  std::size_t B = 0;     ///< peer buffer cap; 0 = auto (≈ 3ρ + s)
+  std::size_t Imax = 0;  ///< segment-degree truncation; 0 = auto
+
+  /// Churn extension (not in the paper, whose ODEs cover the static
+  /// network): rate 1/E[L] at which a peer is replaced. In the fluid
+  /// limit a replacement is a jump of the peer's degree to 0 (exact for
+  /// the z-system); for the segment-side w/m systems the per-copy death
+  /// from churn is treated as an additional mean-field deletion rate
+  /// (exact in expectation, ignores the within-peer loss correlation).
+  double churn_rate = 0.0;
+
+  /// Total per-block deletion rate seen by the segment side.
+  [[nodiscard]] double gamma_eff() const noexcept {
+    return gamma + churn_rate;
+  }
+
+  /// Mean blocks per peer predicted by Theorem 1 (used for auto-sizing).
+  [[nodiscard]] double rho_upper_bound() const noexcept {
+    return (mu + lambda) / gamma_eff();
+  }
+
+  /// Resolve auto-sized B / Imax into concrete values.
+  [[nodiscard]] OdeParams resolved() const;
+
+  void validate() const;
+};
+
+/// Steady-state solution of the coupled systems.
+struct OdeSolution {
+  OdeParams params;                    ///< resolved parameters
+  std::vector<double> z;               ///< z[0..B]
+  std::vector<double> w;               ///< w[0] unused; w[1..Imax]
+  std::vector<std::vector<double>> m;  ///< m[i][j], i in 1..Imax, j in 0..s
+  double e = 0.0;                      ///< Σ i·w_i (edges per peer)
+  double z0 = 0.0;
+  double zB = 0.0;
+  double tail_w = 0.0;  ///< w at the truncation index (should be ≈ 0)
+  SteadyStateResult convergence;
+
+  // --- Theorem-level metrics ------------------------------------------------
+  /// Theorem 1: average blocks in a peer's buffer, ρ.
+  [[nodiscard]] double rho() const noexcept { return e; }
+  /// Theorem 1: storage overhead (1 − z̃_0)·μ/γ.
+  [[nodiscard]] double storage_overhead() const;
+  /// Collection efficiency η = 1 − Σ i·m̃_i^s / ẽ.
+  [[nodiscard]] double collection_efficiency() const;
+  /// Theorem 2: per-peer session throughput c·η (original blocks/time).
+  [[nodiscard]] double throughput_per_peer() const;
+  /// Throughput normalized by the demand λ (Fig. 3 y-axis).
+  [[nodiscard]] double normalized_throughput() const;
+  /// Theorem 3: average block delivery delay T(s).
+  [[nodiscard]] double block_delay() const;
+  /// Theorem 4: original blocks saved per peer: s·Σ_{i≥s}(w̃_i − m̃_i^s).
+  [[nodiscard]] double saved_blocks_per_peer() const;
+  /// Σ_j m_i^j − w_i consistency residual (max over i); ≈ 0 if exact.
+  [[nodiscard]] double m_w_consistency() const;
+};
+
+class IndirectOde {
+ public:
+  explicit IndirectOde(OdeParams params);
+
+  [[nodiscard]] const OdeParams& params() const noexcept { return p_; }
+  [[nodiscard]] std::size_t dimension() const noexcept;
+
+  /// All-empty network: z_0 = 1, everything else 0.
+  [[nodiscard]] State initial_state() const;
+
+  /// Right-hand side of the coupled systems (7), (8), (12).
+  void derivative(const State& y, State& dy) const;
+
+  /// Integrate from the empty network to steady state and unpack.
+  [[nodiscard]] OdeSolution solve(SteadyStateOptions opt = {}) const;
+
+  /// One point of the transient trajectory (used to size warm-up
+  /// windows and to visualize convergence).
+  struct TransientSample {
+    double t = 0.0;
+    double e = 0.0;        ///< blocks per peer
+    double z0 = 0.0;       ///< empty-peer fraction
+    double segments = 0.0; ///< alive segments per peer, Σ w_i
+    double decoded_alive = 0.0;  ///< Σ m_i^s (decoded segments still alive)
+  };
+
+  /// Integrate the transient from the empty network for `t_end` time,
+  /// sampling every `sample_interval`. The first sample is at t=0.
+  [[nodiscard]] std::vector<TransientSample> transient(
+      double t_end, double sample_interval) const;
+
+  // State vector layout helpers (public for white-box tests).
+  [[nodiscard]] std::size_t z_index(std::size_t i) const;
+  [[nodiscard]] std::size_t w_index(std::size_t i) const;
+  [[nodiscard]] std::size_t m_index(std::size_t i, std::size_t j) const;
+
+ private:
+  OdeParams p_;      // resolved
+  double rho_hint_;  // closed-form ρ, used to cap transient coefficients
+};
+
+}  // namespace icollect::ode

@@ -1,0 +1,106 @@
+#include "ode/rk4.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace icollect::ode {
+
+void rk4_step(const Derivative& f, State& y, double dt, State& k1, State& k2,
+              State& k3, State& k4, State& tmp) {
+  const std::size_t n = y.size();
+  ICOLLECT_EXPECTS(k1.size() == n && k2.size() == n && k3.size() == n &&
+                   k4.size() == n && tmp.size() == n);
+  f(y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+  f(tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+  f(tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+  f(tmp, k4);
+  const double w = dt / 6.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += w * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+void rk4_step(const Derivative& f, State& y, double dt) {
+  State k1(y.size()), k2(y.size()), k3(y.size()), k4(y.size()),
+      tmp(y.size());
+  rk4_step(f, y, dt, k1, k2, k3, k4, tmp);
+}
+
+double max_norm(const State& v) noexcept {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+bool has_nonfinite(const State& v) noexcept {
+  return std::any_of(v.begin(), v.end(),
+                     [](double x) { return !std::isfinite(x); });
+}
+
+SteadyStateResult integrate_to_steady_state(const Derivative& f, State& y,
+                                            const SteadyStateOptions& opt) {
+  ICOLLECT_EXPECTS(opt.dt > 0.0 && opt.t_max > 0.0 && opt.tol > 0.0);
+  const State y0 = y;
+  double dt = opt.dt;
+  SteadyStateResult result;
+
+  for (int attempt = 0; attempt <= opt.max_halvings; ++attempt) {
+    y = y0;
+    State k1(y.size()), k2(y.size()), k3(y.size()), k4(y.size()),
+        tmp(y.size()), dy(y.size());
+    double t = 0.0;
+    double next_check = opt.check_interval;
+    bool diverged = false;
+    std::size_t steps = 0;
+    const double ramp_dt =
+        opt.dt_ramp > 0.0 ? opt.dt_ramp * (dt / opt.dt) : 0.0;
+    while (t < opt.t_max) {
+      const double step_dt =
+          (ramp_dt > 0.0 && t < opt.ramp_time) ? ramp_dt : dt;
+      rk4_step(f, y, step_dt, k1, k2, k3, k4, tmp);
+      t += step_dt;
+      ++steps;
+      if (has_nonfinite(y)) {
+        diverged = true;
+        break;
+      }
+      if (t >= next_check) {
+        next_check += opt.check_interval;
+        // Huge-but-finite states are divergence too (rescaled densities
+        // are O(1) in every well-posed use of this driver).
+        if (max_norm(y) > 1e9) {
+          diverged = true;
+          break;
+        }
+        f(y, dy);
+        const double res = max_norm(dy);
+        if (res <= opt.tol) {
+          result.time_reached = t;
+          result.residual = res;
+          result.converged = true;
+          result.steps = steps;
+          return result;
+        }
+      }
+    }
+    if (!diverged) {
+      State dy2(y.size());
+      f(y, dy2);
+      result.time_reached = t;
+      result.residual = max_norm(dy2);
+      result.converged = result.residual <= opt.tol;
+      result.steps = steps;
+      return result;
+    }
+    dt *= 0.5;  // divergence: refine and restart
+  }
+  // All refinement attempts diverged; report the (non-finite) failure.
+  result.converged = false;
+  result.residual = std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace icollect::ode

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file rk4.h
+/// Classic fourth-order Runge-Kutta integration over flat state vectors,
+/// plus a steady-state driver (integrate until the max-norm of the
+/// derivative falls below a tolerance). The ODE systems (7), (8), (12)
+/// are mildly stiff (per-degree rates grow like i·γ up to the truncation
+/// index), so callers pick dt ≲ 1 / (max rate); the driver also halves dt
+/// and retries if it detects divergence (NaN/Inf).
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace icollect::ode {
+
+using State = std::vector<double>;
+
+/// dy = f(y). The functor must not resize the output.
+using Derivative = std::function<void(const State& y, State& dy)>;
+
+/// One RK4 step in place. Scratch buffers are caller-provided so sweeps
+/// don't reallocate; all must have y.size().
+void rk4_step(const Derivative& f, State& y, double dt, State& k1, State& k2,
+              State& k3, State& k4, State& tmp);
+
+/// Convenience single-shot step (allocates scratch).
+void rk4_step(const Derivative& f, State& y, double dt);
+
+/// Max-norm of a vector.
+[[nodiscard]] double max_norm(const State& v) noexcept;
+
+/// True if any component is NaN or infinite.
+[[nodiscard]] bool has_nonfinite(const State& v) noexcept;
+
+struct SteadyStateResult {
+  double time_reached = 0.0;   ///< virtual time integrated to
+  double residual = 0.0;       ///< max-norm of dy at the final state
+  bool converged = false;      ///< residual <= tol before t_max
+  std::size_t steps = 0;       ///< RK4 steps taken
+};
+
+struct SteadyStateOptions {
+  double dt = 1e-2;              ///< main step size
+  double t_max = 400.0;          ///< give up after this much virtual time
+  double tol = 1e-9;             ///< derivative max-norm target
+  double check_interval = 0.5;   ///< how often to test the residual
+  int max_halvings = 8;          ///< dt refinement attempts on divergence
+  /// Optional start-up ramp for systems whose stiffness is concentrated
+  /// in the initial transient: integrate with `dt_ramp` until
+  /// `ramp_time`, then switch to `dt`. Disabled when dt_ramp <= 0.
+  double dt_ramp = 0.0;
+  double ramp_time = 0.0;
+};
+
+/// Integrate y' = f(y) from the given initial state until steady.
+/// On divergence (non-finite state) the step is halved and integration
+/// restarts from the initial state, up to max_halvings times.
+SteadyStateResult integrate_to_steady_state(const Derivative& f, State& y,
+                                            const SteadyStateOptions& opt);
+
+}  // namespace icollect::ode

@@ -1,0 +1,563 @@
+#include "p2p/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "p2p/churn.h"
+#include "workload/crc32.h"
+
+namespace icollect::p2p {
+
+namespace {
+constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+/// Rejection-sampling attempts before falling back to a full scan when
+/// selecting a gossip target u.a.r. among eligible neighbors.
+constexpr int kTargetSampleTries = 12;
+}  // namespace
+
+Network::Network(ProtocolConfig cfg)
+    : cfg_{std::move(cfg)},
+      rng_{cfg_.seed},
+      topology_{Topology::build(cfg_, rng_)},
+      servers_{/*keep_payloads=*/cfg_.payload_bytes > 0} {
+  cfg_.validate();
+  peers_.reserve(cfg_.num_peers);
+  for (std::size_t slot = 0; slot < cfg_.num_peers; ++slot) {
+    peers_.emplace_back(slot, next_origin_++, cfg_.buffer_cap);
+  }
+  non_empty_pos_.assign(cfg_.num_peers, 0);
+  empty_count_ = cfg_.num_peers;
+  metrics_.empty_peers.update(0.0, static_cast<double>(empty_count_));
+  metrics_.full_peers.update(0.0, 0.0);
+  metrics_.total_blocks.update(0.0, 0.0);
+
+  servers_.set_decode_callback(
+      [this](const ServerBank::DecodeEvent& ev) { on_segment_decoded(ev); });
+
+  // Per-peer recurring processes. Rates are the paper's: injection λ/s,
+  // gossip μ. Empty-buffer gossip firings are thinned inside do_gossip,
+  // which leaves the conditional process exactly the one in the model.
+  const double inject_rate =
+      cfg_.lambda / static_cast<double>(cfg_.segment_size);
+  for (std::size_t slot = 0; slot < cfg_.num_peers; ++slot) {
+    injectors_.push_back(std::make_unique<sim::PoissonProcess>(
+        sim_, rng_, inject_rate, [this, slot] { do_inject(slot); }));
+    gossipers_.push_back(std::make_unique<sim::PoissonProcess>(
+        sim_, rng_, cfg_.mu, [this, slot] { do_gossip(slot); }));
+    injectors_.back()->start();
+    gossipers_.back()->start();
+  }
+  for (std::size_t srv = 0; srv < cfg_.num_servers; ++srv) {
+    server_pullers_.push_back(std::make_unique<sim::PoissonProcess>(
+        sim_, rng_, cfg_.server_rate, [this] { do_server_pull(); }));
+    server_pullers_.back()->start();
+  }
+  if (cfg_.churn.enabled) {
+    for (std::size_t slot = 0; slot < cfg_.num_peers; ++slot) {
+      sim_.schedule_after(sample_lifetime(cfg_.churn, rng_),
+                          [this, slot] { do_depart(slot); });
+    }
+  }
+}
+
+void Network::set_payload_source(PayloadSource source) {
+  payload_source_ = std::move(source);
+}
+
+void Network::set_arrival_profile(const workload::ArrivalProfile* profile) {
+  arrival_profile_ = profile;
+  if (profile != nullptr) {
+    for (auto& inj : injectors_) inj->stop();
+    if (!injection_stopped_) {
+      for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+        schedule_profile_injection(slot);
+      }
+    }
+  } else if (!injection_stopped_) {
+    for (auto& inj : injectors_) inj->start();
+  }
+}
+
+void Network::schedule_profile_injection(std::size_t slot) {
+  // Per-peer segment arrivals at rate λ(t)/s: sample the next λ(t) event
+  // by thinning, then accept it with probability 1/s — an exact thinning
+  // of the block process down to the segment process.
+  ICOLLECT_EXPECTS(arrival_profile_ != nullptr);
+  const double at =
+      workload::next_arrival(*arrival_profile_, sim_.now(), rng_);
+  sim_.schedule_at(at, [this, slot] {
+    if (injection_stopped_ || arrival_profile_ == nullptr) return;
+    if (rng_.uniform() * static_cast<double>(cfg_.segment_size) < 1.0) {
+      do_inject(slot);
+    }
+    schedule_profile_injection(slot);
+  });
+}
+
+void Network::run_until(sim::Time t) { sim_.run_until(t); }
+
+void Network::warm_up(sim::Time t) {
+  run_until(t);
+  metrics_.reset_measurement_window(sim_.now());
+}
+
+void Network::stop_injection() {
+  injection_stopped_ = true;
+  for (auto& p : injectors_) p->stop();
+}
+
+std::vector<std::vector<std::uint8_t>> Network::make_payloads(
+    const Peer& origin, coding::SegmentId id) {
+  if (payload_source_) {
+    auto blocks = payload_source_(origin, id, cfg_.segment_size,
+                                  cfg_.payload_bytes);
+    ICOLLECT_ENSURES(blocks.size() == cfg_.segment_size);
+    for (const auto& b : blocks) {
+      ICOLLECT_ENSURES(b.size() == cfg_.payload_bytes);
+    }
+    return blocks;
+  }
+  std::vector<std::vector<std::uint8_t>> blocks(cfg_.segment_size);
+  for (auto& b : blocks) {
+    b.resize(cfg_.payload_bytes);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng_.gf_element());
+  }
+  return blocks;
+}
+
+void Network::do_inject(std::size_t slot) {
+  Peer& p = peers_[slot];
+  if (!p.buffer.has_room(cfg_.segment_size)) {
+    ++metrics_.injection_blocked;
+    return;
+  }
+  const coding::SegmentId id{p.origin, p.next_segment_seq++};
+  SegmentInfo info;
+  info.injected_at = sim_.now();
+  info.origin_slot = slot;
+  info.segment_size = cfg_.segment_size;
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  if (cfg_.payload_bytes > 0) {
+    payloads = make_payloads(p, id);
+    info.original_crcs.reserve(payloads.size());
+    for (const auto& b : payloads) {
+      info.original_crcs.push_back(workload::crc32(b));
+    }
+  } else {
+    payloads.assign(cfg_.segment_size, {});
+  }
+  registry_.emplace(id, std::move(info));
+
+  // The source seeds its own buffer with the s systematic blocks —
+  // "s new edges are added to each peer ... together with a new segment
+  // incident to these s edges" (Sec. 3).
+  for (std::size_t k = 0; k < cfg_.segment_size; ++k) {
+    deliver(slot, coding::CodedBlock::systematic(
+                      id, cfg_.segment_size, k, std::move(payloads[k])));
+  }
+  ++metrics_.segments_injected;
+  metrics_.blocks_injected += cfg_.segment_size;
+  metrics_.injected_blocks_window.record(cfg_.segment_size);
+  emit(TraceEventKind::kSegmentInjected, slot, id, cfg_.segment_size);
+}
+
+bool Network::eligible_receiver(std::size_t slot,
+                                const coding::SegmentId& seg) const {
+  const Peer& b = peers_[slot];
+  if (b.buffer.full()) return false;
+  const coding::SegmentBuffer* sb = b.buffer.find(seg);
+  return sb == nullptr || !sb->full_rank();
+}
+
+std::size_t Network::pick_gossip_target(std::size_t source,
+                                        const coding::SegmentId& seg) {
+  const std::size_t deg = topology_.degree(source);
+  if (deg == 0) return kNoTarget;
+  // Fast path: rejection sampling keeps selection uniform over eligible
+  // neighbors while costing O(1) when most neighbors are eligible.
+  for (int attempt = 0; attempt < kTargetSampleTries; ++attempt) {
+    const std::size_t cand = topology_.random_neighbor(source, rng_);
+    if (eligible_receiver(cand, seg)) return cand;
+  }
+  // Slow path (rare): enumerate eligible neighbors and pick u.a.r.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(deg);
+  for (std::size_t i = 0; i < deg; ++i) {
+    const std::size_t cand = topology_.neighbor(source, i);
+    if (eligible_receiver(cand, seg)) eligible.push_back(cand);
+  }
+  if (eligible.empty()) return kNoTarget;
+  return eligible[rng_.uniform_index(eligible.size())];
+}
+
+void Network::do_gossip(std::size_t slot) {
+  Peer& a = peers_[slot];
+  if (a.buffer.empty()) {
+    ++metrics_.gossip_idle;
+    return;
+  }
+  coding::SegmentId seg;
+  switch (cfg_.gossip_policy) {
+    case GossipPolicy::kUniformSegment:
+      seg = a.buffer.random_segment(rng_);
+      break;
+    case GossipPolicy::kNewestFirst:
+      seg = a.buffer.newest_segment();
+      break;
+    case GossipPolicy::kRarestFirst:
+      seg = a.buffer.rarest_segment();
+      break;
+  }
+  const std::size_t target = pick_gossip_target(slot, seg);
+  if (target == kNoTarget) {
+    ++metrics_.gossip_no_target;
+    return;
+  }
+  if (cfg_.gossip_loss > 0.0 && rng_.bernoulli(cfg_.gossip_loss)) {
+    ++metrics_.gossip_lost_in_transit;  // μ spent, block never arrives
+    return;
+  }
+  const coding::SegmentBuffer* sb = a.buffer.find(seg);
+  ICOLLECT_ENSURES(sb != nullptr && !sb->empty());
+  deliver(target, sb->recode(rng_));
+  ++metrics_.gossip_sent;
+  emit(TraceEventKind::kGossipSent, slot, seg, target);
+}
+
+void Network::do_server_pull() {
+  ++metrics_.server_pull_attempts;
+  std::size_t slot;
+  if (cfg_.pull_policy == PullPolicy::kUniformAll) {
+    // Blind probing: the pull is spent even if the probed peer has
+    // nothing to offer.
+    slot = rng_.uniform_index(peers_.size());
+    if (peers_[slot].buffer.empty()) {
+      ++metrics_.server_empty_probes;
+      return;
+    }
+  } else {
+    if (non_empty_slots_.empty()) return;
+    slot = non_empty_slots_[rng_.uniform_index(non_empty_slots_.size())];
+  }
+  Peer& d = peers_[slot];
+  ICOLLECT_ENSURES(!d.buffer.empty());
+  const coding::SegmentId seg = d.buffer.random_segment(rng_);
+  const coding::SegmentBuffer* sb = d.buffer.find(seg);
+  metrics_.server_pulls_window.record();
+  ServerBank::PullResult result;
+  if (cfg_.fidelity == CollectionFidelity::kStateCounter) {
+    result = servers_.offer_counted(seg, sb->segment_size(), sim_.now());
+  } else {
+    result = servers_.offer(sb->recode(rng_), sim_.now());
+  }
+  if (result == ServerBank::PullResult::kInnovative) {
+    metrics_.innovative_pulls_window.record();
+    const auto rit = registry_.find(seg);
+    ICOLLECT_ENSURES(rit != registry_.end());
+    ++rit->second.collected;
+  }
+  emit(TraceEventKind::kServerPull, slot, seg,
+       result == ServerBank::PullResult::kInnovative ? 1 : 0);
+}
+
+void Network::on_segment_decoded(const ServerBank::DecodeEvent& event) {
+  const auto it = registry_.find(event.id);
+  ICOLLECT_ENSURES(it != registry_.end());
+  SegmentInfo& info = it->second;
+  info.decoded = true;
+  info.decoded_at = event.when;
+  const auto s = static_cast<double>(info.segment_size);
+  const double delay = event.when - info.injected_at;
+  metrics_.segment_delay.add(delay);
+  metrics_.block_delay.add(delay / s);
+  metrics_.decoded_original_blocks.record(info.segment_size);
+  emit(TraceEventKind::kSegmentDecoded, info.origin_slot, event.id,
+       info.segment_size);
+  if (event.decoder != nullptr && !info.original_crcs.empty()) {
+    for (std::size_t k = 0; k < info.segment_size; ++k) {
+      const auto& blk = event.decoder->original(k);
+      if (workload::crc32({blk.data(), blk.size()}) !=
+          info.original_crcs[k]) {
+        ++metrics_.payload_crc_failures;
+      }
+    }
+  }
+}
+
+void Network::deliver(std::size_t slot, coding::CodedBlock block) {
+  Peer& p = peers_[slot];
+  ICOLLECT_EXPECTS(!p.buffer.full());
+  const std::size_t before = p.buffer.size();
+  const coding::SegmentId seg = block.segment;
+  const coding::BlockHandle handle = next_handle_++;
+  p.buffer.insert(handle, std::move(block));
+
+  auto rit = registry_.find(seg);
+  ICOLLECT_ENSURES(rit != registry_.end());
+  ++rit->second.degree;
+
+  metrics_.total_blocks.add(sim_.now(), 1.0);
+  update_occupancy(slot, before);
+
+  const std::uint64_t incarnation = p.incarnation;
+  sim_.schedule_after(rng_.exponential(cfg_.gamma),
+                      [this, slot, incarnation, handle] {
+                        do_ttl_expire(slot, incarnation, handle);
+                      });
+}
+
+void Network::do_ttl_expire(std::size_t slot, std::uint64_t incarnation,
+                            coding::BlockHandle handle) {
+  Peer& p = peers_[slot];
+  if (p.incarnation != incarnation) return;  // occupant changed (churn)
+  const std::size_t before = p.buffer.size();
+  const auto seg = p.buffer.erase(handle);
+  if (!seg) return;  // already removed
+  ++metrics_.ttl_expirations;
+  metrics_.total_blocks.add(sim_.now(), -1.0);
+  emit(TraceEventKind::kTtlExpired, slot, *seg, 0);
+  note_degree_drop(*seg, 1);
+  update_occupancy(slot, before);
+}
+
+void Network::do_depart(std::size_t slot) {
+  Peer& p = peers_[slot];
+  // Account every buffered block's disappearance in the registry.
+  for (const auto& seg_id : p.buffer.segments()) {
+    const coding::SegmentBuffer* sb = p.buffer.find(seg_id);
+    note_degree_drop(seg_id, sb->block_count());
+  }
+  const std::size_t before = p.buffer.size();
+  const std::size_t lost = p.buffer.clear();
+  ++metrics_.peers_departed;
+  metrics_.blocks_lost_to_churn += lost;
+  metrics_.total_blocks.add(sim_.now(), -static_cast<double>(lost));
+  emit(TraceEventKind::kPeerDeparted, slot, coding::SegmentId{}, lost);
+  update_occupancy(slot, before);
+
+  // Replacement model: a fresh peer joins the same slot immediately.
+  departed_origins_.emplace(p.origin, sim_.now());
+  ++p.incarnation;
+  p.origin = next_origin_++;
+  p.next_segment_seq = 0;
+
+  sim_.schedule_after(sample_lifetime(cfg_.churn, rng_),
+                      [this, slot] { do_depart(slot); });
+}
+
+void Network::note_degree_drop(const coding::SegmentId& id,
+                               std::size_t count) {
+  const auto it = registry_.find(id);
+  ICOLLECT_ENSURES(it != registry_.end());
+  ICOLLECT_ENSURES(it->second.degree >= count);
+  it->second.degree -= count;
+  if (it->second.degree == 0 && !it->second.decoded && !it->second.lost) {
+    it->second.lost = true;
+    ++metrics_.segments_lost;
+    emit(TraceEventKind::kSegmentLost, it->second.origin_slot, id,
+         it->second.collected);
+  }
+}
+
+void Network::update_occupancy(std::size_t slot, std::size_t before_size) {
+  const Peer& p = peers_[slot];
+  const std::size_t after = p.buffer.size();
+  if (before_size == after) return;
+  const bool was_empty = before_size == 0;
+  const bool is_empty = after == 0;
+  const bool was_full = before_size >= cfg_.buffer_cap;
+  const bool is_full = after >= cfg_.buffer_cap;
+  if (was_empty && !is_empty) {
+    --empty_count_;
+    mark_non_empty(slot);
+    metrics_.empty_peers.update(sim_.now(), static_cast<double>(empty_count_));
+  } else if (!was_empty && is_empty) {
+    ++empty_count_;
+    mark_empty(slot);
+    metrics_.empty_peers.update(sim_.now(), static_cast<double>(empty_count_));
+  }
+  if (was_full != is_full) {
+    full_count_ += is_full ? 1 : -1;
+    metrics_.full_peers.update(sim_.now(), static_cast<double>(full_count_));
+  }
+}
+
+void Network::mark_non_empty(std::size_t slot) {
+  if (non_empty_pos_[slot] != 0) return;
+  non_empty_slots_.push_back(slot);
+  non_empty_pos_[slot] = non_empty_slots_.size();  // index + 1
+}
+
+void Network::mark_empty(std::size_t slot) {
+  const std::size_t pos1 = non_empty_pos_[slot];
+  if (pos1 == 0) return;
+  const std::size_t pos = pos1 - 1;
+  const std::size_t last = non_empty_slots_.size() - 1;
+  if (pos != last) {
+    non_empty_slots_[pos] = non_empty_slots_[last];
+    non_empty_pos_[non_empty_slots_[pos]] = pos + 1;
+  }
+  non_empty_slots_.pop_back();
+  non_empty_pos_[slot] = 0;
+}
+
+double Network::throughput() const {
+  return metrics_.innovative_pulls_window.rate(sim_.now());
+}
+
+double Network::normalized_throughput() const {
+  const double demand =
+      static_cast<double>(cfg_.num_peers) * cfg_.lambda;
+  return demand > 0.0 ? throughput() / demand : 0.0;
+}
+
+double Network::goodput() const {
+  return metrics_.decoded_original_blocks.rate(sim_.now());
+}
+
+double Network::normalized_goodput() const {
+  const double demand =
+      static_cast<double>(cfg_.num_peers) * cfg_.lambda;
+  return demand > 0.0 ? goodput() / demand : 0.0;
+}
+
+double Network::mean_blocks_per_peer() const {
+  return metrics_.total_blocks.mean(sim_.now()) /
+         static_cast<double>(cfg_.num_peers);
+}
+
+double Network::empty_peer_fraction() const {
+  return metrics_.empty_peers.mean(sim_.now()) /
+         static_cast<double>(cfg_.num_peers);
+}
+
+double Network::mean_block_delay() const {
+  return metrics_.block_delay.mean();
+}
+
+double Network::mean_segment_delay() const {
+  return metrics_.segment_delay.mean();
+}
+
+double Network::storage_overhead() const {
+  // Theorem 1 decomposes ρ = overhead + λ/γ; the measured analogue is the
+  // mean buffered blocks per peer minus the peer's own injected share.
+  return mean_blocks_per_peer() - cfg_.lambda / cfg_.gamma;
+}
+
+std::vector<std::uint64_t> Network::peer_degree_counts(
+    std::size_t max_degree) const {
+  std::vector<std::uint64_t> counts(max_degree + 1, 0);
+  for (const auto& p : peers_) {
+    const std::size_t d = std::min(p.buffer.size(), max_degree);
+    ++counts[d];
+  }
+  return counts;
+}
+
+SavedDataCensus Network::saved_data_census() const {
+  SavedDataCensus out;
+  // Exact union-rank per live segment: merge the coefficient rows held by
+  // every peer into one probe decoder per segment. Cost is O(total
+  // blocks) gathering plus small eliminations — fine at census frequency.
+  std::unordered_map<coding::SegmentId, coding::Decoder> rank_probe;
+  for (const auto& p : peers_) {
+    for (const auto& seg_id : p.buffer.segments()) {
+      const coding::SegmentBuffer* sb = p.buffer.find(seg_id);
+      auto it = rank_probe.find(seg_id);
+      if (it == rank_probe.end()) {
+        it = rank_probe
+                 .emplace(seg_id, coding::Decoder{seg_id,
+                                                  sb->segment_size(), 0})
+                 .first;
+      }
+      coding::Decoder& dec = it->second;
+      sb->for_each_block([&dec, &seg_id](const coding::CodedBlock& b) {
+        if (!dec.complete()) {
+          coding::CodedBlock coeff_only;
+          coeff_only.segment = seg_id;
+          coeff_only.coefficients = b.coefficients;
+          dec.add(coeff_only);
+        }
+      });
+    }
+  }
+  for (const auto& [id, info] : registry_) {
+    if (info.degree == 0) continue;
+    ++out.live_segments;
+    if (info.decoded) continue;
+    ++out.undecoded_live_segments;
+    const auto s = static_cast<double>(info.segment_size);
+    if (info.degree >= info.segment_size) {
+      ++out.decodable_by_degree;
+      out.saved_original_blocks_degree += s;
+    }
+    const auto pit = rank_probe.find(id);
+    const std::size_t net_rank =
+        pit == rank_probe.end() ? 0 : pit->second.rank();
+    if (net_rank == info.segment_size) {
+      ++out.decodable_by_rank;
+      out.saved_original_blocks_rank += s;
+    }
+    const std::size_t server_state = servers_.state(id);
+    if (net_rank > server_state) {
+      out.pending_innovative_blocks +=
+          static_cast<double>(net_rank - server_state);
+    }
+  }
+  return out;
+}
+
+DepartedDataStats Network::departed_data_stats() const {
+  DepartedDataStats out =
+      last_words_stats(std::numeric_limits<double>::infinity());
+  out.blocks_generated += compacted_departed_.blocks_generated;
+  out.blocks_delivered += compacted_departed_.blocks_delivered;
+  return out;
+}
+
+std::size_t Network::compact_registry() {
+  std::size_t removed = 0;
+  for (auto it = registry_.begin(); it != registry_.end();) {
+    const SegmentInfo& info = it->second;
+    const bool resolved = info.degree == 0 && (info.decoded || info.lost);
+    if (!resolved) {
+      ++it;
+      continue;
+    }
+    if (departed_origins_.contains(it->first.origin)) {
+      compacted_departed_.blocks_generated += info.segment_size;
+      compacted_departed_.blocks_delivered +=
+          std::min(info.collected, info.segment_size);
+    }
+    it = registry_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+DepartedDataStats Network::last_words_stats(double window) const {
+  ICOLLECT_EXPECTS(window > 0.0);
+  DepartedDataStats out;
+  out.departed_origins = departed_origins_.size();
+  for (const auto& [id, info] : registry_) {
+    const auto dit = departed_origins_.find(id.origin);
+    if (dit == departed_origins_.end()) continue;
+    if (info.injected_at < dit->second - window) continue;
+    out.blocks_generated += info.segment_size;
+    out.blocks_delivered += std::min(info.collected, info.segment_size);
+  }
+  return out;
+}
+
+std::size_t Network::live_segment_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, info] : registry_) {
+    if (info.degree > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace icollect::p2p

@@ -1,0 +1,252 @@
+#pragma once
+
+/// \file network.h
+/// The indirect-collection protocol engine: an event-driven realization
+/// of every process in Sec. 2 of the paper.
+///
+///  - Segment injection: each peer injects a fresh segment of s blocks
+///    at rate λ/s, provided its buffer has room for s blocks ("degree no
+///    more than B − s").
+///  - Gossip: at rate μ each peer with a non-empty buffer picks a
+///    buffered segment u.a.r., re-codes one block and ships it to a
+///    uniformly random neighbor that still needs blocks of that segment
+///    and is not at its buffer cap.
+///  - TTL: every block is deleted after an Exp(γ) lifetime.
+///  - Server collection: at rate c_s each server asks a uniformly random
+///    non-empty peer for a re-coded block of a uniformly random segment
+///    in that peer's buffer (coupon-collector pull).
+///  - Churn (optional): exponential peer lifetimes with replacement.
+///
+/// All transfers carry real GF(2^8) coefficient vectors; innovation,
+/// decodability and redundancy are computed, never assumed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+#include "p2p/config.h"
+#include "p2p/metrics.h"
+#include "p2p/peer.h"
+#include "p2p/server.h"
+#include "p2p/topology.h"
+#include "p2p/trace.h"
+#include "sim/poisson_process.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+namespace icollect::p2p {
+
+/// Global bookkeeping for one injected segment.
+struct SegmentInfo {
+  sim::Time injected_at = 0.0;
+  std::size_t origin_slot = 0;
+  std::size_t segment_size = 0;
+  std::size_t degree = 0;  ///< live block copies network-wide
+  std::size_t collected = 0;  ///< useful blocks pulled by the servers (≤ s)
+  bool decoded = false;
+  bool lost = false;  ///< vanished from the network before decoding
+  sim::Time decoded_at = 0.0;
+  std::vector<std::uint32_t> original_crcs;  ///< when payloads in use
+};
+
+// DepartedDataStats lives in p2p/metrics.h (shared with the baseline).
+
+/// Snapshot of the data "saved up in the network for future delivery"
+/// (Theorem 4). `degree`-based counts follow the paper's approximation
+/// (segment decodable iff it has >= s block copies); `rank`-based counts
+/// are exact (union rank of all coefficient vectors in the network).
+struct SavedDataCensus {
+  std::size_t live_segments = 0;
+  std::size_t undecoded_live_segments = 0;
+  std::size_t decodable_by_degree = 0;
+  std::size_t decodable_by_rank = 0;
+  double saved_original_blocks_degree = 0.0;  ///< s * decodable_by_degree
+  double saved_original_blocks_rank = 0.0;    ///< s * decodable_by_rank
+  /// Partial credit: Σ max(0, network_rank − server_state) over undecoded
+  /// live segments — blocks the servers could still usefully pull.
+  double pending_innovative_blocks = 0.0;
+};
+
+class Network {
+ public:
+  /// Supplies the s original payload blocks of a new segment. Default
+  /// (when unset and payload_bytes > 0): deterministic pseudo-random
+  /// bytes from the simulation RNG.
+  using PayloadSource = std::function<std::vector<std::vector<std::uint8_t>>(
+      const Peer& origin, coding::SegmentId id, std::size_t segment_size,
+      std::size_t payload_bytes)>;
+
+  explicit Network(ProtocolConfig cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Replace the payload source (call before running).
+  void set_payload_source(PayloadSource source);
+
+  /// Install (or clear, with nullptr) a protocol event trace sink. All
+  /// events are delivered in virtual-time order. No cost when unset.
+  void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// Drive segment injection from a time-varying per-peer block rate
+  /// λ(t) instead of the constant `config().lambda` (flash crowds,
+  /// diurnal load). Segments then arrive per peer at rate λ(t)/s.
+  /// The profile must outlive the network; pass nullptr to return to the
+  /// constant-rate process.
+  void set_arrival_profile(const workload::ArrivalProfile* profile);
+
+  /// Advance virtual time to `t` (absolute).
+  void run_until(sim::Time t);
+
+  /// Convenience: run to `t`, then reset the measurement window so that
+  /// subsequent steady-state estimates exclude the warm-up transient.
+  void warm_up(sim::Time t);
+
+  /// Stop all segment injection (end of the reporting streams) while
+  /// gossip, TTL and server collection continue — the Theorem 4 regime.
+  void stop_injection();
+
+  // --- observers ----------------------------------------------------------
+  [[nodiscard]] sim::Time now() const noexcept { return sim_.now(); }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const NetworkMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const ServerBank& servers() const noexcept { return servers_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Peer& peer(std::size_t slot) const {
+    ICOLLECT_EXPECTS(slot < peers_.size());
+    return peers_[slot];
+  }
+  [[nodiscard]] const std::unordered_map<coding::SegmentId, SegmentInfo>&
+  segment_registry() const noexcept {
+    return registry_;
+  }
+
+  // --- steady-state estimates over the current measurement window ---------
+  /// Session throughput: the rate at which servers obtain useful (state-
+  /// advancing / innovative) blocks — exactly the N·c·η of Theorem 2.
+  [[nodiscard]] double throughput() const;
+  /// Throughput normalized by the aggregate demand N·λ (Fig. 3/4 y-axis).
+  [[nodiscard]] double normalized_throughput() const;
+  /// Goodput: original blocks of *completed* segments per unit time (a
+  /// stricter deliverable-data metric than the paper's throughput).
+  [[nodiscard]] double goodput() const;
+  [[nodiscard]] double normalized_goodput() const;
+  /// Time-weighted mean blocks per peer: the empirical e(t) ≈ ρ.
+  [[nodiscard]] double mean_blocks_per_peer() const;
+  /// Time-weighted fraction of empty peers: the empirical z_0.
+  [[nodiscard]] double empty_peer_fraction() const;
+  /// Mean block delivery delay (segment delay / s; Fig. 5 metric).
+  [[nodiscard]] double mean_block_delay() const;
+  [[nodiscard]] double mean_segment_delay() const;
+  /// Empirical storage overhead (1 − z̃_0)·μ/γ analogue: gossip-received
+  /// blocks per peer = e − λ/γ; reported directly as e minus demand term.
+  [[nodiscard]] double storage_overhead() const;
+
+  /// Instantaneous peer-degree counts: index i = number of peers whose
+  /// buffer holds exactly i blocks, for i in [0, max_degree].
+  [[nodiscard]] std::vector<std::uint64_t> peer_degree_counts(
+      std::size_t max_degree) const;
+
+  /// Exact + degree-approximate census of data buffered for future
+  /// delivery (Theorem 4 / Fig. 6).
+  [[nodiscard]] SavedDataCensus saved_data_census() const;
+
+  [[nodiscard]] std::size_t live_segment_count() const;
+
+  /// How much of the data generated by already-departed peers the
+  /// servers managed to obtain (before or after the departure — in the
+  /// indirect scheme collection continues posthumously from the coded
+  /// copies other peers hold).
+  [[nodiscard]] DepartedDataStats departed_data_stats() const;
+
+  /// Same accounting restricted to each departed peer's *last words*:
+  /// blocks injected within `window` time units before its departure —
+  /// the paper's motivating case ("peers tend to leave soon after the
+  /// quality degrades, such statistics ... may be the most useful").
+  /// Only segments still in the registry are counted (see
+  /// compact_registry()).
+  [[nodiscard]] DepartedDataStats last_words_stats(double window) const;
+
+  /// Long-run memory control: drop registry entries for segments that
+  /// are fully resolved (decoded or lost, zero live copies). Their
+  /// contribution to departed_data_stats() is folded into a running
+  /// baseline first, so the aggregate recovery numbers survive; windowed
+  /// last_words_stats() afterwards only reflects the uncompacted tail.
+  /// Returns the number of entries removed.
+  std::size_t compact_registry();
+
+ private:
+  void do_inject(std::size_t slot);
+  void schedule_profile_injection(std::size_t slot);
+  void do_gossip(std::size_t slot);
+  void do_server_pull();
+  void do_ttl_expire(std::size_t slot, std::uint64_t incarnation,
+                     coding::BlockHandle handle);
+  void do_depart(std::size_t slot);
+
+  /// Store `block` at peer `slot` with a fresh handle + TTL event, and
+  /// maintain every derived structure (registry degree, occupancy lists,
+  /// time-weighted metrics). Precondition: the peer has room.
+  void deliver(std::size_t slot, coding::CodedBlock block);
+
+  /// Pick an eligible gossip destination for (source, segment) or
+  /// SIZE_MAX if none exists.
+  [[nodiscard]] std::size_t pick_gossip_target(std::size_t source,
+                                               const coding::SegmentId& seg);
+  [[nodiscard]] bool eligible_receiver(std::size_t slot,
+                                       const coding::SegmentId& seg) const;
+
+  void on_segment_decoded(const ServerBank::DecodeEvent& event);
+  void note_degree_drop(const coding::SegmentId& id, std::size_t count);
+  void update_occupancy(std::size_t slot, std::size_t before_size);
+  void mark_non_empty(std::size_t slot);
+  void mark_empty(std::size_t slot);
+
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> make_payloads(
+      const Peer& origin, coding::SegmentId id);
+
+  ProtocolConfig cfg_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  Topology topology_;
+  std::vector<Peer> peers_;
+  ServerBank servers_;
+  NetworkMetrics metrics_;
+  std::unordered_map<coding::SegmentId, SegmentInfo> registry_;
+  PayloadSource payload_source_;
+  const workload::ArrivalProfile* arrival_profile_ = nullptr;
+  TraceSink trace_;
+
+  void emit(TraceEventKind kind, std::size_t slot,
+            const coding::SegmentId& segment, std::uint64_t aux) {
+    if (trace_) trace_(TraceEvent{kind, sim_.now(), slot, segment, aux});
+  }
+
+  // Per-peer recurring processes (stable addresses → unique_ptr).
+  std::vector<std::unique_ptr<sim::PoissonProcess>> injectors_;
+  std::vector<std::unique_ptr<sim::PoissonProcess>> gossipers_;
+  std::vector<std::unique_ptr<sim::PoissonProcess>> server_pullers_;
+
+  // O(1) uniform selection among peers with non-empty buffers.
+  std::vector<std::size_t> non_empty_slots_;
+  std::vector<std::size_t> non_empty_pos_;  // slot -> index+1 (0 = absent)
+
+  std::unordered_map<coding::OriginId, sim::Time> departed_origins_;
+  // Contribution of compacted registry entries to the departed totals.
+  DepartedDataStats compacted_departed_;
+  std::size_t empty_count_ = 0;
+  std::size_t full_count_ = 0;
+  coding::BlockHandle next_handle_ = 1;
+  coding::OriginId next_origin_ = 0;
+  bool injection_stopped_ = false;
+};
+
+}  // namespace icollect::p2p

@@ -1,0 +1,122 @@
+#include "p2p/peer.h"
+
+#include <utility>
+
+namespace icollect::p2p {
+
+void PeerBuffer::insert(coding::BlockHandle handle,
+                        coding::CodedBlock block) {
+  ICOLLECT_EXPECTS(has_room(1));
+  ICOLLECT_EXPECTS(!handle_index_.contains(handle));
+  const coding::SegmentId id = block.segment;
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    it = segments_
+             .emplace(id, coding::SegmentBuffer{id,
+                                                block.coefficients.size()})
+             .first;
+    segment_pos_[id] = segment_list_.size();
+    segment_list_.push_back(id);
+    arrival_seq_[id] = next_arrival_seq_++;
+  }
+  it->second.add(handle, std::move(block));
+  handle_index_[handle] = id;
+  ++total_blocks_;
+}
+
+std::optional<coding::SegmentId> PeerBuffer::erase(
+    coding::BlockHandle handle) {
+  const auto hit = handle_index_.find(handle);
+  if (hit == handle_index_.end()) return std::nullopt;
+  const coding::SegmentId id = hit->second;
+  handle_index_.erase(hit);
+  auto sit = segments_.find(id);
+  ICOLLECT_ENSURES(sit != segments_.end());
+  const bool removed = sit->second.remove(handle);
+  ICOLLECT_ENSURES(removed);
+  --total_blocks_;
+  if (sit->second.empty()) {
+    segments_.erase(sit);
+    drop_segment_entry(id);
+    arrival_seq_.erase(id);
+  }
+  return id;
+}
+
+const coding::SegmentId& PeerBuffer::newest_segment() const {
+  ICOLLECT_EXPECTS(!segment_list_.empty());
+  const coding::SegmentId* best = &segment_list_.front();
+  std::uint64_t best_seq = 0;
+  bool first = true;
+  for (const auto& id : segment_list_) {
+    const std::uint64_t seq = arrival_seq_.at(id);
+    if (first || seq > best_seq) {
+      best = &id;
+      best_seq = seq;
+      first = false;
+    }
+  }
+  return *best;
+}
+
+const coding::SegmentId& PeerBuffer::rarest_segment() const {
+  ICOLLECT_EXPECTS(!segment_list_.empty());
+  const coding::SegmentId* best = nullptr;
+  std::size_t best_count = 0;
+  std::uint64_t best_seq = 0;
+  for (const auto& id : segment_list_) {
+    const std::size_t count = segments_.at(id).block_count();
+    const std::uint64_t seq = arrival_seq_.at(id);
+    if (best == nullptr || count < best_count ||
+        (count == best_count && seq > best_seq)) {
+      best = &id;
+      best_count = count;
+      best_seq = seq;
+    }
+  }
+  return *best;
+}
+
+const coding::SegmentBuffer* PeerBuffer::find(
+    const coding::SegmentId& id) const {
+  const auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+coding::SegmentBuffer* PeerBuffer::find(const coding::SegmentId& id) {
+  const auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+std::vector<coding::BlockHandle> PeerBuffer::all_handles() const {
+  std::vector<coding::BlockHandle> out;
+  out.reserve(handle_index_.size());
+  for (const auto& [h, _] : handle_index_) out.push_back(h);
+  return out;
+}
+
+std::size_t PeerBuffer::clear() {
+  const std::size_t lost = total_blocks_;
+  segments_.clear();
+  handle_index_.clear();
+  segment_list_.clear();
+  segment_pos_.clear();
+  arrival_seq_.clear();
+  total_blocks_ = 0;
+  return lost;
+}
+
+void PeerBuffer::drop_segment_entry(const coding::SegmentId& id) {
+  const auto pit = segment_pos_.find(id);
+  ICOLLECT_ENSURES(pit != segment_pos_.end());
+  const std::size_t pos = pit->second;
+  const std::size_t last = segment_list_.size() - 1;
+  if (pos != last) {
+    segment_list_[pos] = segment_list_[last];
+    segment_pos_[segment_list_[pos]] = pos;
+  }
+  segment_list_.pop_back();
+  segment_pos_.erase(pit);
+}
+
+}  // namespace icollect::p2p

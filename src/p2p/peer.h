@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file peer.h
+/// Peer-side state: a bounded buffer of coded blocks organized by
+/// segment, plus the peer's identity across churn replacements.
+///
+/// The buffer realizes the paper's storage rules (Sec. 2): capacity cap
+/// of B blocks ("if a peer's buffer is full, it will not accept blocks
+/// from its neighbors"), per-block TTL handled by the engine through
+/// stable BlockHandles, and uniform random segment selection for both
+/// gossip ("chooses a segment r u.a.r. from among all the segments of
+/// which it has at least one (coded) block") and server pulls.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/segment_buffer.h"
+#include "coding/segment_id.h"
+#include "common/assert.h"
+#include "sim/random.h"
+
+namespace icollect::p2p {
+
+class PeerBuffer {
+ public:
+  explicit PeerBuffer(std::size_t capacity) : cap_{capacity} {
+    ICOLLECT_EXPECTS(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  /// Total blocks currently buffered (the peer's bipartite degree).
+  [[nodiscard]] std::size_t size() const noexcept { return total_blocks_; }
+  [[nodiscard]] bool empty() const noexcept { return total_blocks_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return total_blocks_ >= cap_; }
+  [[nodiscard]] bool has_room(std::size_t n) const noexcept {
+    return total_blocks_ + n <= cap_;
+  }
+
+  /// Number of distinct segments with at least one buffered block.
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segment_list_.size();
+  }
+
+  /// Insert a block under a caller-allocated stable handle.
+  /// Precondition: has_room(1).
+  void insert(coding::BlockHandle handle, coding::CodedBlock block);
+
+  /// Remove the block with this handle (TTL expiry). Returns the id of
+  /// the segment it belonged to, or nullopt if the handle is unknown.
+  std::optional<coding::SegmentId> erase(coding::BlockHandle handle);
+
+  /// The per-segment store, or nullptr if no block of that segment.
+  [[nodiscard]] const coding::SegmentBuffer* find(
+      const coding::SegmentId& id) const;
+  [[nodiscard]] coding::SegmentBuffer* find(const coding::SegmentId& id);
+
+  /// Uniformly random buffered segment. Precondition: !empty().
+  [[nodiscard]] const coding::SegmentId& random_segment(sim::Rng& rng) const {
+    ICOLLECT_EXPECTS(!segment_list_.empty());
+    return segment_list_[rng.uniform_index(segment_list_.size())];
+  }
+
+  /// The buffered segment this peer most recently saw for the first
+  /// time (newest-first gossip). Precondition: !empty().
+  [[nodiscard]] const coding::SegmentId& newest_segment() const;
+
+  /// The buffered segment with the fewest local blocks, ties broken by
+  /// recency (rarest-first gossip). Precondition: !empty().
+  [[nodiscard]] const coding::SegmentId& rarest_segment() const;
+
+  /// All buffered segment ids (unspecified order).
+  [[nodiscard]] const std::vector<coding::SegmentId>& segments()
+      const noexcept {
+    return segment_list_;
+  }
+
+  /// Handles of every buffered block (for departure bookkeeping).
+  [[nodiscard]] std::vector<coding::BlockHandle> all_handles() const;
+
+  /// Drop everything (peer departure). Returns the number of blocks lost.
+  std::size_t clear();
+
+ private:
+  void drop_segment_entry(const coding::SegmentId& id);
+
+  std::size_t cap_;
+  std::size_t total_blocks_ = 0;
+  std::unordered_map<coding::SegmentId, coding::SegmentBuffer> segments_;
+  std::unordered_map<coding::BlockHandle, coding::SegmentId> handle_index_;
+  // Indexable list of buffered segment ids for O(1) uniform selection,
+  // with positions tracked for O(1) removal (swap-pop).
+  std::vector<coding::SegmentId> segment_list_;
+  std::unordered_map<coding::SegmentId, std::size_t> segment_pos_;
+  // First-arrival sequence number per buffered segment (monotonic per
+  // buffer), for the newest-first / rarest-first gossip policies.
+  std::unordered_map<coding::SegmentId, std::uint64_t> arrival_seq_;
+  std::uint64_t next_arrival_seq_ = 0;
+};
+
+/// A peer slot in the network. Under the replacement churn model the slot
+/// persists while its occupant changes; `incarnation` disambiguates
+/// delayed events (TTL expiries) that reference a previous occupant.
+struct Peer {
+  std::size_t slot = 0;               ///< index in the topology
+  std::uint64_t incarnation = 0;      ///< bumped on each replacement
+  coding::OriginId origin = 0;        ///< unique origin id of the occupant
+  std::uint32_t next_segment_seq = 0; ///< per-origin segment numbering
+  PeerBuffer buffer;
+
+  Peer(std::size_t slot_idx, coding::OriginId origin_id,
+       std::size_t buffer_cap)
+      : slot{slot_idx}, origin{origin_id}, buffer{buffer_cap} {}
+};
+
+}  // namespace icollect::p2p

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file server.h
+/// The collaborating logging servers' collection state.
+///
+/// The paper's N_s servers share the goal of reconstructing every
+/// segment; "no buffer comparison is made between a server and peers or
+/// among the servers" (Sec. 2), so pulls can be redundant. We model the
+/// servers' pooled storage as one decoder bank: each segment has a
+/// progressive decoder whose rank is the segment's collection state
+/// j ∈ {0..s} of Sec. 3; a pull that does not raise any rank is counted
+/// as redundant. Decoded segments release their decoder and keep a
+/// lightweight completion record.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/decoder.h"
+#include "coding/segment_id.h"
+#include "common/assert.h"
+#include "sim/event_queue.h"
+
+namespace icollect::p2p {
+
+class ServerBank {
+ public:
+  enum class PullResult {
+    kInnovative,     ///< raised the segment's collection state
+    kRedundant,      ///< linearly dependent on already-collected blocks
+    kAlreadyDecoded, ///< segment was already in state s (pure waste)
+  };
+
+  /// `keep_payloads` false discards recovered payloads after invoking the
+  /// completion callback (memory control in long sweeps).
+  explicit ServerBank(bool keep_payloads = true)
+      : keep_payloads_{keep_payloads} {}
+
+  /// Fired when a segment's collection completes (state/rank reaches s).
+  /// `decoder` points at the complete decoder in real-coding mode and is
+  /// nullptr in state-counter mode.
+  struct DecodeEvent {
+    coding::SegmentId id;
+    std::size_t segment_size = 0;
+    sim::Time when = 0.0;
+    const coding::Decoder* decoder = nullptr;
+  };
+  using DecodeCallback = std::function<void(const DecodeEvent&)>;
+  void set_decode_callback(DecodeCallback cb) { on_decode_ = std::move(cb); }
+
+  /// Offer one pulled coded block at time `now` (real-coding fidelity:
+  /// true Gaussian elimination decides innovation).
+  PullResult offer(const coding::CodedBlock& block, sim::Time now);
+
+  /// Register one pull of `id` at time `now` under the paper's idealized
+  /// collection-state process (state-counter fidelity): the state
+  /// advances on every pull until it reaches `segment_size`.
+  PullResult offer_counted(const coding::SegmentId& id,
+                           std::size_t segment_size, sim::Time now);
+
+  /// Collection state j of a segment (0 if never seen; s once decoded).
+  [[nodiscard]] std::size_t state(const coding::SegmentId& id) const;
+
+  [[nodiscard]] bool is_decoded(const coding::SegmentId& id) const {
+    return decoded_.contains(id);
+  }
+
+  /// Recovered originals of a decoded segment (only if keep_payloads).
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>* originals(
+      const coding::SegmentId& id) const;
+
+  // --- aggregate counters -------------------------------------------------
+  [[nodiscard]] std::uint64_t pulls() const noexcept { return pulls_; }
+  [[nodiscard]] std::uint64_t innovative_pulls() const noexcept {
+    return innovative_;
+  }
+  [[nodiscard]] std::uint64_t redundant_pulls() const noexcept {
+    return redundant_;
+  }
+  [[nodiscard]] std::uint64_t segments_decoded() const noexcept {
+    return decoded_.size();
+  }
+  [[nodiscard]] std::uint64_t original_blocks_recovered() const noexcept {
+    return original_blocks_;
+  }
+  /// Segments currently in partial states 0 < j < s.
+  [[nodiscard]] std::size_t segments_in_progress() const noexcept {
+    return decoders_.size() + counters_.size();
+  }
+
+ private:
+  bool keep_payloads_;
+  DecodeCallback on_decode_;
+  // State-counter fidelity: pulls registered per not-yet-complete segment.
+  std::unordered_map<coding::SegmentId, std::size_t> counters_;
+  std::unordered_map<coding::SegmentId, coding::Decoder> decoders_;
+  // Decoded segments: id -> segment size (the final collection state s).
+  std::unordered_map<coding::SegmentId, std::size_t> decoded_;
+  std::unordered_map<coding::SegmentId,
+                     std::vector<std::vector<std::uint8_t>>>
+      payloads_;
+  std::uint64_t pulls_ = 0;
+  std::uint64_t innovative_ = 0;
+  std::uint64_t redundant_ = 0;
+  std::uint64_t original_blocks_ = 0;
+};
+
+}  // namespace icollect::p2p

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file trace.h
+/// Protocol event tracing: an optional observer stream of everything the
+/// engine does, for debugging, visualization, and post-hoc analysis
+/// (e.g. reconstructing a segment's full lifecycle). Zero cost when no
+/// sink is installed.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "coding/segment_id.h"
+#include "sim/event_queue.h"
+
+namespace icollect::p2p {
+
+enum class TraceEventKind : std::uint8_t {
+  kSegmentInjected,  ///< slot = origin peer; aux = segment size
+  kGossipSent,       ///< slot = sender;      aux = receiver slot
+  kTtlExpired,       ///< slot = holder;      aux unused
+  kServerPull,       ///< slot = pulled peer; aux = 1 if innovative
+  kSegmentDecoded,   ///< slot unused;        aux = segment size
+  kSegmentLost,      ///< slot unused;        aux = collected so far
+  kPeerDeparted,     ///< slot = departing;   aux = blocks lost
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kSegmentInjected: return "inject";
+    case TraceEventKind::kGossipSent: return "gossip";
+    case TraceEventKind::kTtlExpired: return "ttl";
+    case TraceEventKind::kServerPull: return "pull";
+    case TraceEventKind::kSegmentDecoded: return "decode";
+    case TraceEventKind::kSegmentLost: return "lost";
+    case TraceEventKind::kPeerDeparted: return "depart";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  TraceEventKind kind{};
+  sim::Time at = 0.0;
+  std::size_t slot = 0;
+  coding::SegmentId segment{};
+  std::uint64_t aux = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string{p2p::to_string(kind)} + " t=" + std::to_string(at) +
+           " slot=" + std::to_string(slot) + " seg=" + segment.to_string() +
+           " aux=" + std::to_string(aux);
+  }
+};
+
+/// Receives every protocol event in virtual-time order.
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+}  // namespace icollect::p2p

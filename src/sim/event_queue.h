@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file event_queue.h
+/// A cancellable future-event list for discrete-event simulation.
+///
+/// Implementation: binary heap ordered by (time, sequence number) — the
+/// sequence number gives FIFO tie-breaking so runs are deterministic —
+/// plus an exact set of pending ids. Cancellation removes the id from the
+/// pending set in O(1); the heap entry is dropped lazily when popped.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace icollect::sim {
+
+/// Simulation time, in the abstract "unit time" of the paper (rates λ, μ,
+/// γ, c are all expressed per unit time).
+using Time = double;
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Sentinel returned where "no event" is meaningful.
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `at`. Returns a cancellable id.
+  EventId schedule(Time at, Action action) {
+    ICOLLECT_EXPECTS(action != nullptr);
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(action)});
+    pending_.insert(id);
+    return id;
+  }
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending (false if it already fired, was already cancelled, or
+  /// the id is invalid).
+  bool cancel(EventId id) { return pending_.erase(id) > 0; }
+
+  /// True if the given event has been scheduled and has neither fired nor
+  /// been cancelled yet.
+  [[nodiscard]] bool is_pending(EventId id) const {
+    return pending_.contains(id);
+  }
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() {
+    drop_dead_prefix();
+    return heap_.empty();
+  }
+
+  /// Number of live (pending) events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Number of heap entries including lazily-cancelled ones — for tests
+  /// and capacity diagnostics.
+  [[nodiscard]] std::size_t raw_size() const noexcept { return heap_.size(); }
+
+  /// Time of the next live event. Precondition: !empty().
+  [[nodiscard]] Time peek_time() {
+    drop_dead_prefix();
+    ICOLLECT_EXPECTS(!heap_.empty());
+    return heap_.top().at;
+  }
+
+  /// Pop and return the next live event. Precondition: !empty().
+  struct Popped {
+    Time at{};
+    EventId id{};
+    Action action;
+  };
+  [[nodiscard]] Popped pop() {
+    drop_dead_prefix();
+    ICOLLECT_EXPECTS(!heap_.empty());
+    // priority_queue::top() is const; the action must be moved out, so we
+    // const_cast the entry we are about to pop. Safe: the entry is removed
+    // immediately after and never observed again.
+    auto& top = const_cast<Entry&>(heap_.top());
+    Popped out{top.at, top.id, std::move(top.action)};
+    heap_.pop();
+    pending_.erase(out.id);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;  // doubles as the FIFO tie-breaker: ids are monotonic
+    Action action;
+    // Min-heap by (time, id): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Entry& rhs) const noexcept {
+      if (at != rhs.at) return at > rhs.at;
+      return id > rhs.id;
+    }
+  };
+
+  void drop_dead_prefix() {
+    while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace icollect::sim

@@ -1,0 +1,50 @@
+#include "stats/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace icollect::stats {
+
+CsvWriter::CsvWriter(const std::string& path) : out_{path, std::ios::trunc} {
+  if (!out_.is_open()) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  }
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+CsvWriter::Row& CsvWriter::Row::add(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  fields_.emplace_back(buf);
+  return *this;
+}
+
+void CsvWriter::Row::end() {
+  owner_->write_row(fields_);
+  fields_.clear();
+}
+
+}  // namespace icollect::stats

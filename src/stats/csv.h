@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV writing, for exporting benchmark series
+/// and simulation traces to plotting tools. Fields containing commas,
+/// quotes or newlines are quoted and escaped; numeric convenience
+/// overloads format with enough digits to round-trip.
+
+#include <concepts>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace icollect::stats {
+
+class CsvWriter {
+ public:
+  /// Open (truncate) `path` for writing. Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row of raw string fields (quoted/escaped as needed).
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Row builder for mixed string/number rows.
+  class Row {
+   public:
+    explicit Row(CsvWriter& owner) : owner_{&owner} {}
+    Row& add(std::string_view v) {
+      fields_.emplace_back(v);
+      return *this;
+    }
+    Row& add(double v);
+    /// Any integer type (size_t, uint64_t, int, ...).
+    template <typename Int>
+      requires std::integral<Int>
+    Row& add(Int v) {
+      fields_.push_back(std::to_string(v));
+      return *this;
+    }
+    /// Emit the accumulated fields as one row.
+    void end();
+
+   private:
+    CsvWriter* owner_;
+    std::vector<std::string> fields_;
+  };
+  [[nodiscard]] Row row() { return Row{*this}; }
+
+  /// Number of rows written so far (including the header, if any).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escape one field per RFC 4180 (exposed for tests).
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace icollect::stats

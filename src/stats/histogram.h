@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file histogram.h
+/// Fixed-bin histogram over a closed range, with overflow/underflow bins.
+/// Used for block-delay distributions and peer-degree distributions
+/// (the empirical counterparts of the paper's z_i and w_i sequences).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace icollect::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins covering [lo, hi); samples outside go to the
+  /// dedicated underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+    ICOLLECT_EXPECTS(hi > lo);
+    ICOLLECT_EXPECTS(bins > 0);
+  }
+
+  void add(double x, std::uint64_t weight = 1) {
+    total_ += weight;
+    if (x < lo_) {
+      underflow_ += weight;
+      return;
+    }
+    if (x >= hi_) {
+      overflow_ += weight;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    counts_[idx < counts_.size() ? idx : counts_.size() - 1] += weight;
+  }
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const {
+    ICOLLECT_EXPECTS(i < counts_.size());
+    return counts_[i];
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    ICOLLECT_EXPECTS(i < counts_.size());
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of samples in bin i (0 if no samples).
+  [[nodiscard]] double fraction(std::size_t i) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(bin(i)) / static_cast<double>(total_);
+  }
+
+  /// Approximate quantile (linear within the located bin).
+  [[nodiscard]] double quantile(double q) const {
+    ICOLLECT_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double next = cum + static_cast<double>(counts_[i]);
+      if (next >= target && counts_[i] > 0) {
+        const double within = (target - cum) / static_cast<double>(counts_[i]);
+        return bin_lo(i) + within * bin_width();
+      }
+      cum = next;
+    }
+    return hi_;
+  }
+
+  void reset() noexcept {
+    for (auto& c : counts_) c = 0;
+    underflow_ = overflow_ = total_ = 0;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace icollect::stats

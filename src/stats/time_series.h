@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file time_series.h
+/// Piecewise-constant time series with time-weighted averaging, plus a
+/// windowed rate estimator.
+///
+/// TimeWeighted tracks quantities that hold a value *over an interval*
+/// (e.g. "blocks buffered at this peer"), where the correct mean weights
+/// each value by how long it was held — the empirical analogue of the
+/// steady-state expectations ρ and ẽ(t) in Theorems 1-4.
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/event_queue.h"
+
+namespace icollect::stats {
+
+/// Time-weighted running average of a piecewise-constant signal.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(sim::Time start = 0.0, double initial = 0.0)
+      : value_{initial}, last_change_{start}, window_start_{start} {}
+
+  /// Record that the signal changed to `value` at time `now` (now must be
+  /// non-decreasing across calls).
+  void update(sim::Time now, double value) {
+    ICOLLECT_EXPECTS(now >= last_change_);
+    weighted_sum_ += value_ * (now - last_change_);
+    value_ = value;
+    last_change_ = now;
+  }
+
+  /// Add `delta` to the current value at time `now`.
+  void add(sim::Time now, double delta) { update(now, value_ + delta); }
+
+  /// Current instantaneous value.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Time-weighted mean over [window_start, now].
+  [[nodiscard]] double mean(sim::Time now) const {
+    ICOLLECT_EXPECTS(now >= last_change_);
+    const double span = now - window_start_;
+    if (span <= 0.0) return value_;
+    const double total = weighted_sum_ + value_ * (now - last_change_);
+    return total / span;
+  }
+
+  /// Restart averaging from `now` (instantaneous value is kept). Used to
+  /// discard the warm-up transient before measuring steady state.
+  void reset_window(sim::Time now) {
+    ICOLLECT_EXPECTS(now >= last_change_);
+    weighted_sum_ = 0.0;
+    last_change_ = now;
+    window_start_ = now;
+  }
+
+ private:
+  double value_;
+  double weighted_sum_ = 0.0;
+  sim::Time last_change_;
+  sim::Time window_start_;
+};
+
+/// Counts events and reports a rate over the window since the last reset.
+class RateEstimator {
+ public:
+  explicit RateEstimator(sim::Time start = 0.0) : window_start_{start} {}
+
+  void record(std::uint64_t n = 1) noexcept { count_ += n; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Events per unit time over [window_start, now].
+  [[nodiscard]] double rate(sim::Time now) const {
+    const double span = now - window_start_;
+    if (span <= 0.0) return 0.0;
+    return static_cast<double>(count_) / span;
+  }
+
+  void reset_window(sim::Time now) {
+    count_ = 0;
+    window_start_ = now;
+  }
+
+  [[nodiscard]] sim::Time window_start() const noexcept {
+    return window_start_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  sim::Time window_start_;
+};
+
+/// A sampled trajectory: (time, value) pairs, e.g. for printing the
+/// time-evolution plots behind the figures.
+class Trajectory {
+ public:
+  void sample(sim::Time t, double v) { points_.emplace_back(t, v); }
+  [[nodiscard]] const std::vector<std::pair<sim::Time, double>>& points()
+      const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  void clear() noexcept { points_.clear(); }
+
+ private:
+  std::vector<std::pair<sim::Time, double>> points_;
+};
+
+}  // namespace icollect::stats

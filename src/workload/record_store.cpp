@@ -1,0 +1,79 @@
+#include "workload/record_store.h"
+
+#include <algorithm>
+
+namespace icollect::workload {
+
+void RecordStore::insert(const StatsRecord& record) {
+  auto& history = by_peer_[record.peer];
+  // Insert keeping per-peer time order; records usually arrive roughly
+  // ordered, so search from the back.
+  const auto pos = std::upper_bound(
+      history.begin(), history.end(), record,
+      [](const StatsRecord& a, const StatsRecord& b) {
+        return a.timestamp < b.timestamp;
+      });
+  history.insert(pos, record);
+  ++total_;
+}
+
+void RecordStore::insert(std::span<const StatsRecord> records) {
+  for (const auto& r : records) insert(r);
+}
+
+std::span<const StatsRecord> RecordStore::peer_history(
+    std::uint32_t peer) const {
+  const auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::optional<StatsRecord> RecordStore::latest(std::uint32_t peer) const {
+  const auto it = by_peer_.find(peer);
+  if (it == by_peer_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<std::uint32_t> RecordStore::peers() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(by_peer_.size());
+  for (const auto& [peer, _] : by_peer_) out.push_back(peer);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RecordStore::HealthSummary RecordStore::health(double t_begin,
+                                               double t_end) const {
+  HealthSummary h;
+  for (const auto& [peer, history] : by_peer_) {
+    bool contributed = false;
+    for (const auto& r : history) {
+      if (r.timestamp < t_begin || r.timestamp > t_end) continue;
+      h.continuity.add(r.playback_continuity);
+      h.loss_rate.add(r.loss_rate);
+      h.buffer_level.add(r.buffer_level);
+      h.download_kbps.add(r.download_rate_kbps);
+      ++h.records;
+      contributed = true;
+    }
+    if (contributed) ++h.peers;
+  }
+  return h;
+}
+
+std::vector<std::uint32_t> RecordStore::unhealthy_peers(
+    float min_continuity, float max_loss) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [peer, history] : by_peer_) {
+    if (history.empty()) continue;
+    const StatsRecord& last = history.back();
+    if (last.playback_continuity < min_continuity ||
+        last.loss_rate > max_loss) {
+      out.push_back(peer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace icollect::workload

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file record_store.h
+/// Analyst-side storage and queries over recovered vital-statistics
+/// records — the consumer end of the collection pipeline ("used by
+/// network administrators and analysts to improve the protocol design or
+/// to troubleshoot network outage", Sec. 1).
+///
+/// The store indexes records by reporting peer, keeps them time-ordered
+/// per peer, and answers the postmortem questions the paper motivates:
+/// which peers looked unhealthy, what did a given peer's trajectory look
+/// like, what was the fleet-wide quality in a time window.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.h"
+#include "workload/stats_record.h"
+
+namespace icollect::workload {
+
+class RecordStore {
+ public:
+  /// Insert one record (records may arrive out of order; per-peer
+  /// sequences are kept sorted by timestamp).
+  void insert(const StatsRecord& record);
+
+  /// Bulk insert.
+  void insert(std::span<const StatsRecord> records);
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+  [[nodiscard]] std::size_t peer_count() const noexcept {
+    return by_peer_.size();
+  }
+
+  /// All records of one peer, time-ordered (empty if unknown).
+  [[nodiscard]] std::span<const StatsRecord> peer_history(
+      std::uint32_t peer) const;
+
+  /// The most recent record of a peer, if any.
+  [[nodiscard]] std::optional<StatsRecord> latest(std::uint32_t peer) const;
+
+  /// Ids of all peers with at least one record.
+  [[nodiscard]] std::vector<std::uint32_t> peers() const;
+
+  /// Fleet-wide health aggregates over a closed time window.
+  struct HealthSummary {
+    stats::Summary continuity;
+    stats::Summary loss_rate;
+    stats::Summary buffer_level;
+    stats::Summary download_kbps;
+    std::size_t records = 0;
+    std::size_t peers = 0;
+  };
+  [[nodiscard]] HealthSummary health(double t_begin, double t_end) const;
+
+  /// Peers whose *latest* record shows degraded quality (continuity
+  /// below `min_continuity` or loss above `max_loss`) — the "who was
+  /// suffering when they left" postmortem query.
+  [[nodiscard]] std::vector<std::uint32_t> unhealthy_peers(
+      float min_continuity = 0.9F, float max_loss = 0.1F) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<StatsRecord>> by_peer_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace icollect::workload

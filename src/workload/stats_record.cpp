@@ -1,0 +1,151 @@
+#include "workload/stats_record.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "workload/crc32.h"
+
+namespace icollect::workload {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::span<const std::uint8_t> in, std::size_t& at) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, in.data() + at, sizeof(T));
+  at += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> StatsRecord::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSerializedSize);
+  put(out, peer);
+  put(out, timestamp);
+  put(out, buffer_level);
+  put(out, download_rate_kbps);
+  put(out, upload_rate_kbps);
+  put(out, playback_continuity);
+  put(out, loss_rate);
+  put(out, rtt_ms);
+  put(out, partner_count);
+  put(out, channel_id);
+  // Body so far: 4 + 8 + 6*4 + 2*2 = 40 bytes; pad to 44 before CRC.
+  put(out, std::uint32_t{0});  // reserved padding
+  const std::uint32_t crc = crc32({out.data(), out.size()});
+  put(out, crc);
+  ICOLLECT_ENSURES(out.size() == kSerializedSize);
+  return out;
+}
+
+bool StatsRecord::crc_ok(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSerializedSize) return false;
+  std::size_t at = kSerializedSize - 4;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + at, 4);
+  return stored == crc32(bytes.first(kSerializedSize - 4));
+}
+
+StatsRecord StatsRecord::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSerializedSize) {
+    throw std::invalid_argument("stats record: wrong size");
+  }
+  if (!crc_ok(bytes)) {
+    throw std::invalid_argument("stats record: CRC mismatch");
+  }
+  StatsRecord r;
+  std::size_t at = 0;
+  r.peer = get<std::uint32_t>(bytes, at);
+  r.timestamp = get<double>(bytes, at);
+  r.buffer_level = get<float>(bytes, at);
+  r.download_rate_kbps = get<float>(bytes, at);
+  r.upload_rate_kbps = get<float>(bytes, at);
+  r.playback_continuity = get<float>(bytes, at);
+  r.loss_rate = get<float>(bytes, at);
+  r.rtt_ms = get<float>(bytes, at);
+  r.partner_count = get<std::uint16_t>(bytes, at);
+  r.channel_id = get<std::uint16_t>(bytes, at);
+  return r;
+}
+
+RecordPacker::RecordPacker(std::size_t segment_size, std::size_t block_bytes)
+    : s_{segment_size}, block_bytes_{block_bytes} {
+  ICOLLECT_EXPECTS(segment_size > 0);
+  ICOLLECT_EXPECTS(block_bytes > 0);
+  if (capacity() == 0) {
+    throw std::invalid_argument(
+        "RecordPacker: segment too small for even one record");
+  }
+}
+
+std::size_t RecordPacker::capacity() const noexcept {
+  const std::size_t body = s_ * block_bytes_;
+  if (body < 4 + StatsRecord::kSerializedSize) return 0;
+  return (body - 4) / StatsRecord::kSerializedSize;
+}
+
+std::vector<std::vector<std::uint8_t>> RecordPacker::pack(
+    std::span<const StatsRecord> records) const {
+  if (records.size() > capacity()) {
+    throw std::invalid_argument("RecordPacker::pack: too many records");
+  }
+  std::vector<std::uint8_t> body;
+  body.reserve(s_ * block_bytes_);
+  const auto count = static_cast<std::uint32_t>(records.size());
+  put(body, count);
+  for (const auto& r : records) {
+    const auto bytes = r.serialize();
+    body.insert(body.end(), bytes.begin(), bytes.end());
+  }
+  body.resize(s_ * block_bytes_, 0);  // zero padding
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(s_);
+  for (std::size_t i = 0; i < s_; ++i) {
+    blocks.emplace_back(body.begin() + static_cast<std::ptrdiff_t>(i * block_bytes_),
+                        body.begin() + static_cast<std::ptrdiff_t>((i + 1) * block_bytes_));
+  }
+  return blocks;
+}
+
+std::vector<StatsRecord> RecordPacker::unpack(
+    std::span<const std::vector<std::uint8_t>> blocks) const {
+  if (blocks.size() != s_) {
+    throw std::invalid_argument("RecordPacker::unpack: wrong block count");
+  }
+  std::vector<std::uint8_t> body;
+  body.reserve(s_ * block_bytes_);
+  for (const auto& b : blocks) {
+    if (b.size() != block_bytes_) {
+      throw std::invalid_argument("RecordPacker::unpack: wrong block size");
+    }
+    body.insert(body.end(), b.begin(), b.end());
+  }
+  std::size_t at = 0;
+  const auto count = get<std::uint32_t>(body, at);
+  if (count > capacity()) {
+    throw std::invalid_argument("RecordPacker::unpack: bad record count");
+  }
+  std::vector<StatsRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    records.push_back(StatsRecord::deserialize(
+        std::span<const std::uint8_t>{body}.subspan(
+            at, StatsRecord::kSerializedSize)));
+    at += StatsRecord::kSerializedSize;
+  }
+  return records;
+}
+
+}  // namespace icollect::workload

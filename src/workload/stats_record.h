@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file stats_record.h
+/// The "vital statistics" the paper collects: per-peer measurements of a
+/// live P2P streaming session (Sec. 1 cites the UUSee measurement studies
+/// [14, 15]). Since the production traces are proprietary, we define a
+/// realistic record schema covering the metrics those studies report —
+/// playback buffer level, streaming rates, continuity, partner counts,
+/// loss — and generate them synthetically (see generators.h). The
+/// collection protocol treats record bytes as opaque payload, so the
+/// substitution does not affect any evaluated behaviour.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace icollect::workload {
+
+struct StatsRecord {
+  std::uint32_t peer = 0;            ///< reporting peer (origin id)
+  double timestamp = 0.0;            ///< measurement time (unit time)
+  float buffer_level = 0.0F;         ///< playback buffer, seconds of media
+  float download_rate_kbps = 0.0F;   ///< aggregate download rate
+  float upload_rate_kbps = 0.0F;     ///< aggregate upload rate
+  float playback_continuity = 0.0F;  ///< fraction of frames played on time
+  float loss_rate = 0.0F;            ///< block loss fraction
+  float rtt_ms = 0.0F;               ///< mean partner round-trip time
+  std::uint16_t partner_count = 0;   ///< active data connections
+  std::uint16_t channel_id = 0;      ///< streaming channel identifier
+
+  friend bool operator==(const StatsRecord&, const StatsRecord&) = default;
+
+  /// Serialized size in bytes (fixed layout, little-endian, CRC-trailed).
+  static constexpr std::size_t kSerializedSize = 48;
+
+  /// Serialize into exactly kSerializedSize bytes; the final 4 bytes are
+  /// the CRC-32 of the preceding 44.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialized record. Throws std::invalid_argument if the input
+  /// is not exactly kSerializedSize bytes or the CRC does not match.
+  [[nodiscard]] static StatsRecord deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  /// CRC-validate without fully parsing.
+  [[nodiscard]] static bool crc_ok(std::span<const std::uint8_t> bytes);
+};
+
+/// Packs a batch of records into a segment's worth of original blocks and
+/// back. A segment is `segment_size` blocks of `block_bytes` payload each;
+/// the concatenated segment body is
+///   u32 record_count | records... | zero padding.
+class RecordPacker {
+ public:
+  /// `block_bytes * segment_size` must leave room for the count header and
+  /// at least one record.
+  RecordPacker(std::size_t segment_size, std::size_t block_bytes);
+
+  [[nodiscard]] std::size_t segment_size() const noexcept { return s_; }
+  [[nodiscard]] std::size_t block_bytes() const noexcept {
+    return block_bytes_;
+  }
+
+  /// Maximum records that fit in one segment.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Pack up to capacity() records into segment_size blocks of
+  /// block_bytes each. Throws std::invalid_argument if records.size()
+  /// exceeds capacity().
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> pack(
+      std::span<const StatsRecord> records) const;
+
+  /// Reassemble and parse the records from the recovered original blocks.
+  /// Throws std::invalid_argument on malformed framing or CRC failure.
+  [[nodiscard]] std::vector<StatsRecord> unpack(
+      std::span<const std::vector<std::uint8_t>> blocks) const;
+
+ private:
+  std::size_t s_;
+  std::size_t block_bytes_;
+};
+
+}  // namespace icollect::workload

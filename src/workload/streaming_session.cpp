@@ -1,0 +1,266 @@
+#include "workload/streaming_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icollect::workload {
+
+void StreamingConfig::validate() const {
+  auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("StreamingConfig: ") + what);
+  };
+  if (num_peers < 2) fail("need at least 2 peers");
+  if (chunk_rate <= 0.0) fail("chunk rate must be > 0");
+  if (chunk_kbits <= 0.0) fail("chunk size must be > 0");
+  if (partners == 0 || partners >= num_peers) {
+    fail("partners must be in [1, num_peers)");
+  }
+  if (request_rate <= 0.0) fail("request rate must be > 0");
+  if (upload_chunks < 0.0) fail("upload budget must be >= 0");
+  if (source_upload_chunks <= 0.0) fail("source budget must be > 0");
+  if (startup_delay < 0.0) fail("startup delay must be >= 0");
+  if (window < 4) fail("window must hold at least 4 chunks");
+}
+
+StreamingSession::StreamingSession(StreamingConfig cfg)
+    : cfg_{cfg}, rng_{cfg.seed ^ 0x57121AABBCCULL} {
+  cfg_.validate();
+  peers_.resize(cfg_.num_peers);
+  // Random partner sets (directed pulls; sets need not be symmetric).
+  for (std::size_t p = 0; p < cfg_.num_peers; ++p) {
+    auto& st = peers_[p];
+    while (st.partners.size() < cfg_.partners) {
+      std::size_t q = rng_.uniform_index(cfg_.num_peers - 1);
+      if (q >= p) ++q;
+      if (std::find(st.partners.begin(), st.partners.end(), q) ==
+          st.partners.end()) {
+        st.partners.push_back(q);
+      }
+    }
+  }
+  // Source emission: one chunk every 1/chunk_rate, deterministically.
+  sim_.schedule_after(1.0 / cfg_.chunk_rate, [this] { do_source_emit(); });
+  // Per-peer request processes.
+  for (std::size_t p = 0; p < cfg_.num_peers; ++p) {
+    requesters_.push_back(std::make_unique<sim::PoissonProcess>(
+        sim_, rng_, cfg_.request_rate, [this, p] { do_request(p); }));
+    requesters_.back()->start();
+    // Playback begins after the startup delay, then ticks at chunk rate.
+    sim_.schedule_after(cfg_.startup_delay + 1.0 / cfg_.chunk_rate,
+                        [this, p] { do_playback(p); });
+  }
+}
+
+void StreamingSession::run_until(sim::Time t) { sim_.run_until(t); }
+
+void StreamingSession::do_source_emit() {
+  ++source_edge_;
+  // Slide every peer's availability window with the source edge.
+  for (auto& p : peers_) advance_window(p);
+  sim_.schedule_after(1.0 / cfg_.chunk_rate, [this] { do_source_emit(); });
+}
+
+void StreamingSession::advance_window(PeerState& p) {
+  // Window covers [max(0, edge - window), edge).
+  const std::uint64_t lo =
+      source_edge_ > cfg_.window ? source_edge_ - cfg_.window : 0;
+  while (p.window_base + p.have.size() < source_edge_) p.have.push_back(false);
+  while (p.window_base < lo && !p.have.empty()) {
+    p.have.pop_front();
+    ++p.window_base;
+  }
+}
+
+bool StreamingSession::peer_has(const PeerState& p,
+                                std::uint64_t chunk) const {
+  if (chunk < p.window_base) return false;  // expired from the window
+  const std::uint64_t idx = chunk - p.window_base;
+  return idx < p.have.size() && p.have[idx];
+}
+
+void StreamingSession::peer_receive(PeerState& p, std::uint64_t chunk) {
+  if (chunk < p.window_base) return;
+  const std::uint64_t idx = chunk - p.window_base;
+  if (idx >= p.have.size()) return;
+  if (!p.have[idx]) {
+    p.have[idx] = true;
+    ++p.downloaded;
+  }
+}
+
+bool StreamingSession::take_upload_token(PeerState& p, double budget) {
+  const double cap = std::max(budget, 1.0);  // burst of ~1 chunk
+  p.upload_tokens = std::min(
+      cap, p.upload_tokens + budget * (sim_.now() - p.tokens_updated));
+  p.tokens_updated = sim_.now();
+  if (p.upload_tokens < 1.0) return false;
+  p.upload_tokens -= 1.0;
+  return true;
+}
+
+void StreamingSession::do_request(std::size_t peer) {
+  PeerState& me = peers_[peer];
+  if (source_edge_ == 0) return;
+  advance_window(me);
+  // Urgency-biased chunk choice: half the time the earliest missing chunk
+  // at/after the playback pointer, otherwise a uniformly random missing
+  // chunk in the window (diversity, so swarms don't all chase the edge).
+  const std::uint64_t lo = std::max(me.window_base, me.play_next);
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t c = lo; c < source_edge_; ++c) {
+    if (!peer_has(me, c)) missing.push_back(c);
+  }
+  if (missing.empty()) return;
+  const std::uint64_t want =
+      rng_.bernoulli(0.5) ? missing.front() : rng_.pick(missing);
+
+  // Providers: partners that have it; the source only as an occasional
+  // fallback (real clients do not hammer the source for every chunk
+  // their partners have not propagated yet — they wait a beat).
+  std::vector<std::size_t> providers;
+  for (const std::size_t q : me.partners) {
+    if (peer_has(peers_[q], want)) providers.push_back(q);
+  }
+  auto try_source = [&]() -> bool {
+    const double budget = cfg_.source_upload_chunks;
+    source_tokens_ = std::min(
+        std::max(budget, 1.0),
+        source_tokens_ + budget * (sim_.now() - source_tokens_updated_));
+    source_tokens_updated_ = sim_.now();
+    if (source_tokens_ < 1.0) return false;
+    source_tokens_ -= 1.0;
+    peer_receive(me, want);
+    ++transfers_;
+    return true;
+  };
+  if (providers.empty()) {
+    // Nobody nearby has it yet: mostly just wait for propagation; one in
+    // ten attempts escalates to the source. Neither outcome is a service
+    // refusal unless the source is out of tokens.
+    constexpr double kSourceFallbackProb = 0.1;
+    if (!rng_.bernoulli(kSourceFallbackProb)) return;
+    if (!try_source()) ++me.failed_requests;
+    return;
+  }
+  PeerState& provider = peers_[rng_.pick(providers)];
+  if (take_upload_token(provider,
+                        cfg_.upload_chunks * provider.upload_factor)) {
+    peer_receive(me, want);
+    ++provider.uploaded;
+    ++transfers_;
+    return;
+  }
+  // The provider refused for lack of upload capacity — the loss signal
+  // a streaming operator actually cares about. The source may still
+  // rescue the chunk.
+  if (!try_source()) ++me.failed_requests;
+}
+
+void StreamingSession::do_playback(std::size_t peer) {
+  PeerState& me = peers_[peer];
+  advance_window(me);
+  // Only play chunks the source has already emitted.
+  if (me.play_next < source_edge_) {
+    me.playing = true;
+    if (peer_has(me, me.play_next)) {
+      ++me.played;
+    } else {
+      ++me.missed;
+      ++playback_misses_;
+    }
+    ++me.play_next;
+  }
+  sim_.schedule_after(1.0 / cfg_.chunk_rate, [this, peer] {
+    do_playback(peer);
+  });
+}
+
+StatsRecord StreamingSession::measure(std::size_t peer) const {
+  ICOLLECT_EXPECTS(peer < peers_.size());
+  const PeerState& me = peers_[peer];
+  StatsRecord r;
+  r.peer = static_cast<std::uint32_t>(peer);
+  r.timestamp = sim_.now();
+  // Buffer level: contiguous run of chunks from the playback pointer,
+  // in seconds of media.
+  std::uint64_t run = 0;
+  for (std::uint64_t c = std::max(me.window_base, me.play_next);
+       c < source_edge_ && peer_has(me, c); ++c) {
+    ++run;
+  }
+  r.buffer_level = static_cast<float>(static_cast<double>(run) /
+                                      cfg_.chunk_rate);
+  const double elapsed = std::max(sim_.now(), 1e-9);
+  r.download_rate_kbps = static_cast<float>(
+      static_cast<double>(me.downloaded) * cfg_.chunk_kbits / elapsed);
+  r.upload_rate_kbps = static_cast<float>(
+      static_cast<double>(me.uploaded) * cfg_.chunk_kbits / elapsed);
+  const std::uint64_t attempts = me.played + me.missed;
+  r.playback_continuity =
+      attempts > 0 ? static_cast<float>(static_cast<double>(me.played) /
+                                        static_cast<double>(attempts))
+                   : 1.0F;
+  const std::uint64_t tried = me.downloaded + me.failed_requests;
+  r.loss_rate =
+      tried > 0 ? static_cast<float>(static_cast<double>(me.failed_requests) /
+                                     static_cast<double>(tried))
+                : 0.0F;
+  // RTT proxy: contention raises queueing; derived, not modeled.
+  r.rtt_ms = static_cast<float>(50.0 + 400.0 * r.loss_rate);
+  r.partner_count = static_cast<std::uint16_t>(me.partners.size());
+  r.channel_id = 0;
+  return r;
+}
+
+double StreamingSession::mean_continuity() const {
+  stats::Summary s;
+  for (std::size_t p = 0; p < peers_.size(); ++p) {
+    const auto& me = peers_[p];
+    const std::uint64_t attempts = me.played + me.missed;
+    if (attempts > 0) {
+      s.add(static_cast<double>(me.played) /
+            static_cast<double>(attempts));
+    }
+  }
+  return s.empty() ? 1.0 : s.mean();
+}
+
+void StreamingSession::throttle_peer(std::size_t peer,
+                                     double upload_factor) {
+  ICOLLECT_EXPECTS(peer < peers_.size());
+  ICOLLECT_EXPECTS(upload_factor >= 0.0);
+  peers_[peer].upload_factor = upload_factor;
+}
+
+SessionRecordFeed::SessionRecordFeed(StreamingSession& session,
+                                     double horizon, double interval) {
+  ICOLLECT_EXPECTS(horizon > 0.0);
+  ICOLLECT_EXPECTS(interval > 0.0);
+  queues_.resize(session.config().num_peers);
+  for (double t = interval; t <= horizon + 1e-9; t += interval) {
+    session.run_until(t);
+    for (std::size_t p = 0; p < queues_.size(); ++p) {
+      queues_[p].push_back(session.measure(p));
+    }
+  }
+}
+
+std::vector<StatsRecord> SessionRecordFeed::take(std::size_t peer,
+                                                 double now,
+                                                 std::size_t count) {
+  ICOLLECT_EXPECTS(peer < queues_.size());
+  std::vector<StatsRecord> out;
+  auto& q = queues_[peer];
+  while (!q.empty() && out.size() < count && q.front().timestamp <= now) {
+    out.push_back(q.front());
+    q.pop_front();
+  }
+  return out;
+}
+
+std::size_t SessionRecordFeed::remaining(std::size_t peer) const {
+  ICOLLECT_EXPECTS(peer < queues_.size());
+  return queues_[peer].size();
+}
+
+}  // namespace icollect::workload

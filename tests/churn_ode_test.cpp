@@ -1,0 +1,118 @@
+/// Tests for the churn-extended fluid model (library extension; the
+/// paper's ODEs cover only the static network).
+
+#include <gtest/gtest.h>
+
+#include "core/collection_system.h"
+#include "ode/closed_form.h"
+#include "ode/indirect_ode.h"
+#include "p2p/network.h"
+
+namespace icollect::ode {
+namespace {
+
+TEST(ChurnOde, ValidatesRate) {
+  OdeParams p;
+  p.churn_rate = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.churn_rate = 0.5;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.gamma_eff(), p.gamma + 0.5);
+}
+
+TEST(ChurnOde, ZeroRateReducesToStaticModel) {
+  OdeParams p;
+  p.lambda = 8.0;
+  p.mu = 6.0;
+  p.gamma = 1.0;
+  p.c = 3.0;
+  p.s = 4;
+  const auto stat = IndirectOde{p}.solve();
+  p.churn_rate = 0.0;
+  const auto churn0 = IndirectOde{p}.solve();
+  EXPECT_NEAR(stat.normalized_throughput(), churn0.normalized_throughput(),
+              1e-9);
+  EXPECT_NEAR(stat.e, churn0.e, 1e-9);
+}
+
+TEST(ChurnOde, ChurnReducesOccupancy) {
+  OdeParams p;
+  p.lambda = 8.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.c = 2.0;
+  p.s = 1;
+  const double e_static = IndirectOde{p}.solve().e;
+  p.churn_rate = 0.5;  // E[L] = 2
+  const double e_churn = IndirectOde{p}.solve().e;
+  EXPECT_LT(e_churn, e_static * 0.85);
+  // Mean-field prediction: e ≈ (λ + (1−z0)μ)/γ_eff.
+  const double rho_eff = closed_form::rho(p.lambda, p.mu, p.gamma_eff());
+  EXPECT_NEAR(e_churn, rho_eff, 0.05 * rho_eff);
+}
+
+TEST(ChurnOde, MatchesSimulationAtSOne) {
+  // For s = 1 the only churn approximation is the z-side jump (exact),
+  // so the extended model should track the churny simulation tightly.
+  for (const double mu : {2.0, 10.0}) {
+    p2p::ProtocolConfig cfg;
+    cfg.num_peers = 150;
+    cfg.lambda = 8.0;
+    cfg.mu = mu;
+    cfg.gamma = 1.0;
+    cfg.segment_size = 1;
+    cfg.buffer_cap = 140;
+    cfg.num_servers = 4;
+    cfg.set_normalized_capacity(2.0);
+    cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+    cfg.churn.enabled = true;
+    cfg.churn.mean_lifetime = 2.0;
+    cfg.seed = 8;
+    p2p::Network net{cfg};
+    net.warm_up(10.0);
+    net.run_until(net.now() + 25.0);
+    const auto sol = CollectionSystem::analyze(cfg);
+    EXPECT_GT(sol.params.churn_rate, 0.0);
+    EXPECT_NEAR(sol.normalized_throughput(), net.normalized_throughput(),
+                0.04)
+        << "mu=" << mu;
+  }
+}
+
+TEST(ChurnOde, OverestimatesAtLargeSegments) {
+  // The mean-field w/m treatment ignores the within-peer loss
+  // correlation, which is exactly what breaks large segments under
+  // churn — so the model must sit *above* the simulation at s = 20.
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = 120;
+  cfg.lambda = 8.0;
+  cfg.mu = 10.0;
+  cfg.gamma = 1.0;
+  cfg.segment_size = 20;
+  cfg.buffer_cap = 140;
+  cfg.num_servers = 4;
+  cfg.set_normalized_capacity(8.0);
+  cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+  cfg.churn.enabled = true;
+  cfg.churn.mean_lifetime = 2.0;
+  cfg.seed = 8;
+  p2p::Network net{cfg};
+  net.warm_up(10.0);
+  net.run_until(net.now() + 25.0);
+  const auto sol = CollectionSystem::analyze(cfg);
+  EXPECT_GT(sol.normalized_throughput(),
+            net.normalized_throughput() * 1.2);
+}
+
+TEST(ChurnOde, FacadeMapsChurnRate) {
+  p2p::ProtocolConfig cfg;
+  cfg.churn.enabled = true;
+  cfg.churn.mean_lifetime = 4.0;
+  const auto p = CollectionSystem::ode_params(cfg);
+  EXPECT_DOUBLE_EQ(p.churn_rate, 0.25);
+  cfg.churn.enabled = false;
+  EXPECT_DOUBLE_EQ(CollectionSystem::ode_params(cfg).churn_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace icollect::ode

@@ -1,0 +1,124 @@
+/// Tests for the key=value configuration parser behind tools/icollect_sim.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config_args.h"
+
+namespace icollect {
+namespace {
+
+std::vector<std::string_view> args(std::initializer_list<const char*> list) {
+  return {list.begin(), list.end()};
+}
+
+TEST(ConfigArgs, DefaultsSurviveEmptyArgs) {
+  p2p::ProtocolConfig cfg;
+  const auto before = cfg;
+  const auto a = args({});
+  apply_config_args(cfg, a);
+  EXPECT_EQ(cfg.num_peers, before.num_peers);
+  EXPECT_EQ(cfg.segment_size, before.segment_size);
+}
+
+TEST(ConfigArgs, ParsesEveryKey) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"peers=300", "lambda=12.5", "s=15", "mu=7.5",
+                       "gamma=0.5", "buffer=200", "servers=8", "c=3.5",
+                       "payload=64", "seed=77", "degree=16",
+                       "topology=erdos-renyi", "churn=2.5",
+                       "fidelity=real-coding"});
+  apply_config_args(cfg, a);
+  EXPECT_EQ(cfg.num_peers, 300u);
+  EXPECT_DOUBLE_EQ(cfg.lambda, 12.5);
+  EXPECT_EQ(cfg.segment_size, 15u);
+  EXPECT_DOUBLE_EQ(cfg.mu, 7.5);
+  EXPECT_DOUBLE_EQ(cfg.gamma, 0.5);
+  EXPECT_EQ(cfg.buffer_cap, 200u);
+  EXPECT_EQ(cfg.num_servers, 8u);
+  EXPECT_NEAR(cfg.normalized_capacity(), 3.5, 1e-12);
+  EXPECT_EQ(cfg.payload_bytes, 64u);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.mean_degree, 16u);
+  EXPECT_EQ(cfg.topology, p2p::TopologyKind::kErdosRenyi);
+  EXPECT_TRUE(cfg.churn.enabled);
+  EXPECT_DOUBLE_EQ(cfg.churn.mean_lifetime, 2.5);
+  EXPECT_EQ(cfg.fidelity, p2p::CollectionFidelity::kRealCoding);
+}
+
+TEST(ConfigArgs, LaterTokensWin) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"peers=100", "peers=250"});
+  apply_config_args(cfg, a);
+  EXPECT_EQ(cfg.num_peers, 250u);
+}
+
+TEST(ConfigArgs, ChurnZeroDisables) {
+  p2p::ProtocolConfig cfg;
+  cfg.churn.enabled = true;
+  cfg.churn.mean_lifetime = 3.0;
+  const auto a = args({"churn=0"});
+  apply_config_args(cfg, a);
+  EXPECT_FALSE(cfg.churn.enabled);
+}
+
+TEST(ConfigArgs, CapacityAfterPeersOrderMatters) {
+  // c= computes server_rate from the *current* peer count, so peers
+  // must come first for the intended normalized capacity.
+  p2p::ProtocolConfig cfg;
+  auto a = args({"peers=400", "c=5"});
+  apply_config_args(cfg, a);
+  EXPECT_NEAR(cfg.normalized_capacity(), 5.0, 1e-12);
+}
+
+TEST(ConfigArgs, MalformedTokensRejected) {
+  p2p::ProtocolConfig cfg;
+  for (const char* bad :
+       {"peers", "=5", "peers=abc", "lambda=1x", "nope=3",
+        "topology=ring", "fidelity=magic"}) {
+    p2p::ProtocolConfig fresh;
+    const auto a = args({bad});
+    EXPECT_THROW(apply_config_args(fresh, a), std::invalid_argument)
+        << bad;
+  }
+  (void)cfg;
+}
+
+TEST(ConfigArgs, FinalValidationRuns) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"buffer=2", "s=10"});  // B < s
+  EXPECT_THROW(apply_config_args(cfg, a), std::invalid_argument);
+}
+
+TEST(ConfigArgs, StateCounterPayloadConflictCaught) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"fidelity=state-counter", "payload=64"});
+  EXPECT_THROW(apply_config_args(cfg, a), std::invalid_argument);
+}
+
+TEST(ConfigArgs, ParseArgvHelper) {
+  const char* argv[] = {"prog", "peers=123", "s=4"};
+  const auto cfg = parse_config_args(3, argv);
+  EXPECT_EQ(cfg.num_peers, 123u);
+  EXPECT_EQ(cfg.segment_size, 4u);
+}
+
+TEST(ConfigArgs, DescribeMentionsKeyFields) {
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = 42;
+  cfg.churn.enabled = true;
+  cfg.churn.mean_lifetime = 1.5;
+  const std::string text = describe(cfg);
+  EXPECT_NE(text.find("N=42"), std::string::npos);
+  EXPECT_NE(text.find("churn"), std::string::npos);
+  EXPECT_NE(text.find("fidelity"), std::string::npos);
+}
+
+TEST(ConfigArgs, HelpTextIsNonEmpty) {
+  EXPECT_NE(config_args_help(), nullptr);
+  EXPECT_GT(std::string_view{config_args_help()}.size(), 50u);
+}
+
+}  // namespace
+}  // namespace icollect

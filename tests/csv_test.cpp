@@ -1,0 +1,75 @@
+/// CsvWriter tests: escaping rules, row building, file round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/csv.h"
+
+namespace icollect::stats {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "csv_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, PlainFieldsUnquoted) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("3.14"), "3.14");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST_F(CsvTest, SpecialFieldsQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, WritesRowsAndCounts) {
+  {
+    CsvWriter w{path_};
+    w.write_row({"s", "throughput", "note"});
+    w.row().add(std::size_t{10}).add(0.25).add("with,comma").end();
+    w.flush();
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  const std::string content = slurp(path_);
+  EXPECT_EQ(content, "s,throughput,note\n10,0.25,\"with,comma\"\n");
+}
+
+TEST_F(CsvTest, NumericFormattingRoundTrips) {
+  {
+    CsvWriter w{path_};
+    w.row().add(1.0 / 3.0).add(std::uint64_t{123456789012345ULL}).end();
+    w.flush();
+  }
+  const std::string content = slurp(path_);
+  double d = 0.0;
+  unsigned long long u = 0;
+  ASSERT_EQ(std::sscanf(content.c_str(), "%lf,%llu", &d, &u), 2);
+  EXPECT_NEAR(d, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(u, 123456789012345ULL);
+}
+
+TEST_F(CsvTest, UnopenableFileThrows) {
+  EXPECT_THROW(CsvWriter{"/nonexistent-dir/zzz/file.csv"},
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace icollect::stats

@@ -1,0 +1,101 @@
+/// Failure injection: lossy gossip links. Conservation must still hold
+/// (lost blocks are spent μ, not phantom storage), buffering must
+/// degrade gracefully, and the facade must keep recovering valid data.
+
+#include <gtest/gtest.h>
+
+#include "core/collection_system.h"
+#include "p2p/network.h"
+
+namespace icollect::p2p {
+namespace {
+
+ProtocolConfig lossy_config(double loss) {
+  ProtocolConfig cfg;
+  cfg.num_peers = 80;
+  cfg.lambda = 10.0;
+  cfg.segment_size = 5;
+  cfg.mu = 8.0;
+  cfg.gamma = 1.0;
+  cfg.buffer_cap = 80;
+  cfg.num_servers = 4;
+  cfg.set_normalized_capacity(3.0);
+  cfg.fidelity = CollectionFidelity::kStateCounter;
+  cfg.gossip_loss = loss;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(GossipLoss, ValidatedRange) {
+  ProtocolConfig cfg = lossy_config(0.0);
+  cfg.gossip_loss = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.gossip_loss = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.gossip_loss = 0.999;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(GossipLoss, ConservationHoldsWithDrops) {
+  Network net{lossy_config(0.3)};
+  net.run_until(12.0);
+  const auto& m = net.metrics();
+  EXPECT_GT(m.gossip_lost_in_transit, 0u);
+  std::size_t in_network = 0;
+  for (std::size_t slot = 0; slot < net.config().num_peers; ++slot) {
+    in_network += net.peer(slot).buffer.size();
+  }
+  // Dropped blocks never entered the network, so the ledger is unchanged.
+  EXPECT_EQ(m.blocks_injected + m.gossip_sent,
+            m.ttl_expirations + m.blocks_lost_to_churn + in_network);
+}
+
+TEST(GossipLoss, DropRateMatchesConfiguredProbability) {
+  Network net{lossy_config(0.25)};
+  net.run_until(15.0);
+  const auto& m = net.metrics();
+  const double attempts =
+      static_cast<double>(m.gossip_sent + m.gossip_lost_in_transit);
+  ASSERT_GT(attempts, 1000.0);
+  EXPECT_NEAR(static_cast<double>(m.gossip_lost_in_transit) / attempts,
+              0.25, 0.03);
+}
+
+TEST(GossipLoss, BufferingShrinksButSystemKeepsWorking) {
+  Network clean{lossy_config(0.0)};
+  clean.warm_up(8.0);
+  clean.run_until(clean.now() + 15.0);
+  Network lossy{lossy_config(0.5)};
+  lossy.warm_up(8.0);
+  lossy.run_until(lossy.now() + 15.0);
+  // Half the replication budget is burned: fewer blocks per peer...
+  EXPECT_LT(lossy.mean_blocks_per_peer(),
+            clean.mean_blocks_per_peer() * 0.9);
+  // ...yet collection continues.
+  EXPECT_GT(lossy.throughput(), 0.0);
+  EXPECT_GT(lossy.servers().segments_decoded(), 0u);
+}
+
+TEST(GossipLoss, ZeroLossPathUnchanged) {
+  Network net{lossy_config(0.0)};
+  net.run_until(10.0);
+  EXPECT_EQ(net.metrics().gossip_lost_in_transit, 0u);
+}
+
+TEST(GossipLoss, EndToEndPayloadsStillVerify) {
+  ProtocolConfig cfg = lossy_config(0.3);
+  cfg.fidelity = CollectionFidelity::kRealCoding;
+  cfg.payload_bytes = 64;
+  CollectionSystem sys{cfg};
+  sys.use_vital_statistics_payloads();
+  sys.run(15.0);
+  const auto r = sys.report();
+  EXPECT_GT(r.segments_decoded, 0u);
+  EXPECT_EQ(r.payload_crc_failures, 0u);
+  const auto store = sys.recovered_record_store();
+  EXPECT_GT(store.size(), 0u);
+  EXPECT_EQ(store.size(), sys.recovered_records().size());
+}
+
+}  // namespace
+}  // namespace icollect::p2p

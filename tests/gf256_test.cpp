@@ -1,0 +1,193 @@
+/// Field-axiom and table tests for GF(2^8).
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+
+namespace icollect::gf {
+namespace {
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x00, 0x00), 0x00);
+  EXPECT_EQ(GF256::add(0xFF, 0xFF), 0x00);
+  EXPECT_EQ(GF256::add(0xA5, 0x5A), 0xFF);
+  EXPECT_EQ(GF256::add(0x01, 0x02), 0x03);
+}
+
+TEST(GF256, SubEqualsAdd) {
+  for (unsigned a = 0; a < 256; a += 17) {
+    for (unsigned b = 0; b < 256; b += 13) {
+      EXPECT_EQ(GF256::sub(static_cast<Element>(a), static_cast<Element>(b)),
+                GF256::add(static_cast<Element>(a), static_cast<Element>(b)));
+    }
+  }
+}
+
+TEST(GF256, MulMatchesReferenceExhaustively) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const auto ea = static_cast<Element>(a);
+      const auto eb = static_cast<Element>(b);
+      ASSERT_EQ(GF256::mul(ea, eb), GF256::mul_reference(ea, eb))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(GF256, MulZeroAnnihilates) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<Element>(a), 0), 0);
+    EXPECT_EQ(GF256::mul(0, static_cast<Element>(a)), 0);
+  }
+}
+
+TEST(GF256, MulOneIsIdentity) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<Element>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<Element>(a)), a);
+  }
+}
+
+TEST(GF256, MulCommutative) {
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; b += 5) {
+      EXPECT_EQ(GF256::mul(static_cast<Element>(a), static_cast<Element>(b)),
+                GF256::mul(static_cast<Element>(b), static_cast<Element>(a)));
+    }
+  }
+}
+
+TEST(GF256, MulAssociative) {
+  for (unsigned a = 1; a < 256; a += 37) {
+    for (unsigned b = 1; b < 256; b += 31) {
+      for (unsigned c = 1; c < 256; c += 29) {
+        const auto ea = static_cast<Element>(a);
+        const auto eb = static_cast<Element>(b);
+        const auto ec = static_cast<Element>(c);
+        EXPECT_EQ(GF256::mul(GF256::mul(ea, eb), ec),
+                  GF256::mul(ea, GF256::mul(eb, ec)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  for (unsigned a = 0; a < 256; a += 11) {
+    for (unsigned b = 0; b < 256; b += 13) {
+      for (unsigned c = 0; c < 256; c += 17) {
+        const auto ea = static_cast<Element>(a);
+        const auto eb = static_cast<Element>(b);
+        const auto ec = static_cast<Element>(c);
+        EXPECT_EQ(GF256::mul(ea, GF256::add(eb, ec)),
+                  GF256::add(GF256::mul(ea, eb), GF256::mul(ea, ec)));
+      }
+    }
+  }
+}
+
+TEST(GF256, InverseIsTwoSided) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto ea = static_cast<Element>(a);
+    const Element inv = GF256::inv(ea);
+    EXPECT_EQ(GF256::mul(ea, inv), 1) << "a=" << a;
+    EXPECT_EQ(GF256::mul(inv, ea), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, InverseOfZeroViolatesContract) {
+  EXPECT_THROW((void)GF256::inv(0), ContractViolation);
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 1; b < 256; b += 5) {
+      const auto ea = static_cast<Element>(a);
+      const auto eb = static_cast<Element>(b);
+      EXPECT_EQ(GF256::mul(GF256::div(ea, eb), eb), ea);
+    }
+  }
+}
+
+TEST(GF256, DivisionByZeroViolatesContract) {
+  EXPECT_THROW((void)GF256::div(1, 0), ContractViolation);
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: powers 2^0..2^254 are distinct.
+  std::array<bool, 256> seen{};
+  Element x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "period shorter than 255 at i=" << i;
+    seen[x] = true;
+    x = GF256::mul(x, GF256::kGenerator);
+  }
+  EXPECT_EQ(x, 1) << "generator order must be exactly 255";
+}
+
+TEST(GF256, ExpLogRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto ea = static_cast<Element>(a);
+    EXPECT_EQ(GF256::exp(GF256::log(ea)), ea);
+  }
+  for (unsigned i = 0; i < 255; ++i) {
+    EXPECT_EQ(GF256::log(GF256::exp(i)), i);
+  }
+}
+
+TEST(GF256, LogOfZeroViolatesContract) {
+  EXPECT_THROW((void)GF256::log(0), ContractViolation);
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 0; a < 256; a += 23) {
+    Element acc = 1;
+    for (unsigned n = 0; n < 40; ++n) {
+      EXPECT_EQ(GF256::pow(static_cast<Element>(a), n), acc)
+          << "a=" << a << " n=" << n;
+      acc = GF256::mul(acc, static_cast<Element>(a));
+    }
+  }
+}
+
+TEST(GF256, PowZeroExponentIsOne) {
+  EXPECT_EQ(GF256::pow(0, 0), 1);  // convention 0^0 = 1
+  EXPECT_EQ(GF256::pow(77, 0), 1);
+}
+
+TEST(GF256, MulRowMatchesScalarMul) {
+  for (unsigned c = 0; c < 256; c += 9) {
+    const Element* row = GF256::mul_row(static_cast<Element>(c));
+    for (unsigned x = 0; x < 256; ++x) {
+      ASSERT_EQ(row[x],
+                GF256::mul(static_cast<Element>(c), static_cast<Element>(x)));
+    }
+  }
+}
+
+TEST(GF256, FrobeniusSquaringIsLinear) {
+  // In characteristic 2, (a + b)^2 = a^2 + b^2.
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; b += 11) {
+      const auto ea = static_cast<Element>(a);
+      const auto eb = static_cast<Element>(b);
+      EXPECT_EQ(GF256::pow(GF256::add(ea, eb), 2),
+                GF256::add(GF256::pow(ea, 2), GF256::pow(eb, 2)));
+    }
+  }
+}
+
+/// Parameterized multiplicative-subgroup check: a^255 = 1 for all a != 0.
+class GF256FermatTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GF256FermatTest, LittleFermat) {
+  const auto a = static_cast<Element>(GetParam());
+  EXPECT_EQ(GF256::pow(a, 255), 1);
+  EXPECT_EQ(GF256::pow(a, 256), a);  // a^(q) = a (Frobenius fixed field)
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNonZeroSamples, GF256FermatTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 16u, 29u, 77u,
+                                           128u, 200u, 254u, 255u));
+
+}  // namespace
+}  // namespace icollect::gf

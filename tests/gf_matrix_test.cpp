@@ -1,0 +1,176 @@
+/// Tests for dense GF(2^8) matrices and Gaussian elimination.
+
+#include <gtest/gtest.h>
+
+#include "gf/gf_matrix.h"
+#include "gf/gf_vector.h"
+#include "sim/random.h"
+
+namespace icollect::gf {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, sim::Rng& rng) {
+  Matrix m{r, c};
+  for (std::size_t i = 0; i < r; ++i) rng.fill_gf(m.row(i));
+  return m;
+}
+
+TEST(GfMatrix, ZeroConstructionShapeAndContent) {
+  const Matrix m{3, 5};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(is_zero(m.row(i)));
+  }
+}
+
+TEST(GfMatrix, InitializerDataRoundTrip) {
+  const std::vector<Element> data{1, 2, 3, 4, 5, 6};
+  const Matrix m{2, 3, data};
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 2), 6);
+}
+
+TEST(GfMatrix, InitializerSizeMismatchViolatesContract) {
+  const std::vector<Element> data{1, 2, 3};
+  EXPECT_THROW((Matrix{2, 2, data}), ContractViolation);
+}
+
+TEST(GfMatrix, IdentityBehaves) {
+  const Matrix id = Matrix::identity(4);
+  EXPECT_EQ(id.rank(), 4u);
+  sim::Rng rng{21};
+  const Matrix a = random_matrix(4, 4, rng);
+  EXPECT_EQ(id.multiply(a), a);
+  EXPECT_EQ(a.multiply(id), a);
+}
+
+TEST(GfMatrix, OutOfRangeAccessViolatesContract) {
+  Matrix m{2, 2};
+  EXPECT_THROW((void)m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.set(0, 2, 1), ContractViolation);
+  EXPECT_THROW((void)m.row(5), ContractViolation);
+}
+
+TEST(GfMatrix, AppendRowGrows) {
+  Matrix m{0, 3};
+  const std::vector<Element> r1{1, 0, 0};
+  const std::vector<Element> r2{0, 1, 0};
+  m.append_row(r1);
+  m.append_row(r2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.rank(), 2u);
+  const std::vector<Element> bad{1, 2};
+  EXPECT_THROW(m.append_row(bad), ContractViolation);
+}
+
+TEST(GfMatrix, RankOfDependentRows) {
+  Matrix m{0, 4};
+  sim::Rng rng{22};
+  std::vector<Element> a(4), b(4);
+  rng.fill_gf(a);
+  rng.fill_gf(b);
+  m.append_row(a);
+  m.append_row(b);
+  // A row that is 3*a + 7*b must not raise the rank.
+  std::vector<Element> dep(4, 0);
+  add_scaled(dep, a, 3);
+  add_scaled(dep, b, 7);
+  m.append_row(dep);
+  EXPECT_LE(m.rank(), 2u);
+}
+
+TEST(GfMatrix, RrefIdempotentAndRankStable) {
+  sim::Rng rng{23};
+  Matrix m = random_matrix(5, 8, rng);
+  Matrix copy = m;
+  const std::size_t r1 = copy.reduce_to_rref();
+  Matrix twice = copy;
+  const std::size_t r2 = twice.reduce_to_rref();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(copy, twice);
+  EXPECT_EQ(m.rank(), r1);
+}
+
+TEST(GfMatrix, InverseRoundTrip) {
+  sim::Rng rng{24};
+  // Random square GF(256) matrices are invertible w.h.p.; retry until one is.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Matrix a = random_matrix(6, 6, rng);
+    if (!a.invertible()) continue;
+    const Matrix inv = a.inverse();
+    EXPECT_EQ(a.multiply(inv), Matrix::identity(6));
+    EXPECT_EQ(inv.multiply(a), Matrix::identity(6));
+    return;
+  }
+  FAIL() << "no invertible random matrix in 10 draws (p < 1e-20)";
+}
+
+TEST(GfMatrix, InverseOfSingularViolatesContract) {
+  Matrix m{2, 2};  // zero matrix
+  EXPECT_FALSE(m.invertible());
+  EXPECT_THROW((void)m.inverse(), ContractViolation);
+}
+
+TEST(GfMatrix, SolveRecoversVector) {
+  sim::Rng rng{25};
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Matrix a = random_matrix(5, 5, rng);
+    if (!a.invertible()) continue;
+    std::vector<Element> x(5);
+    rng.fill_gf(x);
+    const std::vector<Element> b = a.multiply(x);
+    EXPECT_EQ(a.solve(b), x);
+    return;
+  }
+  FAIL() << "no invertible random matrix in 10 draws";
+}
+
+TEST(GfMatrix, SolveBatchedMatchesColumnwise) {
+  sim::Rng rng{26};
+  Matrix a{0, 3};
+  // A known invertible matrix: identity plus an upper-shift.
+  a.append_row(std::vector<Element>{1, 1, 0});
+  a.append_row(std::vector<Element>{0, 1, 1});
+  a.append_row(std::vector<Element>{0, 0, 1});
+  const Matrix x = random_matrix(3, 4, rng);
+  const Matrix b = a.multiply(x);
+  EXPECT_EQ(a.solve(b), x);
+}
+
+TEST(GfMatrix, MultiplyDimensionMismatchViolatesContract) {
+  const Matrix a{2, 3};
+  const Matrix b{2, 3};
+  EXPECT_THROW((void)a.multiply(b), ContractViolation);
+}
+
+TEST(GfMatrix, MultiplyAssociates) {
+  sim::Rng rng{27};
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 2, rng);
+  const Matrix c = random_matrix(2, 5, rng);
+  EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+TEST(GfMatrix, RandomSquareMatricesAreUsuallyInvertible) {
+  // Probability a random n x n GF(q) matrix is invertible:
+  // prod_{k=1..n} (1 - q^-k) ≈ 0.996 for q=256. Check the ratio roughly.
+  sim::Rng rng{28};
+  int invertible = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    if (random_matrix(8, 8, rng).invertible()) ++invertible;
+  }
+  EXPECT_GE(invertible, kTrials * 95 / 100);
+}
+
+TEST(GfMatrix, RectangularRankBounds) {
+  sim::Rng rng{29};
+  const Matrix wide = random_matrix(3, 10, rng);
+  EXPECT_LE(wide.rank(), 3u);
+  const Matrix tall = random_matrix(10, 3, rng);
+  EXPECT_LE(tall.rank(), 3u);
+}
+
+}  // namespace
+}  // namespace icollect::gf

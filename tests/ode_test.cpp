@@ -1,0 +1,318 @@
+/// Fluid-model tests: the RK4 kernel on known systems, the Sec. 3 ODE
+/// systems against Theorem 1's closed forms, internal consistency
+/// (mass conservation, Σ_j m_i^j = w_i), and Theorem 2's s = 1 formula.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/closed_form.h"
+#include "ode/indirect_ode.h"
+#include "ode/rk4.h"
+
+namespace icollect::ode {
+namespace {
+
+TEST(Rk4, ExponentialDecayExact) {
+  // y' = -y  →  y(t) = e^-t. RK4 local error O(dt^5).
+  State y{1.0};
+  const Derivative f = [](const State& yy, State& dy) { dy[0] = -yy[0]; };
+  for (int i = 0; i < 1000; ++i) rk4_step(f, y, 1e-3);
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-9);
+}
+
+TEST(Rk4, HarmonicOscillatorEnergyStable) {
+  // x'' = -x as a 2d system; RK4 keeps amplitude to high accuracy.
+  State y{1.0, 0.0};
+  const Derivative f = [](const State& yy, State& dy) {
+    dy[0] = yy[1];
+    dy[1] = -yy[0];
+  };
+  const double dt = 1e-3;
+  for (int i = 0; i < 6283; ++i) rk4_step(f, y, dt);  // ≈ one period
+  EXPECT_NEAR(y[0], 1.0, 1e-5);
+  EXPECT_NEAR(y[1], 0.0, 1e-3);
+}
+
+TEST(Rk4, SteadyStateOfLinearRelaxation) {
+  // y' = 3 - y converges to 3.
+  State y{0.0};
+  const Derivative f = [](const State& yy, State& dy) {
+    dy[0] = 3.0 - yy[0];
+  };
+  SteadyStateOptions opt;
+  opt.dt = 1e-2;
+  opt.tol = 1e-10;
+  const auto res = integrate_to_steady_state(f, y, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(y[0], 3.0, 1e-8);
+  EXPECT_GT(res.steps, 0u);
+}
+
+TEST(Rk4, DivergenceTriggersStepRefinement) {
+  // A stiff decay that explodes at dt=1 (|1 - λdt| > 1 for λ=3, dt=1)
+  // must still converge after halvings.
+  State y{1.0};
+  const Derivative f = [](const State& yy, State& dy) {
+    dy[0] = -3.0 * yy[0] * std::abs(yy[0]);  // superlinear blow-up if unstable
+  };
+  SteadyStateOptions opt;
+  opt.dt = 5.0;  // absurdly large on purpose
+  opt.t_max = 50.0;
+  opt.tol = 1e-8;
+  const auto res = integrate_to_steady_state(f, y, opt);
+  EXPECT_TRUE(std::isfinite(y[0]));
+  // Exact solution y(t) = 1/(1 + 3t): y(50) ≈ 0.0066 (polynomial decay).
+  EXPECT_NEAR(y[0], 1.0 / 151.0, 2e-3);
+  (void)res;
+}
+
+TEST(Rk4, MaxNormAndNonfinite) {
+  EXPECT_DOUBLE_EQ(max_norm({-3.0, 2.0}), 3.0);
+  EXPECT_FALSE(has_nonfinite({1.0, 2.0}));
+  EXPECT_TRUE(has_nonfinite({1.0, std::nan("")}));
+}
+
+TEST(ClosedForm, Z0FixedPointResidual) {
+  for (const double mu : {1.0, 5.0, 10.0}) {
+    for (const double lambda : {0.5, 8.0, 20.0}) {
+      const double z0 = closed_form::steady_z0(lambda, mu, 1.0);
+      const double residual =
+          std::abs(z0 - std::exp(-((1.0 - z0) * mu + lambda)));
+      EXPECT_LT(residual, 1e-10) << "mu=" << mu << " lambda=" << lambda;
+      EXPECT_GT(z0, 0.0);
+      EXPECT_LT(z0, 1.0);
+    }
+  }
+}
+
+TEST(ClosedForm, OverheadBelowTheoremOneBound) {
+  for (const double mu : {2.0, 10.0, 18.0}) {
+    const double overhead = closed_form::storage_overhead(8.0, mu, 1.0);
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, mu);  // Theorem 1: overhead < μ/γ with γ=1
+  }
+}
+
+TEST(ClosedForm, SteadyDegreesArePoisson) {
+  const auto z = closed_form::steady_peer_degrees(20.0, 10.0, 1.0, 120);
+  double sum = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_GE(z[i], 0.0);
+    sum += z[i];
+    mean += static_cast<double>(i) * z[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(mean, closed_form::rho(20.0, 10.0, 1.0), 1e-6);
+  // Poisson ratio property: z_{i+1}/z_i = ρ/(i+1).
+  const double rho = closed_form::rho(20.0, 10.0, 1.0);
+  for (std::size_t i = 10; i < 40; ++i) {
+    EXPECT_NEAR(z[i + 1] / z[i], rho / static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST(ClosedForm, NoncodingThroughputBounds) {
+  for (const double c : {2.0, 5.0, 10.0}) {
+    const double thr =
+        closed_form::normalized_throughput_noncoding(20.0, 10.0, 1.0, c);
+    EXPECT_GE(thr, 0.0);
+    EXPECT_LE(thr, std::min(c / 20.0, 1.0) + 1e-9);
+  }
+}
+
+TEST(ClosedForm, NoncodingThroughputMonotoneInCapacity) {
+  double prev = 0.0;
+  for (const double c : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double thr =
+        closed_form::normalized_throughput_noncoding(20.0, 10.0, 1.0, c);
+    EXPECT_GE(thr, prev - 1e-12);
+    prev = thr;
+  }
+}
+
+TEST(OdeParams, AutoSizingAndValidation) {
+  OdeParams p;
+  p.lambda = 20.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.s = 10;
+  const OdeParams r = p.resolved();
+  EXPECT_GT(r.B, 30u);     // must comfortably exceed ρ = 30
+  EXPECT_GE(r.Imax, r.s);  // segment degrees start at s
+  OdeParams bad = p;
+  bad.gamma = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.B = 5;  // < s
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(IndirectOde, StateLayoutIsABijection) {
+  OdeParams p;
+  p.s = 3;
+  p.B = 20;
+  p.Imax = 15;
+  const IndirectOde sys{p};
+  std::vector<bool> used(sys.dimension(), false);
+  auto mark = [&](std::size_t idx) {
+    ASSERT_LT(idx, used.size());
+    ASSERT_FALSE(used[idx]);
+    used[idx] = true;
+  };
+  for (std::size_t i = 0; i <= 20; ++i) mark(sys.z_index(i));
+  for (std::size_t i = 1; i <= 15; ++i) mark(sys.w_index(i));
+  for (std::size_t i = 1; i <= 15; ++i) {
+    for (std::size_t j = 0; j <= 3; ++j) mark(sys.m_index(i, j));
+  }
+  for (const bool u : used) EXPECT_TRUE(u);
+}
+
+class OdeSteadyStateTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(OdeSteadyStateTest, TheoremOneAndConsistency) {
+  const auto [c, s] = GetParam();
+  OdeParams p;
+  p.lambda = 20.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.c = c;
+  p.s = s;
+  const IndirectOde sys{p};
+  const OdeSolution sol = sys.solve();
+
+  // z mass is conserved.
+  double zsum = 0.0;
+  for (const double zi : sol.z) zsum += zi;
+  EXPECT_NEAR(zsum, 1.0, 1e-6);
+
+  // Theorem 1: the mean ρ matches the closed-form fixed point for every
+  // s. The full z law z̃_i = z̃_0 ρ^i/i! is exact for s = 1 (single-block
+  // injection); batch injection (s ≥ 2) is over-dispersed relative to
+  // Poisson — the theorem's law is the paper's large-B approximation —
+  // so the law itself is only asserted in the non-coding case.
+  const double rho = closed_form::rho(p.lambda, p.mu, p.gamma);
+  EXPECT_NEAR(sol.e, rho, 0.02 * rho);
+  if (s == 1) {
+    EXPECT_NEAR(sol.z0, closed_form::steady_z0(p.lambda, p.mu, p.gamma),
+                1e-4);
+    const auto poisson = closed_form::steady_peer_degrees(
+        p.lambda, p.mu, p.gamma, sol.params.B);
+    for (std::size_t i = 0; i < 40 && i < poisson.size(); ++i) {
+      EXPECT_NEAR(sol.z[i], poisson[i], 5e-3) << "i=" << i;
+    }
+  }
+
+  // m rows must sum to w (the collection matrix partitions segments).
+  EXPECT_LT(sol.m_w_consistency(), 1e-6);
+
+  // Truncation guard: negligible mass at the boundary.
+  EXPECT_LT(sol.tail_w, 1e-6);
+
+  // Physical ranges.
+  const double eta = sol.collection_efficiency();
+  EXPECT_GE(eta, 0.0);
+  EXPECT_LE(eta, 1.0);
+  EXPECT_GE(sol.saved_blocks_per_peer(), 0.0);
+  EXPECT_LE(sol.normalized_throughput(),
+            std::min(p.c / p.lambda, 1.0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityAndSegmentGrid, OdeSteadyStateTest,
+    ::testing::Combine(::testing::Values(2.0, 5.0, 10.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{20})));
+
+TEST(IndirectOde, NoncodingThroughputMatchesTheoremTwo) {
+  // The m-system's throughput at s = 1 must agree with the θ₊ closed form.
+  for (const double c : {2.0, 5.0}) {
+    OdeParams p;
+    p.lambda = 20.0;
+    p.mu = 10.0;
+    p.gamma = 1.0;
+    p.c = c;
+    p.s = 1;
+    const OdeSolution sol = IndirectOde{p}.solve();
+    const double closed =
+        closed_form::normalized_throughput_noncoding(p.lambda, p.mu,
+                                                     p.gamma, c);
+    EXPECT_NEAR(sol.normalized_throughput(), closed, 0.02)
+        << "c=" << c;
+  }
+}
+
+TEST(IndirectOde, ThroughputIncreasesWithSegmentSize) {
+  // The headline of Fig. 3.
+  OdeParams p;
+  p.lambda = 20.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.c = 5.0;
+  double prev = -1.0;
+  for (const std::size_t s : {1ul, 2ul, 5ul, 10ul, 20ul}) {
+    p.s = s;
+    const double thr = IndirectOde{p}.solve().normalized_throughput();
+    EXPECT_GE(thr, prev - 5e-3) << "s=" << s;
+    prev = thr;
+  }
+  // And approaches the capacity line c/λ = 0.25.
+  EXPECT_GT(prev, 0.24);
+}
+
+TEST(IndirectOde, SavedDataDecreasesWithSegmentSize) {
+  // Fig. 6: larger s → more already reconstructed → less saved.
+  OdeParams p;
+  p.lambda = 20.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.c = 5.0;
+  double prev = 1e18;
+  for (const std::size_t s : {1ul, 5ul, 20ul}) {
+    p.s = s;
+    const double saved = IndirectOde{p}.solve().saved_blocks_per_peer();
+    EXPECT_LT(saved, prev + 1e-9) << "s=" << s;
+    prev = saved;
+  }
+}
+
+TEST(IndirectOde, ZeroCapacityCollectsNothing) {
+  OdeParams p;
+  p.lambda = 10.0;
+  p.mu = 5.0;
+  p.gamma = 1.0;
+  p.c = 0.0;
+  p.s = 4;
+  const OdeSolution sol = IndirectOde{p}.solve();
+  EXPECT_DOUBLE_EQ(sol.throughput_per_peer(), 0.0);
+  EXPECT_NEAR(sol.e, closed_form::rho(p.lambda, p.mu, p.gamma),
+              0.02 * sol.e + 1e-9);
+}
+
+TEST(IndirectOde, DerivativeIsMassConservingForZ) {
+  OdeParams p;
+  p.lambda = 8.0;
+  p.mu = 6.0;
+  p.gamma = 1.0;
+  p.c = 3.0;
+  p.s = 4;
+  const IndirectOde sys{p};
+  // From a perturbed state, Σ dz_i must be ~0 (z is a probability law).
+  State y = sys.initial_state();
+  y[sys.z_index(0)] = 0.4;
+  y[sys.z_index(2)] = 0.3;
+  y[sys.z_index(7)] = 0.3;
+  y[sys.w_index(4)] = 0.5;
+  y[sys.m_index(4, 0)] = 0.5;
+  State dy(y.size());
+  sys.derivative(y, dy);
+  double dz_sum = 0.0;
+  for (std::size_t i = 0; i <= sys.params().B; ++i) {
+    dz_sum += dy[sys.z_index(i)];
+  }
+  EXPECT_NEAR(dz_sum, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace icollect::ode

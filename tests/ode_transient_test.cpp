@@ -1,0 +1,68 @@
+/// Transient-trajectory tests: the ODE warm-up path must rise
+/// monotonically toward the known steady state.
+
+#include <gtest/gtest.h>
+
+#include "ode/closed_form.h"
+#include "ode/indirect_ode.h"
+
+namespace icollect::ode {
+namespace {
+
+OdeParams params() {
+  OdeParams p;
+  p.lambda = 20.0;
+  p.mu = 10.0;
+  p.gamma = 1.0;
+  p.c = 5.0;
+  p.s = 10;
+  return p;
+}
+
+TEST(OdeTransient, StartsEmptyAndApproachesSteadyState) {
+  const IndirectOde sys{params()};
+  const auto traj = sys.transient(30.0, 1.0);
+  ASSERT_GE(traj.size(), 30u);
+  EXPECT_DOUBLE_EQ(traj.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(traj.front().e, 0.0);
+  EXPECT_DOUBLE_EQ(traj.front().z0, 1.0);
+  const double rho = closed_form::rho(20.0, 10.0, 1.0);
+  EXPECT_NEAR(traj.back().e, rho, 0.05 * rho);
+  EXPECT_LT(traj.back().z0, 1e-6);
+}
+
+TEST(OdeTransient, OccupancyIsMonotoneDuringFill) {
+  const IndirectOde sys{params()};
+  const auto traj = sys.transient(10.0, 0.5);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_GE(traj[i].e, traj[i - 1].e - 1e-9) << "t=" << traj[i].t;
+    EXPECT_LE(traj[i].z0, traj[i - 1].z0 + 1e-9) << "t=" << traj[i].t;
+    EXPECT_GE(traj[i].t, traj[i - 1].t);
+  }
+}
+
+TEST(OdeTransient, SamplesCarrySegmentsAndDecodedMass) {
+  const IndirectOde sys{params()};
+  const auto traj = sys.transient(20.0, 2.0);
+  EXPECT_GT(traj.back().segments, 0.0);
+  EXPECT_GT(traj.back().decoded_alive, 0.0);
+  EXPECT_LT(traj.back().decoded_alive, traj.back().segments);
+}
+
+TEST(OdeTransient, WarmUpTimeIsSmallComparedToBenchDefaults) {
+  // The benches warm up for 10 time units; the transient must be ~done
+  // by then (e within 5% of its final value).
+  const IndirectOde sys{params()};
+  const auto traj = sys.transient(10.0, 10.0);
+  const double rho = closed_form::rho(20.0, 10.0, 1.0);
+  EXPECT_NEAR(traj.back().e, rho, 0.05 * rho);
+}
+
+TEST(OdeTransient, ContractsOnBadArguments) {
+  const IndirectOde sys{params()};
+  EXPECT_THROW((void)sys.transient(0.0, 1.0), icollect::ContractViolation);
+  EXPECT_THROW((void)sys.transient(1.0, 0.0), icollect::ContractViolation);
+}
+
+}  // namespace
+}  // namespace icollect::ode

@@ -1,0 +1,152 @@
+/// PeerBuffer tests: capacity, segment organization, handle lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coding/encoder.h"
+#include "p2p/peer.h"
+
+namespace icollect::p2p {
+namespace {
+
+coding::CodedBlock block_of(coding::SegmentId id, std::size_t s,
+                            sim::Rng& rng) {
+  coding::CodedBlock b;
+  b.segment = id;
+  b.coefficients.resize(s);
+  do {
+    rng.fill_gf(b.coefficients);
+  } while (b.is_degenerate());
+  return b;
+}
+
+TEST(PeerBuffer, StartsEmpty) {
+  const PeerBuffer pb{10};
+  EXPECT_TRUE(pb.empty());
+  EXPECT_FALSE(pb.full());
+  EXPECT_EQ(pb.size(), 0u);
+  EXPECT_EQ(pb.segment_count(), 0u);
+  EXPECT_TRUE(pb.has_room(10));
+  EXPECT_FALSE(pb.has_room(11));
+}
+
+TEST(PeerBuffer, ZeroCapacityViolatesContract) {
+  EXPECT_THROW((PeerBuffer{0}), icollect::ContractViolation);
+}
+
+TEST(PeerBuffer, InsertAndFindBySegment) {
+  sim::Rng rng{71};
+  PeerBuffer pb{10};
+  const coding::SegmentId s1{1, 0};
+  const coding::SegmentId s2{2, 0};
+  pb.insert(1, block_of(s1, 4, rng));
+  pb.insert(2, block_of(s1, 4, rng));
+  pb.insert(3, block_of(s2, 4, rng));
+  EXPECT_EQ(pb.size(), 3u);
+  EXPECT_EQ(pb.segment_count(), 2u);
+  ASSERT_NE(pb.find(s1), nullptr);
+  EXPECT_EQ(pb.find(s1)->block_count(), 2u);
+  ASSERT_NE(pb.find(s2), nullptr);
+  EXPECT_EQ(pb.find(s2)->block_count(), 1u);
+  EXPECT_EQ(pb.find(coding::SegmentId{3, 0}), nullptr);
+}
+
+TEST(PeerBuffer, FullBufferRejectsInsert) {
+  sim::Rng rng{72};
+  PeerBuffer pb{2};
+  pb.insert(1, block_of({1, 0}, 2, rng));
+  pb.insert(2, block_of({1, 0}, 2, rng));
+  EXPECT_TRUE(pb.full());
+  EXPECT_THROW(pb.insert(3, block_of({1, 0}, 2, rng)),
+               icollect::ContractViolation);
+}
+
+TEST(PeerBuffer, DuplicateHandleViolatesContract) {
+  sim::Rng rng{73};
+  PeerBuffer pb{4};
+  pb.insert(7, block_of({1, 0}, 2, rng));
+  EXPECT_THROW(pb.insert(7, block_of({1, 0}, 2, rng)),
+               icollect::ContractViolation);
+}
+
+TEST(PeerBuffer, EraseReturnsSegmentAndPrunes) {
+  sim::Rng rng{74};
+  PeerBuffer pb{10};
+  const coding::SegmentId s1{1, 0};
+  pb.insert(1, block_of(s1, 4, rng));
+  pb.insert(2, block_of(s1, 4, rng));
+  auto seg = pb.erase(1);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(*seg, s1);
+  EXPECT_EQ(pb.size(), 1u);
+  EXPECT_EQ(pb.segment_count(), 1u);
+  seg = pb.erase(2);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_TRUE(pb.empty());
+  EXPECT_EQ(pb.segment_count(), 0u);  // emptied segment entry dropped
+  EXPECT_EQ(pb.find(s1), nullptr);
+  EXPECT_FALSE(pb.erase(2).has_value());  // unknown handle
+}
+
+TEST(PeerBuffer, RandomSegmentIsUniformOverSegments) {
+  sim::Rng rng{75};
+  PeerBuffer pb{100};
+  // Segment A holds 9 blocks, B holds 1 — selection must be uniform over
+  // *segments* (paper: "chooses a segment r u.a.r. from among all the
+  // segments of which it has at least one block"), not over blocks.
+  const coding::SegmentId a{1, 0};
+  const coding::SegmentId b{2, 0};
+  for (std::size_t k = 0; k < 9; ++k) pb.insert(k + 1, block_of(a, 4, rng));
+  pb.insert(100, block_of(b, 4, rng));
+  std::map<coding::SegmentId, int> hits;
+  for (int t = 0; t < 4000; ++t) ++hits[pb.random_segment(rng)];
+  EXPECT_NEAR(hits[a], 2000, 200);
+  EXPECT_NEAR(hits[b], 2000, 200);
+}
+
+TEST(PeerBuffer, RandomSegmentOnEmptyViolatesContract) {
+  sim::Rng rng{76};
+  const PeerBuffer pb{4};
+  EXPECT_THROW((void)pb.random_segment(rng), icollect::ContractViolation);
+}
+
+TEST(PeerBuffer, AllHandlesAndClear) {
+  sim::Rng rng{77};
+  PeerBuffer pb{10};
+  pb.insert(5, block_of({1, 0}, 2, rng));
+  pb.insert(9, block_of({2, 0}, 2, rng));
+  auto hs = pb.all_handles();
+  std::sort(hs.begin(), hs.end());
+  EXPECT_EQ(hs, (std::vector<coding::BlockHandle>{5, 9}));
+  EXPECT_EQ(pb.clear(), 2u);
+  EXPECT_TRUE(pb.empty());
+  EXPECT_TRUE(pb.all_handles().empty());
+  EXPECT_TRUE(pb.segments().empty());
+}
+
+TEST(PeerBuffer, SegmentListTracksMembership) {
+  sim::Rng rng{78};
+  PeerBuffer pb{10};
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    pb.insert(k + 1, block_of({k, 0}, 2, rng));
+  }
+  EXPECT_EQ(pb.segments().size(), 5u);
+  // Remove the middle segment's only block: list shrinks by one.
+  pb.erase(3);
+  EXPECT_EQ(pb.segments().size(), 4u);
+  for (const auto& id : pb.segments()) {
+    EXPECT_NE(pb.find(id), nullptr);
+  }
+}
+
+TEST(PeerStruct, IdentityFields) {
+  const Peer p{3, 42, 16};
+  EXPECT_EQ(p.slot, 3u);
+  EXPECT_EQ(p.origin, 42u);
+  EXPECT_EQ(p.incarnation, 0u);
+  EXPECT_EQ(p.buffer.capacity(), 16u);
+}
+
+}  // namespace
+}  // namespace icollect::p2p

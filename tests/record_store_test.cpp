@@ -1,0 +1,102 @@
+/// RecordStore tests: indexing, ordering, health aggregation, and the
+/// unhealthy-peer postmortem query.
+
+#include <gtest/gtest.h>
+
+#include "workload/record_store.h"
+
+namespace icollect::workload {
+namespace {
+
+StatsRecord make(std::uint32_t peer, double t, float continuity = 0.99F,
+                 float loss = 0.01F) {
+  StatsRecord r;
+  r.peer = peer;
+  r.timestamp = t;
+  r.playback_continuity = continuity;
+  r.loss_rate = loss;
+  r.buffer_level = 10.0F;
+  r.download_rate_kbps = 400.0F;
+  return r;
+}
+
+TEST(RecordStore, EmptyStore) {
+  const RecordStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.peer_count(), 0u);
+  EXPECT_TRUE(store.peer_history(1).empty());
+  EXPECT_FALSE(store.latest(1).has_value());
+  EXPECT_TRUE(store.peers().empty());
+}
+
+TEST(RecordStore, InsertAndQuery) {
+  RecordStore store;
+  store.insert(make(5, 1.0));
+  store.insert(make(5, 2.0));
+  store.insert(make(9, 1.5));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.peer_count(), 2u);
+  EXPECT_EQ(store.peer_history(5).size(), 2u);
+  EXPECT_EQ(store.peers(), (std::vector<std::uint32_t>{5, 9}));
+  ASSERT_TRUE(store.latest(5).has_value());
+  EXPECT_DOUBLE_EQ(store.latest(5)->timestamp, 2.0);
+}
+
+TEST(RecordStore, OutOfOrderArrivalsAreSorted) {
+  RecordStore store;
+  store.insert(make(1, 3.0));
+  store.insert(make(1, 1.0));
+  store.insert(make(1, 2.0));
+  const auto history = store.peer_history(1);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_DOUBLE_EQ(history[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(history[1].timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(history[2].timestamp, 3.0);
+  EXPECT_DOUBLE_EQ(store.latest(1)->timestamp, 3.0);
+}
+
+TEST(RecordStore, BulkInsert) {
+  RecordStore store;
+  const std::vector<StatsRecord> batch{make(1, 1.0), make(2, 1.0),
+                                       make(1, 2.0)};
+  store.insert(batch);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.peer_count(), 2u);
+}
+
+TEST(RecordStore, HealthWindowing) {
+  RecordStore store;
+  store.insert(make(1, 1.0, 0.90F, 0.10F));
+  store.insert(make(1, 5.0, 0.98F, 0.02F));
+  store.insert(make(2, 5.5, 0.96F, 0.04F));
+  const auto all = store.health(0.0, 10.0);
+  EXPECT_EQ(all.records, 3u);
+  EXPECT_EQ(all.peers, 2u);
+  EXPECT_NEAR(all.continuity.mean(), (0.90 + 0.98 + 0.96) / 3.0, 1e-6);
+  const auto late = store.health(4.0, 10.0);
+  EXPECT_EQ(late.records, 2u);
+  EXPECT_EQ(late.peers, 2u);
+  const auto none = store.health(20.0, 30.0);
+  EXPECT_EQ(none.records, 0u);
+  EXPECT_EQ(none.peers, 0u);
+}
+
+TEST(RecordStore, UnhealthyPeersUseLatestRecord) {
+  RecordStore store;
+  // Peer 1 was sick but recovered: healthy latest record.
+  store.insert(make(1, 1.0, 0.50F, 0.40F));
+  store.insert(make(1, 2.0, 0.99F, 0.01F));
+  // Peer 2 degraded at the end (the churn-postmortem case).
+  store.insert(make(2, 1.0, 0.99F, 0.01F));
+  store.insert(make(2, 2.0, 0.60F, 0.30F));
+  // Peer 3 healthy throughout.
+  store.insert(make(3, 1.5));
+  EXPECT_EQ(store.unhealthy_peers(), (std::vector<std::uint32_t>{2}));
+  // Tighter thresholds flag the nominally-healthy 0.99-continuity peers too.
+  EXPECT_EQ(store.unhealthy_peers(0.995F, 0.005F),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(store.unhealthy_peers(0.0F, 1.0F).empty());
+}
+
+}  // namespace
+}  // namespace icollect::workload

@@ -1,0 +1,103 @@
+/// Cross-validation: the event-driven simulation (run at the paper's
+/// state-counter fidelity, which is exactly the process the ODEs are the
+/// fluid limit of) must agree with the ODE steady state within finite-N
+/// tolerances. This is the reproduction's core correctness argument:
+/// two independent implementations of Sec. 2/Sec. 3 meeting in the middle.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/collection_system.h"
+#include "ode/closed_form.h"
+#include "p2p/network.h"
+
+namespace icollect {
+namespace {
+
+struct Scenario {
+  double lambda;
+  double mu;
+  double c;
+  std::size_t s;
+};
+
+class SimVsOdeTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(SimVsOdeTest, SteadyStateAgreement) {
+  const Scenario sc = GetParam();
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = 150;
+  cfg.lambda = sc.lambda;
+  cfg.mu = sc.mu;
+  cfg.gamma = 1.0;
+  cfg.segment_size = sc.s;
+  cfg.buffer_cap = 150;
+  cfg.num_servers = 4;
+  cfg.set_normalized_capacity(sc.c);
+  cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+  cfg.seed = 1234;
+
+  p2p::Network net{cfg};
+  net.warm_up(12.0);
+  net.run_until(net.now() + 30.0);
+
+  const auto sol = CollectionSystem::analyze(cfg);
+
+  // Storage (Theorem 1): tight agreement expected.
+  EXPECT_NEAR(net.mean_blocks_per_peer(), sol.rho(), 0.05 * sol.rho());
+
+  // Throughput (Theorem 2): finite-N sim runs a few percent below the
+  // fluid limit (the N→∞ idealization); require agreement within 12%
+  // of the demand scale and the right ordering vs capacity.
+  EXPECT_NEAR(net.normalized_throughput(), sol.normalized_throughput(),
+              0.12 * std::max(sol.normalized_throughput(), 0.1));
+  EXPECT_LE(net.normalized_throughput(),
+            std::min(sc.c / sc.lambda, 1.0) + 0.02);
+
+  // Saved data (Theorem 4): same scale and ordering.
+  const double sim_saved =
+      net.saved_data_census().saved_original_blocks_degree /
+      static_cast<double>(cfg.num_peers);
+  const double ode_saved = sol.saved_blocks_per_peer();
+  EXPECT_NEAR(sim_saved, ode_saved,
+              0.45 * std::max(ode_saved, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SimVsOdeTest,
+    ::testing::Values(Scenario{20.0, 10.0, 5.0, 1},
+                      Scenario{20.0, 10.0, 5.0, 10},
+                      Scenario{20.0, 10.0, 2.0, 5},
+                      Scenario{8.0, 4.0, 2.0, 4}));
+
+TEST(SimVsOde, ThroughputOrderingInSMatches) {
+  // Both worlds must agree that throughput grows with s (Fig. 3 shape).
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = 120;
+  cfg.lambda = 20.0;
+  cfg.mu = 10.0;
+  cfg.gamma = 1.0;
+  cfg.buffer_cap = 150;
+  cfg.num_servers = 4;
+  cfg.set_normalized_capacity(5.0);
+  cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+  cfg.seed = 77;
+
+  double prev_sim = -1.0;
+  double prev_ode = -1.0;
+  for (const std::size_t s : {1ul, 10ul}) {
+    cfg.segment_size = s;
+    p2p::Network net{cfg};
+    net.warm_up(10.0);
+    net.run_until(net.now() + 25.0);
+    const auto sol = CollectionSystem::analyze(cfg);
+    EXPECT_GT(net.normalized_throughput(), prev_sim);
+    EXPECT_GT(sol.normalized_throughput(), prev_ode);
+    prev_sim = net.normalized_throughput();
+    prev_ode = sol.normalized_throughput();
+  }
+}
+
+}  // namespace
+}  // namespace icollect

@@ -1,0 +1,138 @@
+/// Vital-statistics record serialization and segment packing tests.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/crc32.h"
+#include "workload/stats_record.h"
+
+namespace icollect::workload {
+namespace {
+
+StatsRecord sample_record() {
+  StatsRecord r;
+  r.peer = 4242;
+  r.timestamp = 123.456;
+  r.buffer_level = 11.5F;
+  r.download_rate_kbps = 412.0F;
+  r.upload_rate_kbps = 380.5F;
+  r.playback_continuity = 0.987F;
+  r.loss_rate = 0.013F;
+  r.rtt_ms = 85.25F;
+  r.partner_count = 14;
+  r.channel_id = 3;
+  return r;
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (the canonical check value).
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32({digits, 9}), 0xCBF43926U);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0x00000000U);
+}
+
+TEST(StatsRecordTest, SerializedSizeIsFixed) {
+  EXPECT_EQ(sample_record().serialize().size(), StatsRecord::kSerializedSize);
+}
+
+TEST(StatsRecordTest, RoundTrip) {
+  const StatsRecord r = sample_record();
+  const auto bytes = r.serialize();
+  EXPECT_TRUE(StatsRecord::crc_ok(bytes));
+  EXPECT_EQ(StatsRecord::deserialize(bytes), r);
+}
+
+TEST(StatsRecordTest, CorruptionDetected) {
+  auto bytes = sample_record().serialize();
+  for (std::size_t i = 0; i < bytes.size(); i += 5) {
+    auto corrupted = bytes;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(StatsRecord::crc_ok(corrupted)) << "byte " << i;
+    EXPECT_THROW((void)StatsRecord::deserialize(corrupted),
+                 std::invalid_argument);
+  }
+}
+
+TEST(StatsRecordTest, WrongSizeRejected) {
+  auto bytes = sample_record().serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(StatsRecord::crc_ok(bytes));
+  EXPECT_THROW((void)StatsRecord::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(RecordPacker, CapacityArithmetic) {
+  // 10 blocks × 64 bytes = 640; (640 − 4) / 48 = 13 records.
+  const RecordPacker p{10, 64};
+  EXPECT_EQ(p.capacity(), 13u);
+}
+
+TEST(RecordPacker, TooSmallSegmentRejected) {
+  EXPECT_THROW((RecordPacker{1, 16}), std::invalid_argument);
+}
+
+TEST(RecordPacker, PackUnpackRoundTrip) {
+  const RecordPacker p{4, 64};
+  std::vector<StatsRecord> records;
+  for (unsigned i = 0; i < p.capacity(); ++i) {
+    StatsRecord r = sample_record();
+    r.peer = i;
+    r.timestamp = i * 1.5;
+    records.push_back(r);
+  }
+  const auto blocks = p.pack(records);
+  ASSERT_EQ(blocks.size(), 4u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(p.unpack(blocks), records);
+}
+
+TEST(RecordPacker, PartialFillRoundTrip) {
+  const RecordPacker p{4, 64};
+  std::vector<StatsRecord> records{sample_record()};
+  const auto blocks = p.pack(records);
+  EXPECT_EQ(p.unpack(blocks), records);
+}
+
+TEST(RecordPacker, EmptyBatchRoundTrip) {
+  const RecordPacker p{2, 64};
+  const auto blocks = p.pack({});
+  EXPECT_TRUE(p.unpack(blocks).empty());
+}
+
+TEST(RecordPacker, OverCapacityRejected) {
+  const RecordPacker p{2, 64};
+  std::vector<StatsRecord> too_many(p.capacity() + 1, sample_record());
+  EXPECT_THROW((void)p.pack(too_many), std::invalid_argument);
+}
+
+TEST(RecordPacker, UnpackWrongShapeRejected) {
+  const RecordPacker p{3, 32};
+  std::vector<std::vector<std::uint8_t>> wrong_count(2,
+                                                     std::vector<std::uint8_t>(32, 0));
+  EXPECT_THROW((void)p.unpack(wrong_count), std::invalid_argument);
+  std::vector<std::vector<std::uint8_t>> wrong_size(3,
+                                                    std::vector<std::uint8_t>(31, 0));
+  EXPECT_THROW((void)p.unpack(wrong_size), std::invalid_argument);
+}
+
+TEST(RecordPacker, UnpackCorruptedBodyRejected) {
+  const RecordPacker p{2, 64};
+  std::vector<StatsRecord> one{sample_record()};
+  auto blocks = p.pack(one);
+  blocks[0][10] ^= 0xFF;  // corrupt inside the first record
+  EXPECT_THROW((void)p.unpack(blocks), std::invalid_argument);
+}
+
+TEST(RecordPacker, UnpackBogusCountRejected) {
+  const RecordPacker p{2, 64};
+  auto blocks = p.pack({});
+  blocks[0][0] = 0xFF;  // absurd record count
+  blocks[0][1] = 0xFF;
+  EXPECT_THROW((void)p.unpack(blocks), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icollect::workload

@@ -1,0 +1,86 @@
+/// Facade integration of the streaming-session workload: measured
+/// records flow through the collection protocol end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/collection_system.h"
+
+namespace icollect {
+namespace {
+
+p2p::ProtocolConfig protocol_config(std::size_t n) {
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = n;
+  cfg.lambda = 4.0;
+  cfg.segment_size = 4;
+  cfg.mu = 6.0;
+  cfg.gamma = 1.0;
+  cfg.buffer_cap = 60;
+  cfg.num_servers = 3;
+  cfg.set_normalized_capacity(5.0);
+  cfg.payload_bytes = 64;
+  cfg.seed = 44;
+  return cfg;
+}
+
+workload::StreamingConfig session_config(std::size_t n) {
+  workload::StreamingConfig s;
+  s.num_peers = n;
+  s.chunk_rate = 10.0;
+  s.partners = 5;
+  s.request_rate = 30.0;
+  s.upload_chunks = 12.0;
+  s.source_upload_chunks = 50.0;
+  s.seed = 44;
+  return s;
+}
+
+TEST(StreamingFacade, RecordsFlowEndToEnd) {
+  CollectionSystem sys{protocol_config(40)};
+  sys.use_streaming_session_payloads(session_config(40), 20.0, 0.5);
+  sys.run(20.0);
+  const auto r = sys.report();
+  EXPECT_GT(r.segments_decoded, 0u);
+  EXPECT_EQ(r.payload_crc_failures, 0u);
+  const auto records = sys.recovered_records();
+  ASSERT_FALSE(records.empty());
+  for (const auto& rec : records) {
+    EXPECT_GE(rec.timestamp, 0.0);
+    EXPECT_LE(rec.timestamp, 20.0);
+    EXPECT_GE(rec.playback_continuity, 0.0F);
+    EXPECT_LE(rec.playback_continuity, 1.0F);
+    EXPECT_GE(rec.download_rate_kbps, 0.0F);
+  }
+  const auto store = sys.recovered_record_store();
+  EXPECT_GT(store.peer_count(), 5u);
+}
+
+TEST(StreamingFacade, RecordTimestampsNeverExceedInjectionTime) {
+  // The feed only releases records whose measurement time has passed on
+  // the collection clock, so no segment can carry "future" data.
+  CollectionSystem sys{protocol_config(30)};
+  sys.use_streaming_session_payloads(session_config(30), 15.0, 0.5);
+  sys.run(6.0);
+  for (const auto& rec : sys.recovered_records()) {
+    EXPECT_LE(rec.timestamp, 6.0);
+  }
+}
+
+TEST(StreamingFacade, PeerCountMismatchRejected) {
+  CollectionSystem sys{protocol_config(40)};
+  EXPECT_THROW(
+      sys.use_streaming_session_payloads(session_config(30), 10.0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(StreamingFacade, RequiresPayloadBytes) {
+  auto cfg = protocol_config(30);
+  cfg.payload_bytes = 0;
+  CollectionSystem sys{cfg};
+  EXPECT_THROW(
+      sys.use_streaming_session_payloads(session_config(30), 10.0, 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icollect
