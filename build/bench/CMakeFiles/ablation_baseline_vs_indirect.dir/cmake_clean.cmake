@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_vs_indirect.dir/ablation_baseline_vs_indirect.cpp.o"
+  "CMakeFiles/ablation_baseline_vs_indirect.dir/ablation_baseline_vs_indirect.cpp.o.d"
+  "ablation_baseline_vs_indirect"
+  "ablation_baseline_vs_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_vs_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gossip_policy.dir/ablation_gossip_policy.cpp.o"
+  "CMakeFiles/ablation_gossip_policy.dir/ablation_gossip_policy.cpp.o.d"
+  "ablation_gossip_policy"
+  "ablation_gossip_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gossip_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_throughput_vs_s.dir/fig3_throughput_vs_s.cpp.o"
+  "CMakeFiles/fig3_throughput_vs_s.dir/fig3_throughput_vs_s.cpp.o.d"
+  "fig3_throughput_vs_s"
+  "fig3_throughput_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_churn.dir/fig4_throughput_churn.cpp.o"
+  "CMakeFiles/fig4_throughput_churn.dir/fig4_throughput_churn.cpp.o.d"
+  "fig4_throughput_churn"
+  "fig4_throughput_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_saved_data.cpp" "bench/CMakeFiles/fig6_saved_data.dir/fig6_saved_data.cpp.o" "gcc" "bench/CMakeFiles/fig6_saved_data.dir/fig6_saved_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icollect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/icollect_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/icollect_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/icollect_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/icollect_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/icollect_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

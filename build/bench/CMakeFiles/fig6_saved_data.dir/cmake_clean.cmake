@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_saved_data.dir/fig6_saved_data.cpp.o"
+  "CMakeFiles/fig6_saved_data.dir/fig6_saved_data.cpp.o.d"
+  "fig6_saved_data"
+  "fig6_saved_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_saved_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

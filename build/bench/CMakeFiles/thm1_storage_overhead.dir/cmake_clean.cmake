@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_storage_overhead.dir/thm1_storage_overhead.cpp.o"
+  "CMakeFiles/thm1_storage_overhead.dir/thm1_storage_overhead.cpp.o.d"
+  "thm1_storage_overhead"
+  "thm1_storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

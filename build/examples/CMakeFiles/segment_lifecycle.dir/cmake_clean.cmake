@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_lifecycle.dir/segment_lifecycle.cpp.o"
+  "CMakeFiles/segment_lifecycle.dir/segment_lifecycle.cpp.o.d"
+  "segment_lifecycle"
+  "segment_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

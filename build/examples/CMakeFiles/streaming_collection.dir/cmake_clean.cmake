@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_collection.dir/streaming_collection.cpp.o"
+  "CMakeFiles/streaming_collection.dir/streaming_collection.cpp.o.d"
+  "streaming_collection"
+  "streaming_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

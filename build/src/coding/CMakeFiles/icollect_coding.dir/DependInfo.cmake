@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/batch_decoder.cpp" "src/coding/CMakeFiles/icollect_coding.dir/batch_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/icollect_coding.dir/batch_decoder.cpp.o.d"
+  "/root/repo/src/coding/coded_block.cpp" "src/coding/CMakeFiles/icollect_coding.dir/coded_block.cpp.o" "gcc" "src/coding/CMakeFiles/icollect_coding.dir/coded_block.cpp.o.d"
+  "/root/repo/src/coding/decoder.cpp" "src/coding/CMakeFiles/icollect_coding.dir/decoder.cpp.o" "gcc" "src/coding/CMakeFiles/icollect_coding.dir/decoder.cpp.o.d"
+  "/root/repo/src/coding/encoder.cpp" "src/coding/CMakeFiles/icollect_coding.dir/encoder.cpp.o" "gcc" "src/coding/CMakeFiles/icollect_coding.dir/encoder.cpp.o.d"
+  "/root/repo/src/coding/segment_buffer.cpp" "src/coding/CMakeFiles/icollect_coding.dir/segment_buffer.cpp.o" "gcc" "src/coding/CMakeFiles/icollect_coding.dir/segment_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

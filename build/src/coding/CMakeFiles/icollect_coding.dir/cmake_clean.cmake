@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_coding.dir/batch_decoder.cpp.o"
+  "CMakeFiles/icollect_coding.dir/batch_decoder.cpp.o.d"
+  "CMakeFiles/icollect_coding.dir/coded_block.cpp.o"
+  "CMakeFiles/icollect_coding.dir/coded_block.cpp.o.d"
+  "CMakeFiles/icollect_coding.dir/decoder.cpp.o"
+  "CMakeFiles/icollect_coding.dir/decoder.cpp.o.d"
+  "CMakeFiles/icollect_coding.dir/encoder.cpp.o"
+  "CMakeFiles/icollect_coding.dir/encoder.cpp.o.d"
+  "CMakeFiles/icollect_coding.dir/segment_buffer.cpp.o"
+  "CMakeFiles/icollect_coding.dir/segment_buffer.cpp.o.d"
+  "libicollect_coding.a"
+  "libicollect_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_core.dir/collection_system.cpp.o"
+  "CMakeFiles/icollect_core.dir/collection_system.cpp.o.d"
+  "CMakeFiles/icollect_core.dir/config_args.cpp.o"
+  "CMakeFiles/icollect_core.dir/config_args.cpp.o.d"
+  "libicollect_core.a"
+  "libicollect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_gf.dir/gf256.cpp.o"
+  "CMakeFiles/icollect_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/icollect_gf.dir/gf_matrix.cpp.o"
+  "CMakeFiles/icollect_gf.dir/gf_matrix.cpp.o.d"
+  "libicollect_gf.a"
+  "libicollect_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/closed_form.cpp" "src/ode/CMakeFiles/icollect_ode.dir/closed_form.cpp.o" "gcc" "src/ode/CMakeFiles/icollect_ode.dir/closed_form.cpp.o.d"
+  "/root/repo/src/ode/indirect_ode.cpp" "src/ode/CMakeFiles/icollect_ode.dir/indirect_ode.cpp.o" "gcc" "src/ode/CMakeFiles/icollect_ode.dir/indirect_ode.cpp.o.d"
+  "/root/repo/src/ode/rk4.cpp" "src/ode/CMakeFiles/icollect_ode.dir/rk4.cpp.o" "gcc" "src/ode/CMakeFiles/icollect_ode.dir/rk4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

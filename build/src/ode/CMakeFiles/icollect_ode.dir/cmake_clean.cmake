@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_ode.dir/closed_form.cpp.o"
+  "CMakeFiles/icollect_ode.dir/closed_form.cpp.o.d"
+  "CMakeFiles/icollect_ode.dir/indirect_ode.cpp.o"
+  "CMakeFiles/icollect_ode.dir/indirect_ode.cpp.o.d"
+  "CMakeFiles/icollect_ode.dir/rk4.cpp.o"
+  "CMakeFiles/icollect_ode.dir/rk4.cpp.o.d"
+  "libicollect_ode.a"
+  "libicollect_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/direct_collector.cpp" "src/p2p/CMakeFiles/icollect_p2p.dir/direct_collector.cpp.o" "gcc" "src/p2p/CMakeFiles/icollect_p2p.dir/direct_collector.cpp.o.d"
+  "/root/repo/src/p2p/network.cpp" "src/p2p/CMakeFiles/icollect_p2p.dir/network.cpp.o" "gcc" "src/p2p/CMakeFiles/icollect_p2p.dir/network.cpp.o.d"
+  "/root/repo/src/p2p/peer.cpp" "src/p2p/CMakeFiles/icollect_p2p.dir/peer.cpp.o" "gcc" "src/p2p/CMakeFiles/icollect_p2p.dir/peer.cpp.o.d"
+  "/root/repo/src/p2p/server.cpp" "src/p2p/CMakeFiles/icollect_p2p.dir/server.cpp.o" "gcc" "src/p2p/CMakeFiles/icollect_p2p.dir/server.cpp.o.d"
+  "/root/repo/src/p2p/topology.cpp" "src/p2p/CMakeFiles/icollect_p2p.dir/topology.cpp.o" "gcc" "src/p2p/CMakeFiles/icollect_p2p.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/icollect_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/icollect_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/icollect_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_p2p.dir/direct_collector.cpp.o"
+  "CMakeFiles/icollect_p2p.dir/direct_collector.cpp.o.d"
+  "CMakeFiles/icollect_p2p.dir/network.cpp.o"
+  "CMakeFiles/icollect_p2p.dir/network.cpp.o.d"
+  "CMakeFiles/icollect_p2p.dir/peer.cpp.o"
+  "CMakeFiles/icollect_p2p.dir/peer.cpp.o.d"
+  "CMakeFiles/icollect_p2p.dir/server.cpp.o"
+  "CMakeFiles/icollect_p2p.dir/server.cpp.o.d"
+  "CMakeFiles/icollect_p2p.dir/topology.cpp.o"
+  "CMakeFiles/icollect_p2p.dir/topology.cpp.o.d"
+  "libicollect_p2p.a"
+  "libicollect_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

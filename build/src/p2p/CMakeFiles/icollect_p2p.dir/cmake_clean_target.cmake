@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicollect_p2p.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_stats.dir/csv.cpp.o"
+  "CMakeFiles/icollect_stats.dir/csv.cpp.o.d"
+  "libicollect_stats.a"
+  "libicollect_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/icollect_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/icollect_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/record_store.cpp" "src/workload/CMakeFiles/icollect_workload.dir/record_store.cpp.o" "gcc" "src/workload/CMakeFiles/icollect_workload.dir/record_store.cpp.o.d"
+  "/root/repo/src/workload/stats_record.cpp" "src/workload/CMakeFiles/icollect_workload.dir/stats_record.cpp.o" "gcc" "src/workload/CMakeFiles/icollect_workload.dir/stats_record.cpp.o.d"
+  "/root/repo/src/workload/streaming_session.cpp" "src/workload/CMakeFiles/icollect_workload.dir/streaming_session.cpp.o" "gcc" "src/workload/CMakeFiles/icollect_workload.dir/streaming_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/icollect_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_workload.dir/generators.cpp.o"
+  "CMakeFiles/icollect_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/icollect_workload.dir/record_store.cpp.o"
+  "CMakeFiles/icollect_workload.dir/record_store.cpp.o.d"
+  "CMakeFiles/icollect_workload.dir/stats_record.cpp.o"
+  "CMakeFiles/icollect_workload.dir/stats_record.cpp.o.d"
+  "CMakeFiles/icollect_workload.dir/streaming_session.cpp.o"
+  "CMakeFiles/icollect_workload.dir/streaming_session.cpp.o.d"
+  "libicollect_workload.a"
+  "libicollect_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

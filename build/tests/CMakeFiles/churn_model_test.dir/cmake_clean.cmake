@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_model_test.dir/churn_model_test.cpp.o"
+  "CMakeFiles/churn_model_test.dir/churn_model_test.cpp.o.d"
+  "churn_model_test"
+  "churn_model_test.pdb"
+  "churn_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coded_block_test.dir/coded_block_test.cpp.o"
+  "CMakeFiles/coded_block_test.dir/coded_block_test.cpp.o.d"
+  "coded_block_test"
+  "coded_block_test.pdb"
+  "coded_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coded_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_system_test.dir/collection_system_test.cpp.o"
+  "CMakeFiles/collection_system_test.dir/collection_system_test.cpp.o.d"
+  "collection_system_test"
+  "collection_system_test.pdb"
+  "collection_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_collector_test.dir/direct_collector_test.cpp.o"
+  "CMakeFiles/direct_collector_test.dir/direct_collector_test.cpp.o.d"
+  "direct_collector_test"
+  "direct_collector_test.pdb"
+  "direct_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

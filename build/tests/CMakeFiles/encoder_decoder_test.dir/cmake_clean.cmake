@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_decoder_test.dir/encoder_decoder_test.cpp.o"
+  "CMakeFiles/encoder_decoder_test.dir/encoder_decoder_test.cpp.o.d"
+  "encoder_decoder_test"
+  "encoder_decoder_test.pdb"
+  "encoder_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

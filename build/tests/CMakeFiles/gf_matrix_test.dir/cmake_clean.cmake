@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_matrix_test.dir/gf_matrix_test.cpp.o"
+  "CMakeFiles/gf_matrix_test.dir/gf_matrix_test.cpp.o.d"
+  "gf_matrix_test"
+  "gf_matrix_test.pdb"
+  "gf_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_vector_test.dir/gf_vector_test.cpp.o"
+  "CMakeFiles/gf_vector_test.dir/gf_vector_test.cpp.o.d"
+  "gf_vector_test"
+  "gf_vector_test.pdb"
+  "gf_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_transient_test.dir/ode_transient_test.cpp.o"
+  "CMakeFiles/ode_transient_test.dir/ode_transient_test.cpp.o.d"
+  "ode_transient_test"
+  "ode_transient_test.pdb"
+  "ode_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

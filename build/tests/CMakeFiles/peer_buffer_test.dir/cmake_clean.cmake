@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_buffer_test.dir/peer_buffer_test.cpp.o"
+  "CMakeFiles/peer_buffer_test.dir/peer_buffer_test.cpp.o.d"
+  "peer_buffer_test"
+  "peer_buffer_test.pdb"
+  "peer_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_buffer_test.dir/segment_buffer_test.cpp.o"
+  "CMakeFiles/segment_buffer_test.dir/segment_buffer_test.cpp.o.d"
+  "segment_buffer_test"
+  "segment_buffer_test.pdb"
+  "segment_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

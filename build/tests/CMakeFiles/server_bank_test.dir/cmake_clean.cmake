@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_bank_test.dir/server_bank_test.cpp.o"
+  "CMakeFiles/server_bank_test.dir/server_bank_test.cpp.o.d"
+  "server_bank_test"
+  "server_bank_test.pdb"
+  "server_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vs_ode_test.dir/sim_vs_ode_test.cpp.o"
+  "CMakeFiles/sim_vs_ode_test.dir/sim_vs_ode_test.cpp.o.d"
+  "sim_vs_ode_test"
+  "sim_vs_ode_test.pdb"
+  "sim_vs_ode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_ode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_record_test.dir/stats_record_test.cpp.o"
+  "CMakeFiles/stats_record_test.dir/stats_record_test.cpp.o.d"
+  "stats_record_test"
+  "stats_record_test.pdb"
+  "stats_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_session_test.dir/streaming_session_test.cpp.o"
+  "CMakeFiles/streaming_session_test.dir/streaming_session_test.cpp.o.d"
+  "streaming_session_test"
+  "streaming_session_test.pdb"
+  "streaming_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

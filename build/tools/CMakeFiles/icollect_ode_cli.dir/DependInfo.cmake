@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/icollect_ode.cpp" "tools/CMakeFiles/icollect_ode_cli.dir/icollect_ode.cpp.o" "gcc" "tools/CMakeFiles/icollect_ode_cli.dir/icollect_ode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ode/CMakeFiles/icollect_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/icollect_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

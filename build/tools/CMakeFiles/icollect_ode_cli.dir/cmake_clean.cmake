@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_ode_cli.dir/icollect_ode.cpp.o"
+  "CMakeFiles/icollect_ode_cli.dir/icollect_ode.cpp.o.d"
+  "icollect_ode"
+  "icollect_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_ode_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icollect_sim_cli.dir/icollect_sim.cpp.o"
+  "CMakeFiles/icollect_sim_cli.dir/icollect_sim.cpp.o.d"
+  "icollect_sim"
+  "icollect_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icollect_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
