@@ -1,7 +1,11 @@
 #include "core/collection_system.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
+
+#include "core/config_args.h"
+#include "p2p/network_telemetry.h"
 
 namespace icollect {
 
@@ -70,14 +74,53 @@ void CollectionSystem::use_streaming_session_payloads(
       });
 }
 
+void CollectionSystem::attach_telemetry(obs::Telemetry& telemetry) {
+  ICOLLECT_EXPECTS(telemetry_ == nullptr);
+  telemetry_ = &telemetry;
+  p2p::register_network_metrics(telemetry.registry(), *net_);
+  net_->set_trace_sink(telemetry.trace().sink());
+  if (telemetry.profiler() != nullptr) {
+    net_->set_profiler(telemetry.profiler());
+  }
+  telemetry.snapshotter().start(net_->now());
+  telemetry.write_config(config_json(cfg_));
+}
+
 void CollectionSystem::warm_up(double duration) {
   ICOLLECT_EXPECTS(duration >= 0.0);
-  net_->warm_up(net_->now() + duration);
+  run_with_telemetry(net_->now() + duration);
+  net_->warm_up(net_->now());
 }
 
 void CollectionSystem::run(double duration) {
   ICOLLECT_EXPECTS(duration >= 0.0);
-  net_->run_until(net_->now() + duration);
+  run_with_telemetry(net_->now() + duration);
+}
+
+void CollectionSystem::run_with_telemetry(double end) {
+  if (telemetry_ == nullptr || !telemetry_->sampling_active()) {
+    net_->run_until(end);
+    return;
+  }
+  auto& snap = telemetry_->snapshotter();
+  while (true) {
+    net_->run_until(std::min(end, snap.next_due()));
+    if (snap.sample_if_due(net_->now()) && telemetry_->options().progress) {
+      const auto& m = net_->metrics();
+      std::fprintf(
+          stderr,
+          "[t=%9.3f] injected=%llu decoded=%llu lost=%llu pulls=%llu "
+          "blocks/peer=%.2f\n",
+          net_->now(),
+          static_cast<unsigned long long>(m.segments_injected),
+          static_cast<unsigned long long>(net_->servers().segments_decoded()),
+          static_cast<unsigned long long>(m.segments_lost),
+          static_cast<unsigned long long>(net_->servers().pulls()),
+          static_cast<double>(m.total_blocks.value()) /
+              static_cast<double>(cfg_.num_peers));
+    }
+    if (net_->now() >= end) break;
+  }
 }
 
 void CollectionSystem::stop_injection() { net_->stop_injection(); }

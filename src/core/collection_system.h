@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/report.h"
+#include "obs/telemetry.h"
 #include "ode/indirect_ode.h"
 #include "p2p/config.h"
 #include "p2p/network.h"
@@ -57,6 +58,14 @@ class CollectionSystem {
   /// requirements as above; call before any run/warm_up.
   void use_streaming_session_payloads(workload::StreamingConfig session_cfg,
                                       double horizon, double interval);
+
+  /// Attach a telemetry bundle to this run: registers pull gauges for
+  /// every engine metric, installs the trace ring as the network's trace
+  /// sink, attaches the profiler (when enabled), writes config.json, and
+  /// makes run()/warm_up() chunk virtual time on the snapshot cadence so
+  /// the Snapshotter samples on schedule. The Telemetry object must
+  /// outlive this system; call before any run/warm_up, at most once.
+  void attach_telemetry(obs::Telemetry& telemetry);
 
   /// Run the warm-up transient, then reset the measurement window.
   void warm_up(double duration);
@@ -95,8 +104,13 @@ class CollectionSystem {
       const p2p::ProtocolConfig& cfg);
 
  private:
+  /// Advance to absolute time `end`, pausing at every snapshot due-time
+  /// when telemetry with an active sampling cadence is attached.
+  void run_with_telemetry(double end);
+
   p2p::ProtocolConfig cfg_;
   std::unique_ptr<p2p::Network> net_;
+  obs::Telemetry* telemetry_ = nullptr;
   // Vital-statistics payload machinery (active after
   // use_vital_statistics_payloads()).
   bool records_enabled_ = false;

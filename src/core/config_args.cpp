@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace icollect {
 
 namespace {
@@ -165,6 +167,34 @@ std::string describe(const p2p::ProtocolConfig& cfg) {
   }
   out += " seed=" + std::to_string(cfg.seed);
   return out;
+}
+
+std::string config_json(const p2p::ProtocolConfig& cfg) {
+  obs::JsonObject churn;
+  churn.field("enabled", cfg.churn.enabled)
+      .field("mean_lifetime", cfg.churn.mean_lifetime)
+      .field_str("lifetimes", to_string(cfg.churn.distribution))
+      .field("pareto_shape", cfg.churn.pareto_shape);
+  obs::JsonObject o;
+  o.field("peers", cfg.num_peers)
+      .field("lambda", cfg.lambda)
+      .field("s", cfg.segment_size)
+      .field("mu", cfg.mu)
+      .field("gamma", cfg.gamma)
+      .field("buffer", cfg.buffer_cap)
+      .field("servers", cfg.num_servers)
+      .field("server_rate", cfg.server_rate)
+      .field("c", cfg.normalized_capacity())
+      .field("payload", cfg.payload_bytes)
+      .field("seed", cfg.seed)
+      .field_str("topology", to_string(cfg.topology))
+      .field("degree", cfg.mean_degree)
+      .field_str("fidelity", to_string(cfg.fidelity))
+      .field_str("pull", to_string(cfg.pull_policy))
+      .field_str("gossip", to_string(cfg.gossip_policy))
+      .field("loss", cfg.gossip_loss)
+      .field_raw("churn", churn.str());
+  return o.str();
 }
 
 const char* config_args_help() noexcept {

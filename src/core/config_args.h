@@ -38,6 +38,11 @@ void apply_config_args(p2p::ProtocolConfig& cfg,
 /// One-line human-readable rendering of a configuration.
 [[nodiscard]] std::string describe(const p2p::ProtocolConfig& cfg);
 
+/// Complete JSON echo of a configuration (flat object, seed included) —
+/// the config.json of a telemetry bundle, so every run is reproducible
+/// from its artifacts alone.
+[[nodiscard]] std::string config_json(const p2p::ProtocolConfig& cfg);
+
 /// The help text for the recognized keys.
 [[nodiscard]] const char* config_args_help() noexcept;
 

@@ -6,7 +6,9 @@
 /// delivery delay, and loss resilience.
 
 #include <cstdint>
+#include <string>
 
+#include "obs/json.h"
 #include "p2p/network.h"
 
 namespace icollect {
@@ -59,5 +61,47 @@ struct CollectionReport {
                             : 0.0;
   }
 };
+
+/// The report as one flat-ish JSON object (saved-data census nested) —
+/// the summary.json of a telemetry bundle.
+[[nodiscard]] inline std::string to_json(const CollectionReport& r) {
+  obs::JsonObject saved;
+  saved.field("live_segments", r.saved.live_segments)
+      .field("undecoded_live_segments", r.saved.undecoded_live_segments)
+      .field("decodable_by_degree", r.saved.decodable_by_degree)
+      .field("decodable_by_rank", r.saved.decodable_by_rank)
+      .field("saved_original_blocks_degree",
+             r.saved.saved_original_blocks_degree)
+      .field("saved_original_blocks_rank", r.saved.saved_original_blocks_rank)
+      .field("pending_innovative_blocks", r.saved.pending_innovative_blocks);
+  obs::JsonObject o;
+  o.field("measured_time", r.measured_time)
+      .field("normalized_capacity", r.normalized_capacity)
+      .field("throughput", r.throughput)
+      .field("normalized_throughput", r.normalized_throughput)
+      .field("capacity_bound", r.capacity_bound)
+      .field("goodput", r.goodput)
+      .field("normalized_goodput", r.normalized_goodput)
+      .field("mean_block_delay", r.mean_block_delay)
+      .field("mean_segment_delay", r.mean_segment_delay)
+      .field("max_segment_delay", r.max_segment_delay)
+      .field("mean_blocks_per_peer", r.mean_blocks_per_peer)
+      .field("storage_overhead", r.storage_overhead)
+      .field("empty_peer_fraction", r.empty_peer_fraction)
+      .field("overhead_bound", r.overhead_bound)
+      .field("segments_injected", r.segments_injected)
+      .field("segments_decoded", r.segments_decoded)
+      .field("segments_lost", r.segments_lost)
+      .field("blocks_injected", r.blocks_injected)
+      .field("original_blocks_recovered", r.original_blocks_recovered)
+      .field("server_pulls", r.server_pulls)
+      .field("redundant_pulls", r.redundant_pulls)
+      .field("redundancy_fraction", r.redundancy_fraction())
+      .field("payload_crc_failures", r.payload_crc_failures)
+      .field("peers_departed", r.peers_departed)
+      .field("blocks_lost_to_churn", r.blocks_lost_to_churn)
+      .field_raw("saved", saved.str());
+  return o.str();
+}
 
 }  // namespace icollect

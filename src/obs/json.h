@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON emission for the telemetry layer: string escaping,
+/// round-trippable number formatting, and a flat-object builder. Output
+/// only — the observability exporters write JSONL (one object per line);
+/// nothing in the library parses JSON back.
+
+#include <charconv>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace icollect::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \u00XX.
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[byte >> 4U];
+          out += kHex[byte & 0xFU];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Append `v` in the shortest form that round-trips. Non-finite values
+/// (not representable in JSON) are emitted as null.
+inline void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) {
+    out += "null";
+    return;
+  }
+  out.append(buf, ptr);
+}
+
+/// Builder for one flat JSON object: {"k1":v1,"k2":"v2",...}.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, double v) {
+    open(key);
+    append_json_number(body_, v);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, std::integral auto v) {
+    open(key);
+    body_ += std::to_string(v);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, bool v) {
+    open(key);
+    body_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonObject& field_str(std::string_view key, std::string_view v) {
+    open(key);
+    body_ += '"';
+    body_ += json_escape(v);
+    body_ += '"';
+    return *this;
+  }
+  /// Splice pre-rendered JSON (an object, array, or literal) as a value.
+  JsonObject& field_raw(std::string_view key, std::string_view raw_json) {
+    open(key);
+    body_ += raw_json;
+    return *this;
+  }
+
+  /// The completed object, braces included.
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void open(std::string_view key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += json_escape(key);
+    body_ += "\":";
+  }
+  std::string body_;
+};
+
+}  // namespace icollect::obs

@@ -1,0 +1,59 @@
+#include "obs/profiler.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace icollect::obs {
+
+Profiler::Timer& Profiler::timer(std::string_view name) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return *it->second;
+  Timer& t = timers_.emplace_back(this, std::string(name));
+  index_.emplace(t.name(), &t);
+  return t;
+}
+
+std::vector<const Profiler::Timer*> Profiler::timers() const {
+  std::vector<const Timer*> out;
+  out.reserve(timers_.size());
+  for (const Timer& t : timers_) out.push_back(&t);
+  return out;
+}
+
+std::string Profiler::table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-24s %12s %12s %10s %10s\n", "scope",
+                "count", "total ms", "mean us", "max us");
+  out += line;
+  for (const Timer& t : timers_) {
+    const Stat& s = t.stat();
+    std::snprintf(line, sizeof(line), "%-24s %12llu %12.3f %10.3f %10.3f\n",
+                  t.name().c_str(), static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) * 1e-6, s.mean_ns() * 1e-3,
+                  static_cast<double>(s.max_ns) * 1e-3);
+    out += line;
+  }
+  return out;
+}
+
+std::string Profiler::json() const {
+  JsonObject root;
+  for (const Timer& t : timers_) {
+    const Stat& s = t.stat();
+    root.field_raw(t.name(), JsonObject{}
+                                 .field("count", s.count)
+                                 .field("total_ns", s.total_ns)
+                                 .field("mean_ns", s.mean_ns())
+                                 .field("max_ns", s.max_ns)
+                                 .str());
+  }
+  return root.str();
+}
+
+void Profiler::reset() {
+  for (Timer& t : timers_) t.stat_ = Stat{};
+}
+
+}  // namespace icollect::obs

@@ -1,0 +1,85 @@
+#include "obs/snapshotter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "obs/json.h"
+
+namespace icollect::obs {
+
+namespace {
+
+void open_or_throw(std::ofstream& out, const std::string& path) {
+  out.open(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Snapshotter: cannot open '" + path + "'");
+  }
+}
+
+/// CSV needs no quoting here: metric names are identifiers and values
+/// are numbers (non-finite → empty field).
+void append_csv_value(std::string& row, double v) {
+  if (std::isfinite(v)) append_json_number(row, v);
+}
+
+}  // namespace
+
+Snapshotter::Snapshotter(const MetricsRegistry& registry, double interval)
+    : registry_{&registry}, interval_{interval}, next_due_{interval} {
+  ICOLLECT_EXPECTS(interval > 0.0);
+}
+
+void Snapshotter::open_jsonl(const std::string& path) {
+  open_or_throw(jsonl_, path);
+}
+
+void Snapshotter::open_csv(const std::string& path) {
+  open_or_throw(csv_, path);
+}
+
+void Snapshotter::sample(double now) {
+  if (columns_.empty()) {
+    columns_ = registry_->sample_names();
+    if (csv_.is_open()) {
+      std::string header = "t";
+      for (const std::string& c : columns_) {
+        header += ',';
+        header += c;
+      }
+      csv_ << header << '\n';
+    }
+  }
+  std::string json = "{\"t\":";
+  append_json_number(json, now);
+  std::string csv_row;
+  if (csv_.is_open()) append_json_number(csv_row, now);
+  registry_->for_each_sample([&](std::string_view name, double value) {
+    json += ",\"";
+    json += json_escape(name);
+    json += "\":";
+    append_json_number(json, value);
+    if (csv_.is_open()) {
+      csv_row += ',';
+      append_csv_value(csv_row, value);
+    }
+  });
+  json += '}';
+  if (jsonl_.is_open()) jsonl_ << json << '\n';
+  if (csv_.is_open()) csv_ << csv_row << '\n';
+  ++samples_;
+}
+
+bool Snapshotter::sample_if_due(double now) {
+  if (now < next_due_) return false;
+  sample(now);
+  while (next_due_ <= now) next_due_ += interval_;
+  return true;
+}
+
+void Snapshotter::flush() {
+  if (jsonl_.is_open()) jsonl_.flush();
+  if (csv_.is_open()) csv_.flush();
+}
+
+}  // namespace icollect::obs

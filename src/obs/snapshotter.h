@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file snapshotter.h
+/// Virtual-time sampler: on a configurable interval, reads every metric
+/// registered in a MetricsRegistry and appends one row to a JSONL stream
+/// and/or a CSV stream. Drives the time-series half of a telemetry
+/// bundle (snapshots.jsonl / snapshots.csv).
+///
+/// The caller owns the cadence: the embedding run loop advances virtual
+/// time in chunks bounded by next_due() and calls sample_if_due() after
+/// each chunk, so samples land at exact virtual times regardless of the
+/// event mix (see core::CollectionSystem::run).
+///
+/// JSONL row: {"t":12.5,"<name>":<value>,...} — flat, one object per
+/// line, columns in metric registration order. CSV mirrors the same
+/// columns with a header row. Non-finite values export as JSON null and
+/// an empty CSV field.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace icollect::obs {
+
+class Snapshotter {
+ public:
+  /// Samples `registry` (not owned; must outlive the snapshotter) every
+  /// `interval` units of virtual time. interval must be > 0.
+  Snapshotter(const MetricsRegistry& registry, double interval);
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  /// Throws std::runtime_error when a file cannot be opened.
+  void open_jsonl(const std::string& path);
+  void open_csv(const std::string& path);
+
+  /// Re-anchor the cadence: the next sample is due at `now` + interval.
+  void start(double now) { next_due_ = now + interval_; }
+
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+  [[nodiscard]] double next_due() const noexcept { return next_due_; }
+
+  /// Take a sample stamped `now` unconditionally.
+  void sample(double now);
+
+  /// Take at most one sample if `now` has reached next_due(); advances
+  /// next_due past `now` by whole intervals. Returns whether it sampled.
+  bool sample_if_due(double now);
+
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  void flush();
+
+ private:
+  const MetricsRegistry* registry_;
+  double interval_;
+  double next_due_;
+  std::vector<std::string> columns_;  // fixed at the first sample
+  std::ofstream jsonl_;
+  std::ofstream csv_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace icollect::obs

@@ -1,0 +1,59 @@
+#include "obs/telemetry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace icollect::obs {
+
+Telemetry::Telemetry(TelemetryOptions opts)
+    : opts_{std::move(opts)},
+      snapshotter_{registry_, opts_.metrics_interval},
+      trace_{opts_.trace_ring_capacity} {
+  trace_.set_filter(parse_trace_filter(opts_.trace_filter));
+  if (!opts_.metrics_dir.empty()) {
+    std::filesystem::create_directories(opts_.metrics_dir);
+    snapshotter_.open_jsonl(bundle_path("snapshots.jsonl"));
+    snapshotter_.open_csv(bundle_path("snapshots.csv"));
+  }
+  if (!opts_.trace_path.empty()) {
+    const auto parent =
+        std::filesystem::path(opts_.trace_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    trace_.open_jsonl(opts_.trace_path);
+  }
+  if (opts_.profile) profiler_ = std::make_unique<Profiler>();
+}
+
+std::string Telemetry::bundle_path(std::string_view file) const {
+  return (std::filesystem::path(opts_.metrics_dir) /
+          (opts_.file_prefix + std::string(file)))
+      .string();
+}
+
+void Telemetry::write_file(std::string_view name, std::string_view contents) {
+  if (opts_.metrics_dir.empty()) return;
+  const std::string path = bundle_path(name);
+  std::ofstream out{path, std::ios::out | std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("Telemetry: cannot open '" + path + "'");
+  }
+  out << contents << '\n';
+}
+
+void Telemetry::write_config(std::string_view json_object) {
+  write_file("config.json", json_object);
+}
+
+void Telemetry::write_summary(std::string_view json_object) {
+  write_file("summary.json", json_object);
+  if (profiler_ != nullptr) write_file("profile.json", profiler_->json());
+  flush();
+}
+
+void Telemetry::flush() {
+  snapshotter_.flush();
+  trace_.flush();
+}
+
+}  // namespace icollect::obs

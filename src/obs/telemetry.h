@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file telemetry.h
+/// One-stop telemetry bundle for a run: a MetricsRegistry + Snapshotter
+/// (periodic JSONL/CSV time series), a TraceBuffer (ring + filtered
+/// JSONL trace), and an optional wall-clock Profiler, all writing under
+/// a single output directory so every run emits a self-describing
+/// artifact set:
+///
+///   <dir>/config.json      run configuration echo (incl. seed)
+///   <dir>/snapshots.jsonl  periodic metric samples, one object per line
+///   <dir>/snapshots.csv    the same series as CSV
+///   <dir>/summary.json     end-of-run report
+///   <dir>/profile.json     per-event-type wall-clock profile (--profile)
+///   trace path             filtered protocol event trace JSONL
+///
+/// Attach to a run via core::CollectionSystem::attach_telemetry() or
+/// wire the parts manually (p2p/network_telemetry.h has the bridges).
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
+#include "obs/snapshotter.h"
+#include "obs/trace_pipeline.h"
+
+namespace icollect::obs {
+
+struct TelemetryOptions {
+  /// Bundle directory (created if missing). Empty = no metrics files;
+  /// the registry/snapshot cadence still runs for progress reporting.
+  std::string metrics_dir;
+  /// Virtual-time spacing of metric snapshots.
+  double metrics_interval = 0.5;
+  /// Trace JSONL path. Empty = no trace file (the ring still records).
+  std::string trace_path;
+  /// Comma-separated trace kind names ("" or "all" = everything).
+  std::string trace_filter;
+  /// Flight-recorder ring size (0 disables the ring).
+  std::size_t trace_ring_capacity = 4096;
+  /// Enable the wall-clock profiler.
+  bool profile = false;
+  /// Emit a progress line per snapshot (stderr).
+  bool progress = false;
+  /// Prepended to the fixed file names above — lets two runs (e.g. the
+  /// indirect session and the direct baseline) share one bundle dir.
+  std::string file_prefix;
+
+  [[nodiscard]] bool any_enabled() const noexcept {
+    return !metrics_dir.empty() || !trace_path.empty() || profile ||
+           progress;
+  }
+};
+
+class Telemetry {
+ public:
+  /// Creates the bundle directory and opens every configured sink.
+  /// Throws std::runtime_error / std::invalid_argument on bad options.
+  explicit Telemetry(TelemetryOptions opts);
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] const TelemetryOptions& options() const noexcept {
+    return opts_;
+  }
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] Snapshotter& snapshotter() noexcept { return snapshotter_; }
+  [[nodiscard]] TraceBuffer& trace() noexcept { return trace_; }
+  /// Null unless options().profile.
+  [[nodiscard]] Profiler* profiler() noexcept { return profiler_.get(); }
+
+  /// Metric snapshots are being written to disk.
+  [[nodiscard]] bool snapshots_enabled() const noexcept {
+    return !opts_.metrics_dir.empty();
+  }
+  /// The run loop should chunk virtual time on the snapshot cadence.
+  [[nodiscard]] bool sampling_active() const noexcept {
+    return snapshots_enabled() || opts_.progress;
+  }
+
+  /// Write <dir>/config.json (no-op without a bundle directory).
+  /// `json_object` must be a complete JSON object.
+  void write_config(std::string_view json_object);
+
+  /// Write <dir>/summary.json and, when profiling, <dir>/profile.json;
+  /// then flush every sink. Call once at end of run.
+  void write_summary(std::string_view json_object);
+
+  void flush();
+
+ private:
+  [[nodiscard]] std::string bundle_path(std::string_view file) const;
+  void write_file(std::string_view name, std::string_view contents);
+
+  TelemetryOptions opts_;
+  MetricsRegistry registry_;
+  Snapshotter snapshotter_;
+  TraceBuffer trace_;
+  std::unique_ptr<Profiler> profiler_;
+};
+
+}  // namespace icollect::obs

@@ -1,0 +1,97 @@
+#include "obs/trace_pipeline.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace icollect::obs {
+
+std::uint32_t parse_trace_filter(std::string_view spec) {
+  if (spec.empty() || spec == "all") return kAllTraceKinds;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? spec.size()
+                                                            : comma;
+    std::string_view name = spec.substr(pos, end - pos);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (!name.empty()) {
+      bool found = false;
+      for (std::size_t k = 0; k < p2p::kTraceEventKindCount; ++k) {
+        const auto kind = static_cast<p2p::TraceEventKind>(k);
+        if (name == p2p::to_string(kind)) {
+          mask |= kind_bit(kind);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument("unknown trace kind '" +
+                                    std::string(name) + "'");
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return mask == 0 ? kAllTraceKinds : mask;
+}
+
+std::string trace_event_json(const p2p::TraceEvent& ev) {
+  char buf[192];
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"t\":%.9g,\"kind\":\"%s\",\"slot\":%zu,\"origin\":%u,\"seq\":%u,"
+      "\"aux\":%llu}",
+      ev.at, p2p::to_string(ev.kind), ev.slot,
+      static_cast<unsigned>(ev.segment.origin),
+      static_cast<unsigned>(ev.segment.seq),
+      static_cast<unsigned long long>(ev.aux));
+  if (n <= 0) return {};
+  const auto len = static_cast<std::size_t>(n) < sizeof(buf) - 1
+                       ? static_cast<std::size_t>(n)
+                       : sizeof(buf) - 1;
+  return std::string(buf, len);
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(capacity), capacity_{capacity} {}
+
+void TraceBuffer::open_jsonl(const std::string& path) {
+  jsonl_.open(path, std::ios::out | std::ios::trunc);
+  if (!jsonl_) {
+    throw std::runtime_error("TraceBuffer: cannot open '" + path + "'");
+  }
+}
+
+void TraceBuffer::record(const p2p::TraceEvent& ev) {
+  if ((mask_ & kind_bit(ev.kind)) == 0) {
+    ++filtered_out_;
+    return;
+  }
+  ++accepted_;
+  ++per_kind_[static_cast<std::size_t>(ev.kind)];
+  if (jsonl_.is_open()) {
+    jsonl_ << trace_event_json(ev) << '\n';
+  }
+  if (capacity_ == 0) return;
+  if (size_ == capacity_) {
+    ring_[head_] = ev;  // overwrite the oldest
+    head_ = (head_ + 1) % capacity_;
+    ++overwritten_;
+  } else {
+    ring_[(head_ + size_) % capacity_] = ev;
+    ++size_;
+  }
+}
+
+std::vector<p2p::TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<p2p::TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+}  // namespace icollect::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file trace_pipeline.h
+/// Structured trace pipeline: a ring-buffer sink for protocol trace
+/// events with per-kind filtering, per-kind counts, and an optional
+/// streaming JSONL writer. This replaces ad-hoc `TraceSink` lambdas as
+/// the standard observer — the ring acts as an always-affordable flight
+/// recorder (the last N events survive for post-mortem inspection even
+/// when no file sink is open), and the JSONL stream is the
+/// machine-readable export.
+///
+/// Depends only on the header-only event types in p2p/trace.h; the p2p
+/// engine library links *against* obs, not the other way around.
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "p2p/trace.h"
+
+namespace icollect::obs {
+
+/// Bit for one trace kind inside a filter mask.
+[[nodiscard]] constexpr std::uint32_t kind_bit(
+    p2p::TraceEventKind k) noexcept {
+  return 1U << static_cast<unsigned>(k);
+}
+
+/// Mask accepting every kind.
+inline constexpr std::uint32_t kAllTraceKinds =
+    (1U << p2p::kTraceEventKindCount) - 1U;
+
+/// Parse a comma-separated list of kind names ("gossip,pull,decode")
+/// into a filter mask, using the names of p2p::to_string(TraceEventKind).
+/// Empty string or "all" accepts everything. Throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] std::uint32_t parse_trace_filter(std::string_view spec);
+
+/// One event as a flat JSON object (no trailing newline):
+/// {"t":1.5,"kind":"gossip","slot":3,"origin":7,"seq":9,"aux":12}
+[[nodiscard]] std::string trace_event_json(const p2p::TraceEvent& ev);
+
+class TraceBuffer {
+ public:
+  /// `capacity` = number of events the ring retains (0 disables the ring;
+  /// filtering, counting, and the JSONL stream still work).
+  explicit TraceBuffer(std::size_t capacity = 4096);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Only kinds whose bit is set in `mask` are recorded; the rest are
+  /// counted as filtered out and dropped.
+  void set_filter(std::uint32_t mask) noexcept { mask_ = mask; }
+  [[nodiscard]] std::uint32_t filter() const noexcept { return mask_; }
+
+  /// Additionally stream every accepted event to `path` as JSONL.
+  /// Throws std::runtime_error when the file cannot be opened.
+  void open_jsonl(const std::string& path);
+
+  void record(const p2p::TraceEvent& ev);
+
+  /// Adapter for p2p::Network::set_trace_sink(). The buffer must outlive
+  /// the network it observes.
+  [[nodiscard]] p2p::TraceSink sink() {
+    return [this](const p2p::TraceEvent& ev) { record(ev); };
+  }
+
+  // --- inspection ---------------------------------------------------------
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t filtered_out() const noexcept {
+    return filtered_out_;
+  }
+  /// Accepted events evicted from the ring by newer ones.
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return overwritten_;
+  }
+  [[nodiscard]] std::uint64_t count(p2p::TraceEventKind k) const {
+    return per_kind_[static_cast<std::size_t>(k)];
+  }
+  /// Ring contents, oldest first.
+  [[nodiscard]] std::vector<p2p::TraceEvent> snapshot() const;
+
+  void flush() {
+    if (jsonl_.is_open()) jsonl_.flush();
+  }
+
+ private:
+  std::vector<p2p::TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest event
+  std::size_t size_ = 0;
+  std::uint32_t mask_ = kAllTraceKinds;
+  std::array<std::uint64_t, p2p::kTraceEventKindCount> per_kind_{};
+  std::uint64_t accepted_ = 0;
+  std::uint64_t filtered_out_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::ofstream jsonl_;
+};
+
+}  // namespace icollect::obs

@@ -36,6 +36,15 @@ void DirectCollector::set_arrival_profile(
   profile_ = profile;
 }
 
+void DirectCollector::set_profiler(obs::Profiler* profiler) {
+  auto cell = [profiler](const char* name) {
+    return profiler != nullptr ? &profiler->timer(name) : nullptr;
+  };
+  prof_generate_ = cell("direct.generate");
+  prof_pull_ = cell("direct.pull");
+  prof_depart_ = cell("direct.depart");
+}
+
 void DirectCollector::set_last_words_window(double window) {
   ICOLLECT_EXPECTS(window > 0.0);
   last_words_window_ = window;
@@ -61,6 +70,7 @@ void DirectCollector::schedule_next_generation(std::size_t slot) {
 }
 
 void DirectCollector::do_generate(std::size_t slot) {
+  const obs::ProfScope prof{prof_generate_};
   schedule_next_generation(slot);
   ++metrics_.blocks_generated;
   metrics_.generated_window.record();
@@ -91,6 +101,7 @@ void DirectCollector::do_generate(std::size_t slot) {
 }
 
 void DirectCollector::do_pull() {
+  const obs::ProfScope prof{prof_pull_};
   ++metrics_.pull_attempts;
   if (non_empty_slots_.empty()) {
     ++metrics_.idle_pulls;
@@ -113,6 +124,7 @@ void DirectCollector::do_pull() {
 }
 
 void DirectCollector::do_depart(std::size_t slot) {
+  const obs::ProfScope prof{prof_depart_};
   PeerQueue& q = queues_[slot];
   const std::size_t before = q.pending.size();
   if (last_words_window_ > 0.0) {

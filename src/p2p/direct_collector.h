@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "p2p/config.h"
 #include "p2p/metrics.h"
 #include "sim/poisson_process.h"
@@ -72,6 +73,11 @@ class DirectCollector {
   /// overrides the constant λ (used by the flash-crowd experiments).
   /// The profile object must outlive the collector.
   void set_arrival_profile(const workload::ArrivalProfile* profile);
+
+  /// Attach (or detach, with nullptr) a wall-clock profiler: the event
+  /// handlers run under "direct.generate" / "direct.pull" /
+  /// "direct.depart" scopes. Single null check per event when detached.
+  void set_profiler(obs::Profiler* profiler);
 
   void run_until(sim::Time t);
   void warm_up(sim::Time t);
@@ -142,6 +148,9 @@ class DirectCollector {
   std::vector<std::size_t> non_empty_slots_;
   std::vector<std::size_t> non_empty_pos_;  // slot -> index+1 (0 = absent)
   std::size_t total_backlog_ = 0;
+  obs::Profiler::Timer* prof_generate_ = nullptr;
+  obs::Profiler::Timer* prof_pull_ = nullptr;
+  obs::Profiler::Timer* prof_depart_ = nullptr;
   DepartedDataStats departed_;
   double last_words_window_ = 0.0;  ///< 0 = disabled
   DepartedDataStats last_words_;

@@ -65,6 +65,18 @@ void Network::set_payload_source(PayloadSource source) {
   payload_source_ = std::move(source);
 }
 
+void Network::set_profiler(obs::Profiler* profiler) {
+  auto cell = [profiler](const char* name) {
+    return profiler != nullptr ? &profiler->timer(name) : nullptr;
+  };
+  prof_inject_ = cell("net.inject");
+  prof_gossip_ = cell("net.gossip");
+  prof_server_pull_ = cell("net.server_pull");
+  prof_decode_ = cell("net.decode");
+  prof_ttl_ = cell("net.ttl_expire");
+  prof_depart_ = cell("net.depart");
+}
+
 void Network::set_arrival_profile(const workload::ArrivalProfile* profile) {
   arrival_profile_ = profile;
   if (profile != nullptr) {
@@ -127,6 +139,7 @@ std::vector<std::vector<std::uint8_t>> Network::make_payloads(
 }
 
 void Network::do_inject(std::size_t slot) {
+  const obs::ProfScope prof{prof_inject_};
   Peer& p = peers_[slot];
   if (!p.buffer.has_room(cfg_.segment_size)) {
     ++metrics_.injection_blocked;
@@ -193,6 +206,7 @@ std::size_t Network::pick_gossip_target(std::size_t source,
 }
 
 void Network::do_gossip(std::size_t slot) {
+  const obs::ProfScope prof{prof_gossip_};
   Peer& a = peers_[slot];
   if (a.buffer.empty()) {
     ++metrics_.gossip_idle;
@@ -217,6 +231,7 @@ void Network::do_gossip(std::size_t slot) {
   }
   if (cfg_.gossip_loss > 0.0 && rng_.bernoulli(cfg_.gossip_loss)) {
     ++metrics_.gossip_lost_in_transit;  // μ spent, block never arrives
+    emit(TraceEventKind::kGossipLost, slot, seg, target);
     return;
   }
   const coding::SegmentBuffer* sb = a.buffer.find(seg);
@@ -227,6 +242,7 @@ void Network::do_gossip(std::size_t slot) {
 }
 
 void Network::do_server_pull() {
+  const obs::ProfScope prof{prof_server_pull_};
   ++metrics_.server_pull_attempts;
   std::size_t slot;
   if (cfg_.pull_policy == PullPolicy::kUniformAll) {
@@ -247,10 +263,15 @@ void Network::do_server_pull() {
   const coding::SegmentBuffer* sb = d.buffer.find(seg);
   metrics_.server_pulls_window.record();
   ServerBank::PullResult result;
-  if (cfg_.fidelity == CollectionFidelity::kStateCounter) {
-    result = servers_.offer_counted(seg, sb->segment_size(), sim_.now());
-  } else {
-    result = servers_.offer(sb->recode(rng_), sim_.now());
+  {
+    // The GF(2^8) decode path: re-coding the pulled block and reducing
+    // it through the server-side progressive decoder.
+    const obs::ProfScope decode_prof{prof_decode_};
+    if (cfg_.fidelity == CollectionFidelity::kStateCounter) {
+      result = servers_.offer_counted(seg, sb->segment_size(), sim_.now());
+    } else {
+      result = servers_.offer(sb->recode(rng_), sim_.now());
+    }
   }
   if (result == ServerBank::PullResult::kInnovative) {
     metrics_.innovative_pulls_window.record();
@@ -310,6 +331,7 @@ void Network::deliver(std::size_t slot, coding::CodedBlock block) {
 
 void Network::do_ttl_expire(std::size_t slot, std::uint64_t incarnation,
                             coding::BlockHandle handle) {
+  const obs::ProfScope prof{prof_ttl_};
   Peer& p = peers_[slot];
   if (p.incarnation != incarnation) return;  // occupant changed (churn)
   const std::size_t before = p.buffer.size();
@@ -323,6 +345,7 @@ void Network::do_ttl_expire(std::size_t slot, std::uint64_t incarnation,
 }
 
 void Network::do_depart(std::size_t slot) {
+  const obs::ProfScope prof{prof_depart_};
   Peer& p = peers_[slot];
   // Account every buffered block's disappearance in the registry.
   for (const auto& seg_id : p.buffer.segments()) {

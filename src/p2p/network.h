@@ -29,6 +29,7 @@
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
+#include "obs/profiler.h"
 #include "p2p/config.h"
 #include "p2p/metrics.h"
 #include "p2p/peer.h"
@@ -92,7 +93,17 @@ class Network {
 
   /// Install (or clear, with nullptr) a protocol event trace sink. All
   /// events are delivered in virtual-time order. No cost when unset.
+  /// The standard sink is an obs::TraceBuffer (ring + filtered JSONL);
+  /// any callable still works.
   void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// Attach (or detach, with nullptr) a wall-clock profiler to the
+  /// dispatch loop: every protocol event handler plus the GF(2^8) decode
+  /// path runs under a named scope ("net.inject", "net.gossip",
+  /// "net.server_pull", "net.decode", "net.ttl_expire", "net.depart").
+  /// Timer cells are resolved here, once — with no profiler attached the
+  /// per-event cost is a single null check.
+  void set_profiler(obs::Profiler* profiler);
 
   /// Drive segment injection from a time-varying per-peer block rate
   /// λ(t) instead of the constant `config().lambda` (flash crowds,
@@ -224,6 +235,14 @@ class Network {
   PayloadSource payload_source_;
   const workload::ArrivalProfile* arrival_profile_ = nullptr;
   TraceSink trace_;
+
+  // Pre-resolved profiler cells (null = profiling off; see set_profiler).
+  obs::Profiler::Timer* prof_inject_ = nullptr;
+  obs::Profiler::Timer* prof_gossip_ = nullptr;
+  obs::Profiler::Timer* prof_server_pull_ = nullptr;
+  obs::Profiler::Timer* prof_decode_ = nullptr;
+  obs::Profiler::Timer* prof_ttl_ = nullptr;
+  obs::Profiler::Timer* prof_depart_ = nullptr;
 
   void emit(TraceEventKind kind, std::size_t slot,
             const coding::SegmentId& segment, std::uint64_t aux) {

@@ -7,6 +7,7 @@
 /// sink is installed.
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -23,7 +24,11 @@ enum class TraceEventKind : std::uint8_t {
   kSegmentDecoded,   ///< slot unused;        aux = segment size
   kSegmentLost,      ///< slot unused;        aux = collected so far
   kPeerDeparted,     ///< slot = departing;   aux = blocks lost
+  kGossipLost,       ///< slot = sender;      aux = intended receiver slot
 };
+
+/// Number of TraceEventKind enumerators (for per-kind tables/bitmasks).
+inline constexpr std::size_t kTraceEventKindCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(TraceEventKind k) noexcept {
   switch (k) {
@@ -34,6 +39,7 @@ enum class TraceEventKind : std::uint8_t {
     case TraceEventKind::kSegmentDecoded: return "decode";
     case TraceEventKind::kSegmentLost: return "lost";
     case TraceEventKind::kPeerDeparted: return "depart";
+    case TraceEventKind::kGossipLost: return "gossip-lost";
   }
   return "?";
 }
@@ -45,10 +51,21 @@ struct TraceEvent {
   coding::SegmentId segment{};
   std::uint64_t aux = 0;
 
+  /// Single-allocation rendering (this sits on the hot path whenever a
+  /// text sink is installed).
   [[nodiscard]] std::string to_string() const {
-    return std::string{p2p::to_string(kind)} + " t=" + std::to_string(at) +
-           " slot=" + std::to_string(slot) + " seg=" + segment.to_string() +
-           " aux=" + std::to_string(aux);
+    char buf[160];
+    const int n = std::snprintf(
+        buf, sizeof(buf), "%s t=%f slot=%zu seg=%u:%u aux=%llu",
+        p2p::to_string(kind), at, slot,
+        static_cast<unsigned>(segment.origin),
+        static_cast<unsigned>(segment.seq),
+        static_cast<unsigned long long>(aux));
+    if (n <= 0) return {};
+    const auto len = static_cast<std::size_t>(n) < sizeof(buf) - 1
+                         ? static_cast<std::size_t>(n)
+                         : sizeof(buf) - 1;
+    return std::string(buf, len);
   }
 };
 

@@ -1,0 +1,122 @@
+/// \file obs_metrics_registry_test.cpp
+/// Registry semantics: find-or-create stability, kind-mismatch errors,
+/// pull-based gauges, histogram column expansion, export ordering.
+
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using icollect::obs::MetricsRegistry;
+
+TEST(MetricsRegistry, CounterFindOrCreateIsStable) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("events");
+  a.inc();
+  a.inc(4);
+  auto& b = reg.counter("events");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5U);
+  EXPECT_EQ(reg.size(), 1U);
+  b.reset();
+  EXPECT_EQ(a.value(), 0U);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveGrowth) {
+  MetricsRegistry reg;
+  auto& first = reg.counter("first");
+  first.inc();
+  // Force internal vector growth; the handle must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i)).inc();
+  }
+  first.inc();
+  EXPECT_EQ(reg.counter("first").value(), 2U);
+}
+
+TEST(MetricsRegistry, GaugePushAndPull) {
+  MetricsRegistry reg;
+  auto& push = reg.gauge("push");
+  push.set(2.5);
+  EXPECT_DOUBLE_EQ(push.value(), 2.5);
+
+  double source = 1.0;
+  reg.gauge("pull", [&source] { return source; });
+  source = 42.0;  // read lazily, at sample time
+  EXPECT_DOUBLE_EQ(reg.find_gauge("pull")->value(), 42.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", 0.0, 1.0, 4), std::invalid_argument);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, Lookups) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  reg.gauge("g");
+  EXPECT_TRUE(reg.contains("c"));
+  EXPECT_TRUE(reg.contains("g"));
+  EXPECT_FALSE(reg.contains("missing"));
+  EXPECT_NE(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_counter("g"), nullptr);
+  EXPECT_NE(reg.find_gauge("g"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ExportOrderIsRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("zulu");
+  reg.gauge("alpha");
+  reg.counter("mike");
+  const auto names = reg.sample_names();
+  ASSERT_EQ(names.size(), 3U);
+  EXPECT_EQ(names[0], "zulu");
+  EXPECT_EQ(names[1], "alpha");
+  EXPECT_EQ(names[2], "mike");
+}
+
+TEST(MetricsRegistry, HistogramExpandsToQuantileColumns) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("delay", 0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
+
+  const auto names = reg.sample_names();
+  ASSERT_EQ(names.size(), 4U);
+  EXPECT_EQ(names[0], "delay.count");
+  EXPECT_EQ(names[1], "delay.p50");
+  EXPECT_EQ(names[2], "delay.p90");
+  EXPECT_EQ(names[3], "delay.p99");
+
+  double count = -1.0;
+  reg.for_each_sample([&](std::string_view name, double v) {
+    if (name == "delay.count") count = v;
+  });
+  EXPECT_DOUBLE_EQ(count, 100.0);
+}
+
+TEST(MetricsRegistry, ForEachSampleValues) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(7);
+  reg.gauge("g").set(-1.5);
+  std::vector<std::pair<std::string, double>> seen;
+  reg.for_each_sample([&](std::string_view name, double v) {
+    seen.emplace_back(std::string{name}, v);
+  });
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0].first, "c");
+  EXPECT_DOUBLE_EQ(seen[0].second, 7.0);
+  EXPECT_EQ(seen[1].first, "g");
+  EXPECT_DOUBLE_EQ(seen[1].second, -1.5);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+/// \file obs_snapshot_test.cpp
+/// Snapshotter behavior: JSONL schema round-trip, CSV header/rows,
+/// sample_if_due cadence, and non-finite value handling.
+
+#include "obs/snapshotter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "obs/metrics_registry.h"
+
+namespace {
+
+using icollect::obs::MetricsRegistry;
+using icollect::obs::Snapshotter;
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Minimal flat-object JSONL parser for the fixed schema the Snapshotter
+/// emits: {"k":num,...} with string keys and numeric/null values.
+std::vector<std::pair<std::string, std::string>> parse_flat_object(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (line.empty()) {
+    ADD_FAILURE() << "empty JSONL line";
+    return out;
+  }
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  std::size_t i = 1;
+  while (i < line.size() - 1) {
+    EXPECT_EQ(line[i], '"');
+    const auto key_end = line.find('"', i + 1);
+    const std::string key = line.substr(i + 1, key_end - i - 1);
+    EXPECT_EQ(line[key_end + 1], ':');
+    auto value_end = line.find(',', key_end + 2);
+    if (value_end == std::string::npos) value_end = line.size() - 1;
+    out.emplace_back(key, line.substr(key_end + 2, value_end - key_end - 2));
+    i = value_end + 1;
+  }
+  return out;
+}
+
+TEST(Snapshotter, JsonlSchemaRoundTrip) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("events");
+  auto& g = reg.gauge("level");
+  const std::string path = testing::TempDir() + "obs_snap_rt.jsonl";
+  Snapshotter snap{reg, 1.0};
+  snap.open_jsonl(path);
+  snap.start(0.0);
+
+  c.inc(3);
+  g.set(1.5);
+  snap.sample(1.0);
+  c.inc(2);
+  g.set(-0.25);
+  snap.sample(2.0);
+  snap.flush();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2U);
+
+  const auto row0 = parse_flat_object(lines[0]);
+  ASSERT_EQ(row0.size(), 3U);
+  EXPECT_EQ(row0[0].first, "t");
+  EXPECT_EQ(std::stod(row0[0].second), 1.0);
+  EXPECT_EQ(row0[1].first, "events");
+  EXPECT_EQ(std::stod(row0[1].second), 3.0);
+  EXPECT_EQ(row0[2].first, "level");
+  EXPECT_EQ(std::stod(row0[2].second), 1.5);
+
+  const auto row1 = parse_flat_object(lines[1]);
+  EXPECT_EQ(std::stod(row1[0].second), 2.0);
+  EXPECT_EQ(std::stod(row1[1].second), 5.0);  // counters are cumulative
+  EXPECT_EQ(std::stod(row1[2].second), -0.25);
+}
+
+TEST(Snapshotter, CsvHeaderAndRowsMatchRegistry) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.gauge("b").set(2.0);
+  const std::string path = testing::TempDir() + "obs_snap.csv";
+  Snapshotter snap{reg, 0.5};
+  snap.open_csv(path);
+  snap.start(0.0);
+  snap.sample(0.5);
+  snap.sample(1.0);
+  snap.flush();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3U);  // header + 2 rows
+  EXPECT_EQ(lines[0], "t,a,b");
+  EXPECT_EQ(lines[1], "0.5,1,2");
+}
+
+TEST(Snapshotter, SampleIfDueCadence) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  Snapshotter snap{reg, 1.0};
+  snap.start(0.0);
+  EXPECT_DOUBLE_EQ(snap.next_due(), 1.0);
+
+  EXPECT_FALSE(snap.sample_if_due(0.5));   // not due yet
+  EXPECT_TRUE(snap.sample_if_due(1.0));    // exactly due
+  EXPECT_DOUBLE_EQ(snap.next_due(), 2.0);
+  EXPECT_FALSE(snap.sample_if_due(1.5));
+  // A large jump takes ONE sample and advances past `now` in whole
+  // intervals — no backfilled flood of rows.
+  EXPECT_TRUE(snap.sample_if_due(5.25));
+  EXPECT_DOUBLE_EQ(snap.next_due(), 6.0);
+  EXPECT_EQ(snap.samples(), 2U);
+}
+
+TEST(Snapshotter, NonFiniteValuesExportAsNullAndEmptyCsv) {
+  MetricsRegistry reg;
+  reg.gauge("nan", [] { return std::nan(""); });
+  reg.gauge("ok", [] { return 1.0; });
+  const std::string jsonl = testing::TempDir() + "obs_snap_nan.jsonl";
+  const std::string csv = testing::TempDir() + "obs_snap_nan.csv";
+  Snapshotter snap{reg, 1.0};
+  snap.open_jsonl(jsonl);
+  snap.open_csv(csv);
+  snap.start(0.0);
+  snap.sample(1.0);
+  snap.flush();
+
+  const auto jl = read_lines(jsonl);
+  ASSERT_EQ(jl.size(), 1U);
+  EXPECT_NE(jl[0].find("\"nan\":null"), std::string::npos) << jl[0];
+  const auto cl = read_lines(csv);
+  ASSERT_EQ(cl.size(), 2U);
+  EXPECT_EQ(cl[1], "1,,1");  // t, empty field, ok
+}
+
+TEST(Snapshotter, RejectsNonPositiveInterval) {
+  MetricsRegistry reg;
+  EXPECT_THROW((Snapshotter{reg, 0.0}), icollect::ContractViolation);
+}
+
+}  // namespace

@@ -10,13 +10,18 @@
 ///
 /// Protocol-style keys (lambda, mu, gamma, c, s, churn) mirror the
 /// simulator CLI; sweep=s|mu|c|lambda|gamma selects the swept axis.
+/// --metrics-out=DIR writes the sweep as a machine-readable bundle
+/// (config.json + sweep.jsonl, one JSON object per evaluated point).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "ode/closed_form.h"
 #include "ode/indirect_ode.h"
 
@@ -51,13 +56,32 @@ void print_header() {
               "z0", "eta", "norm thr", "delay", "saved/pr", "conv");
 }
 
-void print_point(const std::string& label, const OdeParams& p) {
+void print_point(const std::string& label, const OdeParams& p,
+                 std::ofstream* jsonl) {
   const auto sol = IndirectOde{p}.solve();
   std::printf("%10s %8.3f %8.5f %8.4f %10.4f %8.4f %10.3f %8s\n",
               label.c_str(), sol.rho(), sol.z0,
               sol.collection_efficiency(), sol.normalized_throughput(),
               sol.block_delay(), sol.saved_blocks_per_peer(),
               sol.convergence.converged ? "yes" : "NO");
+  if (jsonl != nullptr && jsonl->is_open()) {
+    icollect::obs::JsonObject o;
+    o.field_str("point", label)
+        .field("lambda", p.lambda)
+        .field("mu", p.mu)
+        .field("gamma", p.gamma)
+        .field("c", p.c)
+        .field("s", p.s)
+        .field("rho", sol.rho())
+        .field("z0", sol.z0)
+        .field("eta", sol.collection_efficiency())
+        .field("normalized_throughput", sol.normalized_throughput())
+        .field("block_delay", sol.block_delay())
+        .field("saved_blocks_per_peer", sol.saved_blocks_per_peer())
+        .field("converged", sol.convergence.converged)
+        .field("residual", sol.convergence.residual);
+    *jsonl << o.str() << '\n';
+  }
 }
 
 }  // namespace
@@ -65,6 +89,7 @@ void print_point(const std::string& label, const OdeParams& p) {
 int main(int argc, char** argv) {
   OdeParams p;
   std::string sweep;
+  std::string metrics_dir;
   double from = 0.0;
   double to = 0.0;
   double step = 1.0;
@@ -75,9 +100,14 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: %s [key=value ...]\n"
           "keys: lambda mu gamma c s B churn(=E[L], 0 off)\n"
-          "sweep: sweep=s|mu|c|lambda|gamma from=A to=B step=D\n",
+          "sweep: sweep=s|mu|c|lambda|gamma from=A to=B step=D\n"
+          "output: --metrics-out=DIR (config.json + sweep.jsonl)\n",
           argv[0]);
       return 0;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_dir = arg.substr(14);
+      continue;
     }
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -120,9 +150,34 @@ int main(int argc, char** argv) {
                                   p.lambda, p.mu, p.gamma_eff(), p.c)
                         : 0.0);
 
+  std::ofstream sweep_jsonl;
+  if (!metrics_dir.empty()) {
+    std::filesystem::create_directories(metrics_dir);
+    icollect::obs::JsonObject cfg;
+    cfg.field("lambda", p.lambda)
+        .field("mu", p.mu)
+        .field("gamma", p.gamma)
+        .field("c", p.c)
+        .field("s", p.s)
+        .field("B", p.B)
+        .field("churn_rate", p.churn_rate)
+        .field_str("sweep", sweep)
+        .field("from", from)
+        .field("to", to)
+        .field("step", step);
+    std::ofstream cfg_out{metrics_dir + "/config.json"};
+    cfg_out << cfg.str() << '\n';
+    sweep_jsonl.open(metrics_dir + "/sweep.jsonl");
+    if (!sweep_jsonl) {
+      std::fprintf(stderr, "cannot open %s/sweep.jsonl\n",
+                   metrics_dir.c_str());
+      return 1;
+    }
+  }
+
   print_header();
   if (sweep.empty()) {
-    print_point("-", p);
+    print_point("-", p, &sweep_jsonl);
     return 0;
   }
   if (step <= 0.0 || to < from) {
@@ -134,7 +189,7 @@ int main(int argc, char** argv) {
     apply(q, sweep, v);
     char label[32];
     std::snprintf(label, sizeof(label), "%s=%g", sweep.c_str(), v);
-    print_point(label, q);
+    print_point(label, q, &sweep_jsonl);
   }
   return 0;
 }

@@ -4,11 +4,16 @@
 /// key=value configuration and print the full report.
 ///
 ///   icollect_sim [key=value ...] [warm=T] [measure=T] [ode=0|1] [direct=0|1]
+///                [--metrics-out=DIR] [--metrics-interval=T]
+///                [--trace-out[=FILE]] [--trace-filter=k1,k2,...]
+///                [--profile] [--progress]
 ///
 /// Examples:
 ///   icollect_sim peers=300 lambda=20 s=20 mu=10 c=5
 ///   icollect_sim lambda=8 s=1 c=2 churn=2 fidelity=real-coding ode=0
+///   icollect_sim peers=100 --metrics-out=run1 --trace-out --profile
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -17,6 +22,9 @@
 
 #include "core/config_args.h"
 #include "core/icollect.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "p2p/network_telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace icollect;
@@ -26,16 +34,30 @@ int main(int argc, char** argv) {
   bool run_ode = true;
   bool run_direct = false;
   std::string trace_path;
+  obs::TelemetryOptions topts;
+  bool trace_out_requested = false;
 
   // Split driver options from protocol key=values.
   std::vector<std::string_view> cfg_args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg{argv[i]};
     if (arg == "-h" || arg == "--help") {
-      std::printf("usage: %s [key=value ...]\nprotocol keys:\n%s"
-                  "driver keys:\n  warm=T measure=T ode=0|1 direct=0|1 "
-                  "trace=FILE.csv\n",
-                  argv[0], config_args_help());
+      std::printf(
+          "usage: %s [key=value ...]\nprotocol keys:\n%s"
+          "driver keys:\n  warm=T measure=T ode=0|1 direct=0|1 "
+          "trace=FILE.csv\n"
+          "telemetry flags:\n"
+          "  --metrics-out=DIR      write a telemetry bundle (config.json,\n"
+          "                         snapshots.jsonl/.csv, summary.json)\n"
+          "  --metrics-interval=T   snapshot spacing in virtual time "
+          "(default 0.5)\n"
+          "  --trace-out[=FILE]     protocol event trace JSONL (default\n"
+          "                         <metrics-dir>/trace.jsonl)\n"
+          "  --trace-filter=a,b,..  keep only these trace kinds "
+          "(default all)\n"
+          "  --profile              per-event-type wall-clock profile\n"
+          "  --progress             progress line per snapshot (stderr)\n",
+          argv[0], config_args_help());
       return 0;
     }
     if (arg.rfind("warm=", 0) == 0) {
@@ -48,9 +70,39 @@ int main(int argc, char** argv) {
       run_direct = std::strtol(argv[i] + 7, nullptr, 10) != 0;
     } else if (arg.rfind("trace=", 0) == 0) {
       trace_path = std::string{arg.substr(6)};
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      topts.metrics_dir = std::string{arg.substr(14)};
+    } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+      topts.metrics_interval = std::strtod(argv[i] + 19, nullptr);
+    } else if (arg == "--trace-out") {
+      trace_out_requested = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_requested = true;
+      topts.trace_path = std::string{arg.substr(12)};
+    } else if (arg.rfind("--trace-filter=", 0) == 0) {
+      topts.trace_filter = std::string{arg.substr(15)};
+    } else if (arg == "--profile") {
+      topts.profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      topts.profile = std::strtol(argv[i] + 10, nullptr, 10) != 0;
+    } else if (arg == "--progress") {
+      topts.progress = true;
     } else {
       cfg_args.push_back(arg);
     }
+  }
+  if (trace_out_requested && topts.trace_path.empty()) {
+    if (topts.metrics_dir.empty()) {
+      std::fprintf(stderr,
+                   "--trace-out without a file needs --metrics-out=DIR "
+                   "to place trace.jsonl in\n");
+      return 1;
+    }
+    topts.trace_path = topts.metrics_dir + "/trace.jsonl";
+  }
+  if (topts.metrics_interval <= 0.0) {
+    std::fprintf(stderr, "--metrics-interval must be > 0\n");
+    return 1;
   }
 
   p2p::ProtocolConfig cfg;
@@ -66,11 +118,23 @@ int main(int argc, char** argv) {
   std::printf("running: warm-up %.1f, measure %.1f ...\n\n", warm, measure);
 
   CollectionSystem system{cfg};
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (topts.any_enabled()) {
+    try {
+      telemetry = std::make_unique<obs::Telemetry>(topts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry: %s\n", e.what());
+      return 1;
+    }
+    system.attach_telemetry(*telemetry);
+  }
   std::unique_ptr<stats::CsvWriter> trace_csv;
   if (!trace_path.empty()) {
     trace_csv = std::make_unique<stats::CsvWriter>(trace_path);
     trace_csv->write_row(
         {"t", "event", "slot", "segment_origin", "segment_seq", "aux"});
+    // The legacy CSV trace chains in front of the telemetry ring so both
+    // sinks see every event.
     system.network().set_trace_sink([&](const p2p::TraceEvent& ev) {
       trace_csv->row()
           .add(ev.at)
@@ -80,6 +144,7 @@ int main(int argc, char** argv) {
           .add(static_cast<std::uint64_t>(ev.segment.seq))
           .add(ev.aux)
           .end();
+      if (telemetry) telemetry->trace().record(ev);
     });
   }
   system.warm_up(warm);
@@ -120,6 +185,31 @@ int main(int argc, char** argv) {
                 100.0 * dep.recovery_fraction());
   }
 
+  if (telemetry) {
+    telemetry->write_summary(to_json(r));
+    std::printf("\n-- telemetry --\n");
+    if (telemetry->snapshots_enabled()) {
+      std::printf("bundle: %s (%zu snapshots every %.3g)\n",
+                  telemetry->options().metrics_dir.c_str(),
+                  telemetry->snapshotter().samples(),
+                  telemetry->snapshotter().interval());
+    }
+    if (!telemetry->options().trace_path.empty()) {
+      std::printf("trace: %llu events to %s (%llu filtered out, "
+                  "%llu overwritten in ring)\n",
+                  static_cast<unsigned long long>(
+                      telemetry->trace().accepted()),
+                  telemetry->options().trace_path.c_str(),
+                  static_cast<unsigned long long>(
+                      telemetry->trace().filtered_out()),
+                  static_cast<unsigned long long>(
+                      telemetry->trace().overwritten()));
+    }
+    if (telemetry->profiler() != nullptr) {
+      std::printf("%s", telemetry->profiler()->table().c_str());
+    }
+  }
+
   if (run_ode) {
     const auto sol = CollectionSystem::analyze(cfg);
     std::printf("\n-- fluid model (Sec. 3 ODEs) --\n");
@@ -135,12 +225,55 @@ int main(int argc, char** argv) {
 
   if (run_direct) {
     p2p::DirectCollector dc{cfg};
-    dc.warm_up(warm);
-    dc.run_until(dc.now() + measure);
+    // The baseline shares the bundle directory under a "direct_" file
+    // prefix, so one run yields a directly comparable pair of series.
+    std::unique_ptr<obs::Telemetry> direct_tel;
+    if (telemetry && telemetry->snapshots_enabled()) {
+      obs::TelemetryOptions dopts;
+      dopts.metrics_dir = topts.metrics_dir;
+      dopts.metrics_interval = topts.metrics_interval;
+      dopts.profile = topts.profile;
+      dopts.file_prefix = "direct_";
+      direct_tel = std::make_unique<obs::Telemetry>(dopts);
+      p2p::register_direct_collector_metrics(direct_tel->registry(), dc);
+      if (direct_tel->profiler() != nullptr) {
+        dc.set_profiler(direct_tel->profiler());
+      }
+      direct_tel->snapshotter().start(dc.now());
+    }
+    auto run_direct_until = [&](double end) {
+      if (!direct_tel) {
+        dc.run_until(end);
+        return;
+      }
+      auto& snap = direct_tel->snapshotter();
+      while (true) {
+        dc.run_until(std::min(end, snap.next_due()));
+        snap.sample_if_due(dc.now());
+        if (dc.now() >= end) break;
+      }
+    };
+    run_direct_until(warm);
+    dc.warm_up(dc.now());
+    run_direct_until(dc.now() + measure);
     std::printf("\n-- direct baseline (Fig. 1a) --\n");
     std::printf("normalized throughput %.4f | delay %.4f | loss %.4f\n",
                 dc.normalized_throughput(), dc.mean_delay(),
                 dc.loss_fraction());
+    if (direct_tel) {
+      obs::JsonObject summary;
+      summary.field("throughput", dc.throughput())
+          .field("normalized_throughput", dc.normalized_throughput())
+          .field("mean_delay", dc.mean_delay())
+          .field("loss_fraction", dc.loss_fraction())
+          .field("backlog", dc.backlog_size())
+          .field("departed_recovery_fraction",
+                 dc.departed_data_stats().recovery_fraction());
+      direct_tel->write_summary(summary.str());
+      std::printf("telemetry: %zu direct snapshots in %s\n",
+                  direct_tel->snapshotter().samples(),
+                  topts.metrics_dir.c_str());
+    }
   }
   return 0;
 }
