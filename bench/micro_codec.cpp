@@ -5,19 +5,27 @@
 /// per-block time so the linear trend in s is directly visible, and
 /// BM_Encode / BM_Recode cover the source and relay costs that motivate
 /// keeping s in the 20–40 range.
+///
+/// The codec paths are registered once per GF(2^8) kernel the CPU
+/// supports ("BM_DecodeSegment<avx2>/20" vs "<scalar>"), so one run
+/// shows how much of the SIMD speedup survives at protocol level
+/// (blocks/s decoded end to end).
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "coding/decoder.h"
 #include "coding/encoder.h"
 #include "coding/segment_buffer.h"
+#include "gf/kernels.h"
 #include "sim/random.h"
 
 namespace {
 
 using namespace icollect;
+using gf::Kernels;
 constexpr std::size_t kBlockBytes = 1024;
 
 std::vector<std::vector<std::uint8_t>> make_originals(std::size_t s,
@@ -30,33 +38,47 @@ std::vector<std::vector<std::uint8_t>> make_originals(std::size_t s,
   return blocks;
 }
 
-void BM_Encode(benchmark::State& state) {
+/// Run the benchmark body with `kind` active; restore auto-dispatch.
+class KernelGuard {
+ public:
+  explicit KernelGuard(Kernels::Kind kind) { Kernels::select(kind); }
+  ~KernelGuard() { Kernels::select(Kernels::Kind::kAuto); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+};
+
+void BM_Encode(benchmark::State& state, Kernels::Kind kind) {
+  const KernelGuard guard{kind};
   const auto s = static_cast<std::size_t>(state.range(0));
   sim::Rng rng{11};
   const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
+  coding::CodedBlock out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.encode(rng));
+    enc.encode_into(out, rng);
+    benchmark::DoNotOptimize(out.payload.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kBlockBytes));
 }
-BENCHMARK(BM_Encode)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 
-void BM_Recode(benchmark::State& state) {
+void BM_Recode(benchmark::State& state, Kernels::Kind kind) {
+  const KernelGuard guard{kind};
   const auto s = static_cast<std::size_t>(state.range(0));
   sim::Rng rng{12};
   const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
   coding::SegmentBuffer buf{{1, 0}, s};
   for (std::size_t k = 0; k < s; ++k) buf.add(k + 1, enc.encode(rng));
+  coding::CodedBlock out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(buf.recode(rng));
+    buf.recode_into(out, rng);
+    benchmark::DoNotOptimize(out.payload.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kBlockBytes));
 }
-BENCHMARK(BM_Recode)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 
-void BM_DecodeSegment(benchmark::State& state) {
+void BM_DecodeSegment(benchmark::State& state, Kernels::Kind kind) {
+  const KernelGuard guard{kind};
   const auto s = static_cast<std::size_t>(state.range(0));
   sim::Rng rng{13};
   const coding::SegmentEncoder enc{{1, 0}, make_originals(s, rng)};
@@ -76,7 +98,6 @@ void BM_DecodeSegment(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(s * kBlockBytes));
 }
-BENCHMARK(BM_DecodeSegment)->Arg(1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 
 void BM_InnovationCheck(benchmark::State& state) {
   const auto s = static_cast<std::size_t>(state.range(0));
@@ -106,6 +127,43 @@ void BM_WireSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_WireSerialize);
 
+void register_kernel_benchmarks() {
+  const Kernels::Kind kinds[] = {Kernels::Kind::kScalar,
+                                 Kernels::Kind::kSsse3,
+                                 Kernels::Kind::kAvx2};
+  for (const auto kind : kinds) {
+    if (!Kernels::supported(kind)) continue;
+    const std::string tag = std::string("<") + Kernels::name(kind) + ">";
+    benchmark::RegisterBenchmark(("BM_Encode" + tag).c_str(), BM_Encode,
+                                 kind)
+        ->Arg(1)
+        ->Arg(5)
+        ->Arg(10)
+        ->Arg(20)
+        ->Arg(40);
+    benchmark::RegisterBenchmark(("BM_Recode" + tag).c_str(), BM_Recode,
+                                 kind)
+        ->Arg(1)
+        ->Arg(5)
+        ->Arg(10)
+        ->Arg(20)
+        ->Arg(40);
+    benchmark::RegisterBenchmark(("BM_DecodeSegment" + tag).c_str(),
+                                 BM_DecodeSegment, kind)
+        ->Arg(1)
+        ->Arg(5)
+        ->Arg(10)
+        ->Arg(20)
+        ->Arg(40);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

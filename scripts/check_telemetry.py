@@ -9,7 +9,8 @@ that the emitted bundle is complete and self-consistent:
   snapshots.csv     same series as the JSONL (+ header row)
   trace.jsonl       parses; kinds stay within the requested filter
   summary.json      parses; carries the headline report metrics
-  profile.json      parses; every scope has count/total_ns
+  profile.json      parses; names the GF kernel; every scope has
+                    count/total_ns
 
 Usage: check_telemetry.py /path/to/icollect_sim [bundle_dir]
 Exits nonzero with a message on the first failed check.
@@ -97,6 +98,8 @@ def main():
     # -- config.json ------------------------------------------------------
     config = load_json_file(os.path.join(bundle, "config.json"))
     check("seed" in config, "config.json lacks 'seed'")
+    check(config.get("gf_kernel") in ("scalar", "ssse3", "avx2"),
+          f"config.json gf_kernel invalid: {config.get('gf_kernel')!r}")
     check(config.get("peers") == 60, "config.json peer count mismatch")
     check(isinstance(config.get("churn"), dict) and config["churn"]["enabled"],
           "config.json churn echo wrong")
@@ -146,17 +149,22 @@ def main():
 
     # -- profile.json -----------------------------------------------------
     profile = load_json_file(os.path.join(bundle, "profile.json"))
-    check(len(profile) > 0, "profile.json is empty")
-    for scope, stat in profile.items():
+    check(profile.get("gf_kernel") == config["gf_kernel"],
+          "profile.json gf_kernel disagrees with config.json")
+    scopes = profile.get("scopes")
+    check(isinstance(scopes, dict) and len(scopes) > 0,
+          "profile.json lacks a non-empty 'scopes' object")
+    for scope, stat in scopes.items():
         check("count" in stat and "total_ns" in stat,
               f"profile scope '{scope}' lacks count/total_ns")
-    check(any(stat["count"] > 0 for stat in profile.values()),
+    check(any(stat["count"] > 0 for stat in scopes.values()),
           "profiler recorded no events")
 
     if cleanup:
         shutil.rmtree(bundle, ignore_errors=True)
     print(f"check_telemetry: OK ({len(snaps)} snapshots, "
-          f"{len(trace)} trace events, {len(profile)} profiled scopes)")
+          f"{len(trace)} trace events, {len(scopes)} profiled scopes, "
+          f"gf_kernel={profile['gf_kernel']})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Run the GF(2^8) kernel micro-benchmarks and distill the results into a
+machine-readable baseline (BENCH_gf_kernels.json).
+
+The benchmark binaries register each bulk primitive once per kernel the
+CPU supports ("BM_AddScaled<avx2>/4096"); this script runs them with
+google-benchmark's JSON reporter, groups the series by (operation,
+kernel, size), and emits:
+
+  {
+    "schema": "icollect-gf-bench/1",
+    "kernels": ["scalar", "ssse3", ...],          # as measured
+    "bulk_mb_per_s": {op: {kernel: {size: MB/s}}},
+    "decode_blocks_per_s": {kernel: {s: blocks/s}},
+    "speedup_vs_scalar": {op: {kernel: x}},       # at the largest size
+  }
+
+Usage:
+  run_bench.py [--build-dir DIR] [--out FILE] [--quick]
+  run_bench.py --validate FILE      # schema check only, no benchmarks
+
+--quick shortens the measurement window (CI smoke); the committed
+baseline should be produced without it. Exits nonzero on any failure.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+SCHEMA = "icollect-gf-bench/1"
+NAME_RE = re.compile(r"^BM_(\w+)<(\w+)>/(\d+)$")
+BULK_OPS = ("AddScaled", "ScaleAssign", "AddAssign", "Dot")
+
+
+def fail(msg):
+    print(f"run_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_benchmark(binary, bench_filter, min_time):
+    if not os.path.exists(binary):
+        fail(f"benchmark binary not found: {binary} (build the repo first)")
+    cmd = [
+        binary,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=1800)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{binary} did not emit valid JSON: {e}")
+
+
+def parse_series(report):
+    """-> {(op, kernel, size): benchmark-entry} for kernel-tagged runs."""
+    out = {}
+    for entry in report.get("benchmarks", []):
+        m = NAME_RE.match(entry.get("name", ""))
+        if m:
+            out[(m.group(1), m.group(2), int(m.group(3)))] = entry
+    return out
+
+
+def build_baseline(gf_series, codec_series):
+    kernels = sorted({k for (_, k, _) in gf_series}, key="scalar ssse3 avx2".split().index)
+    bulk = {}
+    for (op, kernel, size), entry in sorted(gf_series.items()):
+        if op not in BULK_OPS:
+            continue
+        mbps = entry["bytes_per_second"] / 1e6
+        bulk.setdefault(op, {}).setdefault(kernel, {})[str(size)] = round(mbps, 1)
+
+    decode = {}
+    for (op, kernel, s), entry in sorted(codec_series.items()):
+        if op != "DecodeSegment":
+            continue
+        decode.setdefault(kernel, {})[str(s)] = round(
+            entry["items_per_second"], 1)
+
+    speedup = {}
+    for op, per_kernel in bulk.items():
+        scalar = per_kernel.get("scalar")
+        if not scalar:
+            continue
+        top = max(scalar, key=int)
+        for kernel, sizes in per_kernel.items():
+            if kernel == "scalar" or top not in sizes:
+                continue
+            speedup.setdefault(op, {})[kernel] = round(
+                sizes[top] / scalar[top], 2)
+
+    return {
+        "schema": SCHEMA,
+        "kernels": kernels,
+        "bulk_mb_per_s": bulk,
+        "decode_blocks_per_s": decode,
+        "speedup_vs_scalar": speedup,
+    }
+
+
+def validate(doc):
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema mismatch: {doc.get('schema')!r} != {SCHEMA!r}")
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list) or "scalar" not in kernels:
+        fail("'kernels' must be a list containing 'scalar'")
+    bulk = doc.get("bulk_mb_per_s")
+    if not isinstance(bulk, dict) or "AddScaled" not in bulk:
+        fail("'bulk_mb_per_s' must map operations incl. 'AddScaled'")
+    for op, per_kernel in bulk.items():
+        for kernel, sizes in per_kernel.items():
+            if kernel not in kernels:
+                fail(f"bulk op '{op}' names unknown kernel '{kernel}'")
+            for size, mbps in sizes.items():
+                if not size.isdigit() or not isinstance(mbps, (int, float)):
+                    fail(f"bulk series {op}/{kernel} malformed at {size!r}")
+    decode = doc.get("decode_blocks_per_s")
+    if not isinstance(decode, dict) or "scalar" not in decode:
+        fail("'decode_blocks_per_s' must contain the scalar series")
+    if not isinstance(doc.get("speedup_vs_scalar"), dict):
+        fail("'speedup_vs_scalar' missing")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_gf_kernels.json")
+    ap.add_argument("--quick", action="store_true",
+                    help="short measurement window (CI smoke)")
+    ap.add_argument("--validate", metavar="FILE",
+                    help="validate an existing baseline and exit")
+    args = ap.parse_args()
+
+    if args.validate:
+        if not os.path.exists(args.validate):
+            fail(f"missing {args.validate}")
+        with open(args.validate) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{args.validate} is not valid JSON: {e}")
+        validate(doc)
+        print(f"run_bench: OK {args.validate} "
+              f"(kernels: {', '.join(doc['kernels'])})")
+        return
+
+    min_time = "0.02" if args.quick else "0.2"
+    gf_bin = os.path.join(args.build_dir, "bench", "micro_gf256")
+    codec_bin = os.path.join(args.build_dir, "bench", "micro_codec")
+
+    gf = parse_series(run_benchmark(
+        gf_bin, "BM_(AddScaled|ScaleAssign|AddAssign|Dot)<", min_time))
+    # POSIX ERE (the benchmark library's regex flavor): no \w / \d.
+    sizes = "(20|40)" if args.quick else "[0-9]+"
+    codec = parse_series(run_benchmark(
+        codec_bin, f"BM_DecodeSegment<[a-z0-9]+>/{sizes}$", min_time))
+
+    doc = build_baseline(gf, codec)
+    validate(doc)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    top = doc["speedup_vs_scalar"].get("AddScaled", {})
+    print(f"run_bench: wrote {args.out} (kernels: "
+          f"{', '.join(doc['kernels'])}; AddScaled speedup vs scalar: "
+          f"{top or 'n/a'})")
+
+
+if __name__ == "__main__":
+    main()

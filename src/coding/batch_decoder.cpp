@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "coding/decoder.h"
 #include "gf/gf_matrix.h"
 
 namespace icollect::coding {
@@ -53,17 +54,19 @@ std::optional<std::vector<std::vector<std::uint8_t>>> BatchDecoder::decode(
   const std::size_t s = check_batch(blocks, /*require_payloads=*/true);
   if (s == 0 || blocks.size() < s) return std::nullopt;
 
-  // Pick s independent rows, then solve C * X = P where row k of P is
-  // the payload of the k-th chosen block.
-  gf::Matrix probe{0, s};
+  // Pick s independent rows with a progressive coefficient-only probe
+  // (incremental elimination; no per-candidate matrix copies), then
+  // solve C * X = P where row k of P is the payload of the k-th chosen
+  // block.
+  Decoder probe{blocks.front().segment, s, 0};
+  CodedBlock candidate;
+  candidate.segment = blocks.front().segment;
   std::vector<std::size_t> chosen;
+  chosen.reserve(s);
   for (std::size_t i = 0; i < blocks.size() && chosen.size() < s; ++i) {
-    gf::Matrix trial = probe;
-    trial.append_row(blocks[i].coefficients);
-    if (trial.rank() == chosen.size() + 1) {
-      probe = std::move(trial);
-      chosen.push_back(i);
-    }
+    candidate.coefficients.assign(blocks[i].coefficients.begin(),
+                                  blocks[i].coefficients.end());
+    if (probe.add(candidate)) chosen.push_back(i);
   }
   if (chosen.size() < s) return std::nullopt;
 

@@ -1,26 +1,34 @@
 #include "coding/decoder.h"
 
+#include <algorithm>
+
 #include "gf/gf_vector.h"
 
 namespace icollect::coding {
 
 Decoder::Decoder(SegmentId id, std::size_t segment_size,
                  std::size_t payload_size)
-    : id_{id}, s_{segment_size}, payload_size_{payload_size}, rows_(s_) {
+    : id_{id},
+      s_{segment_size},
+      payload_size_{payload_size},
+      coeff_rows_(segment_size * segment_size, gf::Element{0}),
+      payload_rows_(segment_size * payload_size, std::uint8_t{0}),
+      present_(segment_size, std::uint8_t{0}),
+      scratch_coeffs_(segment_size, gf::Element{0}),
+      scratch_payload_(payload_size, std::uint8_t{0}) {
   ICOLLECT_EXPECTS(segment_size > 0);
 }
 
 std::optional<std::size_t> Decoder::reduce(
-    std::vector<gf::Element>& coeffs,
-    std::vector<std::uint8_t>& payload) const {
+    std::span<gf::Element> coeffs, std::span<std::uint8_t> payload) const {
   // Forward elimination against every stored pivot row, in pivot order.
   // After this loop the leading non-zero column (if any) has no stored
   // pivot, so it becomes this block's pivot.
   for (std::size_t p = 0; p < s_; ++p) {
     const gf::Element f = coeffs[p];
-    if (f == 0 || !rows_[p].present) continue;
-    gf::add_scaled(coeffs, rows_[p].coeffs, f);
-    if (!payload.empty()) gf::add_scaled(payload, rows_[p].payload, f);
+    if (f == 0 || present_[p] == 0) continue;
+    gf::add_scaled(coeffs, coeff_row(p), f);
+    if (!payload.empty()) gf::add_scaled(payload, payload_row(p), f);
   }
   const std::size_t lead = gf::leading_index(coeffs);
   if (lead == s_) return std::nullopt;
@@ -31,9 +39,10 @@ bool Decoder::is_innovative(const CodedBlock& block) const {
   ICOLLECT_EXPECTS(block.segment == id_);
   ICOLLECT_EXPECTS(block.coefficients.size() == s_);
   if (complete()) return false;
-  auto coeffs = block.coefficients;
-  std::vector<std::uint8_t> no_payload;  // coefficients decide innovation
-  return reduce(coeffs, no_payload).has_value();
+  // Coefficients alone decide innovation; reduce in scratch, no payload.
+  std::copy(block.coefficients.begin(), block.coefficients.end(),
+            scratch_coeffs_.begin());
+  return reduce(scratch_coeffs_, {}).has_value();
 }
 
 bool Decoder::add(const CodedBlock& block) {
@@ -45,12 +54,18 @@ bool Decoder::add(const CodedBlock& block) {
     ++redundant_;
     return false;
   }
-  auto coeffs = block.coefficients;
-  auto payload = block.payload;
-  if (payload.empty() && payload_size_ > 0) {
+  std::copy(block.coefficients.begin(), block.coefficients.end(),
+            scratch_coeffs_.begin());
+  const std::span<gf::Element> coeffs{scratch_coeffs_};
+  const std::span<std::uint8_t> payload{scratch_payload_};
+  if (block.payload.empty()) {
     // Callers may legitimately strip payloads (coefficient-only sweeps);
     // track linear algebra with a zero payload so decode stays consistent.
-    payload.assign(payload_size_, 0);
+    std::fill(scratch_payload_.begin(), scratch_payload_.end(),
+              std::uint8_t{0});
+  } else {
+    std::copy(block.payload.begin(), block.payload.end(),
+              scratch_payload_.begin());
   }
   const auto pivot = reduce(coeffs, payload);
   if (!pivot) {
@@ -68,32 +83,35 @@ bool Decoder::add(const CodedBlock& block) {
   // Back-substitute into already-stored rows so the matrix stays in
   // reduced row-echelon form and completion implies the identity matrix.
   for (std::size_t q = 0; q < s_; ++q) {
-    if (!rows_[q].present) continue;
-    const gf::Element f = rows_[q].coeffs[p];
+    if (present_[q] == 0) continue;
+    const gf::Element f = coeff_row(q)[p];
     if (f == 0) continue;
-    gf::add_scaled(rows_[q].coeffs, coeffs, f);
-    if (!rows_[q].payload.empty()) {
-      gf::add_scaled(rows_[q].payload, payload, f);
-    }
+    gf::add_scaled(coeff_row(q), coeffs, f);
+    gf::add_scaled(payload_row(q), payload, f);
   }
-  rows_[p] = Row{true, std::move(coeffs), std::move(payload)};
+  std::copy(coeffs.begin(), coeffs.end(), coeff_row(p).begin());
+  std::copy(payload.begin(), payload.end(), payload_row(p).begin());
+  present_[p] = 1;
   ++rank_;
   return true;
 }
 
-const std::vector<std::uint8_t>& Decoder::original(std::size_t k) const {
+std::span<const std::uint8_t> Decoder::original(std::size_t k) const {
   ICOLLECT_EXPECTS(complete());
   ICOLLECT_EXPECTS(k < s_);
   // In RREF at full rank the coefficient matrix is the identity, so the
   // payload stored at pivot k is exactly original block k.
-  return rows_[k].payload;
+  return payload_row(k);
 }
 
 std::vector<std::vector<std::uint8_t>> Decoder::originals() const {
   ICOLLECT_EXPECTS(complete());
   std::vector<std::vector<std::uint8_t>> out;
   out.reserve(s_);
-  for (std::size_t k = 0; k < s_; ++k) out.push_back(rows_[k].payload);
+  for (std::size_t k = 0; k < s_; ++k) {
+    const auto row = payload_row(k);
+    out.emplace_back(row.begin(), row.end());
+  }
   return out;
 }
 

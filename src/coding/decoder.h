@@ -10,9 +10,17 @@
 /// construction of the incremental reduction) the identity and the stored
 /// payload rows *are* the original blocks — the "approximately O(s)
 /// operations per input block" decoding the paper cites [8].
+///
+/// Memory layout is built for the hot loop: rows live in two flat,
+/// pre-sized arenas (s x s coefficients, s x payload bytes) allocated
+/// once at construction, and reduction runs in reusable scratch buffers.
+/// After construction, add() and is_innovative() perform ZERO heap
+/// allocations — the steady-state decode path (dominated by redundant
+/// blocks at high collection states) is pure arithmetic on warm memory.
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "coding/coded_block.h"
@@ -52,11 +60,13 @@ class Decoder {
   /// payloads are in use) matching payload length.
   bool add(const CodedBlock& block);
 
-  /// The k-th recovered original block. Precondition: complete().
-  [[nodiscard]] const std::vector<std::uint8_t>& original(
-      std::size_t k) const;
+  /// The k-th recovered original block, as a view into the decoder's row
+  /// arena (valid until the decoder is destroyed). Precondition:
+  /// complete().
+  [[nodiscard]] std::span<const std::uint8_t> original(std::size_t k) const;
 
-  /// All recovered originals in order. Precondition: complete().
+  /// All recovered originals in order, copied out. Precondition:
+  /// complete().
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> originals() const;
 
  private:
@@ -64,21 +74,38 @@ class Decoder {
   /// pivot column if a non-zero leading coefficient remains, nullopt if
   /// fully eliminated (non-innovative).
   [[nodiscard]] std::optional<std::size_t> reduce(
-      std::vector<gf::Element>& coeffs,
-      std::vector<std::uint8_t>& payload) const;
+      std::span<gf::Element> coeffs,
+      std::span<std::uint8_t> payload) const;
+
+  // Row views into the flat arenas; row with pivot at column p is row p.
+  [[nodiscard]] std::span<gf::Element> coeff_row(std::size_t p) noexcept {
+    return {coeff_rows_.data() + p * s_, s_};
+  }
+  [[nodiscard]] std::span<const gf::Element> coeff_row(
+      std::size_t p) const noexcept {
+    return {coeff_rows_.data() + p * s_, s_};
+  }
+  [[nodiscard]] std::span<std::uint8_t> payload_row(std::size_t p) noexcept {
+    return {payload_rows_.data() + p * payload_size_, payload_size_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload_row(
+      std::size_t p) const noexcept {
+    return {payload_rows_.data() + p * payload_size_, payload_size_};
+  }
 
   SegmentId id_;
   std::size_t s_;
   std::size_t payload_size_;
   std::size_t rank_ = 0;
   std::uint64_t redundant_ = 0;
-  // Row with pivot at column p lives at rows_[p]; empty rows have no pivot.
-  struct Row {
-    bool present = false;
-    std::vector<gf::Element> coeffs;
-    std::vector<std::uint8_t> payload;
-  };
-  std::vector<Row> rows_;
+  // Flat row arenas, sized once at construction (s*s and s*payload).
+  std::vector<gf::Element> coeff_rows_;
+  std::vector<std::uint8_t> payload_rows_;
+  std::vector<std::uint8_t> present_;  // 1 if row p holds a pivot row
+  // Reduction scratch, sized once at construction; mutable so the const
+  // is_innovative() probe can reuse it (single-threaded use, as before).
+  mutable std::vector<gf::Element> scratch_coeffs_;
+  mutable std::vector<std::uint8_t> scratch_payload_;
 };
 
 }  // namespace icollect::coding

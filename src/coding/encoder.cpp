@@ -23,6 +23,11 @@ CodedBlock SegmentEncoder::systematic_block(std::size_t k) const {
 
 CodedBlock SegmentEncoder::encode(sim::Rng& rng) const {
   CodedBlock out;
+  encode_into(out, rng);
+  return out;
+}
+
+void SegmentEncoder::encode_into(CodedBlock& out, sim::Rng& rng) const {
   out.segment = id_;
   out.coefficients.resize(originals_.size());
   do {
@@ -32,7 +37,6 @@ CodedBlock SegmentEncoder::encode(sim::Rng& rng) const {
   for (std::size_t j = 0; j < originals_.size(); ++j) {
     gf::add_scaled(out.payload, originals_[j], out.coefficients[j]);
   }
-  return out;
 }
 
 }  // namespace icollect::coding

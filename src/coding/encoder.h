@@ -45,6 +45,11 @@ class SegmentEncoder {
   /// emitted block is non-degenerate.
   [[nodiscard]] CodedBlock encode(sim::Rng& rng) const;
 
+  /// encode() into a caller-owned block, reusing its buffers: once
+  /// `out`'s vectors have grown to size, repeated calls allocate
+  /// nothing. Draws the same RNG stream as encode().
+  void encode_into(CodedBlock& out, sim::Rng& rng) const;
+
  private:
   SegmentId id_;
   std::vector<std::vector<std::uint8_t>> originals_;

@@ -63,9 +63,14 @@ bool SegmentBuffer::is_innovative(const CodedBlock& block) const {
 }
 
 CodedBlock SegmentBuffer::recode(sim::Rng& rng) const {
+  CodedBlock out;
+  recode_into(out, rng);
+  return out;
+}
+
+void SegmentBuffer::recode_into(CodedBlock& out, sim::Rng& rng) const {
   ICOLLECT_EXPECTS(!blocks_.empty());
   const std::size_t payload_size = blocks_.front().block.payload.size();
-  CodedBlock out;
   out.segment = id_;
   do {
     out.coefficients.assign(s_, gf::Element{0});
@@ -79,7 +84,6 @@ CodedBlock SegmentBuffer::recode(sim::Rng& rng) const {
       }
     }
   } while (out.is_degenerate());
-  return out;
 }
 
 std::vector<BlockHandle> SegmentBuffer::handles() const {

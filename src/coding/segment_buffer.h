@@ -63,6 +63,12 @@ class SegmentBuffer {
   /// Precondition: !empty().
   [[nodiscard]] CodedBlock recode(sim::Rng& rng) const;
 
+  /// recode() into a caller-owned block, reusing its buffers: once
+  /// `out`'s vectors have grown to size, repeated calls allocate
+  /// nothing — this is what keeps the server pull-and-decode loop
+  /// malloc-free. Draws the same RNG stream as recode().
+  void recode_into(CodedBlock& out, sim::Rng& rng) const;
+
   /// Handles of all stored blocks (for the owner's bookkeeping).
   [[nodiscard]] std::vector<BlockHandle> handles() const;
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gf/kernels.h"
 #include "obs/json.h"
 
 namespace icollect {
@@ -193,6 +194,7 @@ std::string config_json(const p2p::ProtocolConfig& cfg) {
       .field_str("pull", to_string(cfg.pull_policy))
       .field_str("gossip", to_string(cfg.gossip_policy))
       .field("loss", cfg.gossip_loss)
+      .field_str("gf_kernel", gf::Kernels::active().name)
       .field_raw("churn", churn.str());
   return o.str();
 }

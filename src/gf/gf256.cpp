@@ -27,4 +27,8 @@ const Element* GF256::mul_row(Element c) noexcept {
   return kMulTable.rows[c].data();
 }
 
+const std::array<std::array<Element, 256>, 256>& GF256::mul_table() noexcept {
+  return kMulTable.rows;
+}
+
 }  // namespace icollect::gf

@@ -122,7 +122,11 @@ class GF256 {
     if (n == 0) return 1;
     if (a == 0) return 0;
     const auto& t = detail::kTables;
-    const unsigned e = (static_cast<unsigned>(t.log_[a]) * n) % kGroupOrder;
+    // Reduce the exponent modulo the group order BEFORE multiplying:
+    // log_[a] * n would overflow 32 bits for n > ~2^24 and silently
+    // wrap to the wrong exponent.
+    const unsigned e =
+        (static_cast<unsigned>(t.log_[a]) * (n % kGroupOrder)) % kGroupOrder;
     return t.exp_[e];
   }
 
@@ -147,6 +151,12 @@ class GF256 {
   /// multiplication table. This is the workhorse of the bulk vector
   /// operations: one table row lookup per byte, no branches.
   [[nodiscard]] static const Element* mul_row(Element c) noexcept;
+
+  /// The full 256x256 multiplication table (row c == mul_row(c)).
+  /// Lets two-index consumers (e.g. the branch-free dot kernel) avoid a
+  /// mul_row call per byte.
+  [[nodiscard]] static const std::array<std::array<Element, 256>, 256>&
+  mul_table() noexcept;
 
  private:
   GF256() = delete;  // purely static facade

@@ -8,45 +8,34 @@
 /// Gaussian elimination in the decoder is built from the same primitives.
 /// All functions operate on `std::span<Element>` so callers can pass
 /// vectors, arrays or sub-ranges without copies (Core Guidelines I.13).
+///
+/// The heavy lifting is delegated to the runtime-dispatched kernel set
+/// (gf/kernels.h): scalar table walks by default, SSSE3/AVX2 PSHUFB
+/// nibble-split kernels when the CPU supports them. These wrappers add
+/// the span-level contracts and the c==0 / c==1 short-circuits, then
+/// call through the active function-pointer table. Every kernel is
+/// bit-identical; selection affects speed only.
 
 #include <cstddef>
-#include <cstdint>
-#include <cstring>
 #include <span>
 
 #include "common/assert.h"
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 
 namespace icollect::gf {
 
 /// dst[i] += src[i]  (XOR accumulate). Spans must have equal length.
-/// Word-at-a-time on the bulk (memcpy keeps it strict-aliasing clean and
-/// compiles to plain 64-bit loads/xors), byte tail at the end.
 inline void add_assign(std::span<Element> dst,
                        std::span<const Element> src) {
   ICOLLECT_EXPECTS(dst.size() == src.size());
-  const std::size_t n = dst.size();
-  std::size_t i = 0;
-  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, dst.data() + i, sizeof(a));
-    std::memcpy(&b, src.data() + i, sizeof(b));
-    a ^= b;
-    std::memcpy(dst.data() + i, &a, sizeof(a));
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  Kernels::active().add_assign(dst.data(), src.data(), dst.size());
 }
 
 /// dst[i] *= c, in place.
 inline void scale_assign(std::span<Element> dst, Element c) {
   if (c == 1) return;
-  if (c == 0) {
-    for (auto& b : dst) b = 0;
-    return;
-  }
-  const Element* row = GF256::mul_row(c);
-  for (auto& b : dst) b = row[b];
+  Kernels::active().scale_assign(dst.data(), c, dst.size());
 }
 
 /// dst[i] += c * src[i] — the fused multiply-accumulate at the heart of
@@ -55,23 +44,14 @@ inline void add_scaled(std::span<Element> dst, std::span<const Element> src,
                        Element c) {
   ICOLLECT_EXPECTS(dst.size() == src.size());
   if (c == 0) return;
-  if (c == 1) {
-    add_assign(dst, src);
-    return;
-  }
-  const Element* row = GF256::mul_row(c);
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  Kernels::active().add_scaled(dst.data(), src.data(), c, dst.size());
 }
 
 /// Inner product sum_i a[i] * b[i] over the field.
 [[nodiscard]] inline Element dot(std::span<const Element> a,
                                  std::span<const Element> b) {
   ICOLLECT_EXPECTS(a.size() == b.size());
-  Element acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc ^= GF256::mul(a[i], b[i]);
-  }
-  return acc;
+  return Kernels::active().dot(a.data(), b.data(), a.size());
 }
 
 /// True if every coefficient is zero.

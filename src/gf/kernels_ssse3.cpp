@@ -1,0 +1,98 @@
+/// \file kernels_ssse3.cpp
+/// SSSE3 GF(2^8) kernels: 16 bytes per step via PSHUFB nibble-split
+/// half-table lookups. Compiled with -mssse3 (this TU only); selected at
+/// runtime only when CPUID reports SSSE3, so the rest of the binary
+/// carries no ISA requirement.
+
+#include "gf/kernels.h"
+
+#if defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+namespace icollect::gf {
+namespace {
+
+void ssse3_add_assign(Element* dst, const Element* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// Multiply 16 source bytes by c: lo[s & 0xF] ^ hi[s >> 4].
+inline __m128i mul16(__m128i s, __m128i lo, __m128i hi, __m128i mask) {
+  const __m128i lo_idx = _mm_and_si128(s, mask);
+  const __m128i hi_idx = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo, lo_idx),
+                       _mm_shuffle_epi8(hi, hi_idx));
+}
+
+void ssse3_scale_assign(Element* dst, Element c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const auto& t = detail::nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul16(s, lo, hi, mask));
+  }
+  const Element* row = GF256::mul_row(c);
+  for (; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+void ssse3_add_scaled(Element* dst, const Element* src, Element c,
+                      std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    ssse3_add_assign(dst, src, n);
+    return;
+  }
+  const auto& t = detail::nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul16(s, lo, hi, mask)));
+  }
+  const Element* row = GF256::mul_row(c);
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+const KernelTable kSsse3Kernels{
+    ssse3_add_assign, ssse3_scale_assign, ssse3_add_scaled,
+    // dot has a data-dependent multiplier per byte, which the
+    // nibble-split trick cannot vectorize; the branch-free scalar table
+    // walk is the fastest known portable form.
+    detail::kScalarKernels.dot, "ssse3"};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* ssse3_kernels() noexcept { return &kSsse3Kernels; }
+}  // namespace detail
+
+}  // namespace icollect::gf
+
+#else  // !__SSSE3__
+
+namespace icollect::gf::detail {
+const KernelTable* ssse3_kernels() noexcept { return nullptr; }
+}  // namespace icollect::gf::detail
+
+#endif

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "gf/kernels.h"
+
 namespace icollect::obs {
 
 Telemetry::Telemetry(TelemetryOptions opts)
@@ -47,7 +49,16 @@ void Telemetry::write_config(std::string_view json_object) {
 
 void Telemetry::write_summary(std::string_view json_object) {
   write_file("summary.json", json_object);
-  if (profiler_ != nullptr) write_file("profile.json", profiler_->json());
+  if (profiler_ != nullptr) {
+    // Stamp the active GF(2^8) kernel so profiles from different ISA
+    // paths (scalar/ssse3/avx2) stay attributable after the fact.
+    std::string profile = "{\"gf_kernel\":\"";
+    profile += gf::Kernels::active().name;
+    profile += "\",\"scopes\":";
+    profile += profiler_->json();
+    profile += "}";
+    write_file("profile.json", profile);
+  }
   flush();
 }
 

@@ -35,6 +35,15 @@ Network::Network(ProtocolConfig cfg)
   servers_.set_decode_callback(
       [this](const ServerBank::DecodeEvent& ev) { on_segment_decoded(ev); });
 
+  // Expected concurrent events: one injector + one gossiper timer per
+  // peer, up to buffer_cap TTL timers per peer, one timer per server,
+  // plus churn departure timers. Reserving up front keeps the hot loop
+  // free of heap regrow/rehash churn.
+  const std::size_t ttl_slack =
+      cfg_.num_peers * std::min<std::size_t>(cfg_.buffer_cap, 2);
+  sim_.reserve_events(cfg_.num_peers * (cfg_.churn.enabled ? 3 : 2) +
+                      ttl_slack + cfg_.num_servers + 64);
+
   // Per-peer recurring processes. Rates are the paper's: injection λ/s,
   // gossip μ. Empty-buffer gossip firings are thinned inside do_gossip,
   // which leaves the conditional process exactly the one in the model.
@@ -270,7 +279,10 @@ void Network::do_server_pull() {
     if (cfg_.fidelity == CollectionFidelity::kStateCounter) {
       result = servers_.offer_counted(seg, sb->segment_size(), sim_.now());
     } else {
-      result = servers_.offer(sb->recode(rng_), sim_.now());
+      // Recode into a long-lived scratch block so the steady-state pull
+      // path performs no heap allocation.
+      sb->recode_into(pull_scratch_, rng_);
+      result = servers_.offer(pull_scratch_, sim_.now());
     }
   }
   if (result == ServerBank::PullResult::kInnovative) {

@@ -258,6 +258,10 @@ class Network {
   std::vector<std::size_t> non_empty_slots_;
   std::vector<std::size_t> non_empty_pos_;  // slot -> index+1 (0 = absent)
 
+  // Reused by do_server_pull's recode so steady-state pulls are
+  // allocation-free (buffers grow once, then stay).
+  coding::CodedBlock pull_scratch_;
+
   std::unordered_map<coding::OriginId, sim::Time> departed_origins_;
   // Contribution of compacted registry entries to the departed totals.
   DepartedDataStats compacted_departed_;

@@ -7,11 +7,15 @@
 /// sequence number gives FIFO tie-breaking so runs are deterministic —
 /// plus an exact set of pending ids. Cancellation removes the id from the
 /// pending set in O(1); the heap entry is dropped lazily when popped.
+/// The heap is a plain vector managed with std::push_heap/pop_heap (not
+/// std::priority_queue) so capacity can be reserved up front and the
+/// popped action moved out without const_cast.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
+#include <vector>
 
 #include "common/assert.h"
 
@@ -31,11 +35,19 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
+  /// Pre-size the heap and the pending-id set for roughly `n` concurrent
+  /// events, so steady-state scheduling avoids rehash/regrow churn.
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    pending_.reserve(n);
+  }
+
   /// Schedule `action` at absolute time `at`. Returns a cancellable id.
   EventId schedule(Time at, Action action) {
     ICOLLECT_EXPECTS(action != nullptr);
     const EventId id = next_id_++;
-    heap_.push(Entry{at, id, std::move(action)});
+    heap_.push_back(Entry{at, id, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end());
     pending_.insert(id);
     return id;
   }
@@ -64,11 +76,16 @@ class EventQueue {
   /// and capacity diagnostics.
   [[nodiscard]] std::size_t raw_size() const noexcept { return heap_.size(); }
 
+  /// Heap capacity currently reserved — for tests and diagnostics.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
+
   /// Time of the next live event. Precondition: !empty().
   [[nodiscard]] Time peek_time() {
     drop_dead_prefix();
     ICOLLECT_EXPECTS(!heap_.empty());
-    return heap_.top().at;
+    return heap_.front().at;
   }
 
   /// Pop and return the next live event. Precondition: !empty().
@@ -80,12 +97,10 @@ class EventQueue {
   [[nodiscard]] Popped pop() {
     drop_dead_prefix();
     ICOLLECT_EXPECTS(!heap_.empty());
-    // priority_queue::top() is const; the action must be moved out, so we
-    // const_cast the entry we are about to pop. Safe: the entry is removed
-    // immediately after and never observed again.
-    auto& top = const_cast<Entry&>(heap_.top());
-    Popped out{top.at, top.id, std::move(top.action)};
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end());
+    Entry& last = heap_.back();
+    Popped out{last.at, last.id, std::move(last.action)};
+    heap_.pop_back();
     pending_.erase(out.id);
     return out;
   }
@@ -95,7 +110,8 @@ class EventQueue {
     Time at;
     EventId id;  // doubles as the FIFO tie-breaker: ids are monotonic
     Action action;
-    // Min-heap by (time, id): std::priority_queue is a max-heap, so invert.
+    // Min-heap by (time, id): std heap algorithms build a max-heap, so
+    // invert the ordering.
     bool operator<(const Entry& rhs) const noexcept {
       if (at != rhs.at) return at > rhs.at;
       return id > rhs.id;
@@ -103,12 +119,13 @@ class EventQueue {
   };
 
   void drop_dead_prefix() {
-    while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-      heap_.pop();
+    while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
     }
   }
 
-  std::priority_queue<Entry> heap_;
+  std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;
   EventId next_id_ = 1;
 };

@@ -32,6 +32,10 @@ class Simulator {
   /// Current virtual time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  /// Pre-size the event queue for roughly `n` concurrent events (see
+  /// EventQueue::reserve). Call once during setup, before the hot loop.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   /// Total number of events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return executed_;

@@ -154,6 +154,23 @@ TEST(GF256, PowZeroExponentIsOne) {
   EXPECT_EQ(GF256::pow(77, 0), 1);
 }
 
+TEST(GF256, PowHugeExponentNoOverflow) {
+  // Regression: log(a) * n used to be computed in 32 bits before the
+  // mod-255 reduction, which overflows once n exceeds ~2^25 and silently
+  // wraps to the wrong group exponent. Exponents reduce mod 255 for
+  // a != 0, so a^n must equal a^(n mod 255) for arbitrarily large n.
+  for (unsigned a = 1; a < 256; a += 13) {
+    const auto ea = static_cast<Element>(a);
+    for (const unsigned n :
+         {1u << 26, (1u << 26) + 17u, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+      EXPECT_EQ(GF256::pow(ea, n), GF256::pow(ea, n % 255))
+          << "a=" << a << " n=" << n;
+    }
+  }
+  // Spot value: 2^255 = 1 so 2^(k*255 + r) = 2^r even for huge k.
+  EXPECT_EQ(GF256::pow(2, 255u * 13000000u + 7u), GF256::pow(2, 7));
+}
+
 TEST(GF256, MulRowMatchesScalarMul) {
   for (unsigned c = 0; c < 256; c += 9) {
     const Element* row = GF256::mul_row(static_cast<Element>(c));

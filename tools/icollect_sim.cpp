@@ -22,6 +22,7 @@
 
 #include "core/config_args.h"
 #include "core/icollect.h"
+#include "gf/kernels.h"
 #include "obs/json.h"
 #include "obs/telemetry.h"
 #include "p2p/network_telemetry.h"
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
           "  --trace-filter=a,b,..  keep only these trace kinds "
           "(default all)\n"
           "  --profile              per-event-type wall-clock profile\n"
-          "  --progress             progress line per snapshot (stderr)\n",
+          "  --progress             progress line per snapshot (stderr)\n"
+          "  --gf-kernel=K          GF(2^8) kernel: scalar|ssse3|avx2|auto\n"
+          "                         (default auto; env ICOLLECT_GF_KERNEL)\n",
           argv[0], config_args_help());
       return 0;
     }
@@ -87,6 +90,15 @@ int main(int argc, char** argv) {
       topts.profile = std::strtol(argv[i] + 10, nullptr, 10) != 0;
     } else if (arg == "--progress") {
       topts.progress = true;
+    } else if (arg.rfind("--gf-kernel=", 0) == 0) {
+      const std::string_view kernel = arg.substr(12);
+      if (!gf::Kernels::select_by_name(kernel)) {
+        std::fprintf(stderr,
+                     "--gf-kernel=%.*s: unknown or unsupported on this CPU "
+                     "(choices: scalar|ssse3|avx2|auto)\n",
+                     static_cast<int>(kernel.size()), kernel.data());
+        return 1;
+      }
     } else {
       cfg_args.push_back(arg);
     }
@@ -114,7 +126,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("config: %s\n", describe(cfg).c_str());
+  std::printf("config: %s gf-kernel=%s\n", describe(cfg).c_str(),
+              gf::Kernels::active().name);
   std::printf("running: warm-up %.1f, measure %.1f ...\n\n", warm, measure);
 
   CollectionSystem system{cfg};
