@@ -2,23 +2,34 @@
 
 /// \file bench_util.h
 /// Shared plumbing for the figure-reproduction harnesses: scale control,
-/// simulation runners, and aligned table printing.
+/// the Monte-Carlo steady-state sweep (replicas x cells fanned over the
+/// runner's thread pool), and aligned table printing.
 ///
 /// Every figure binary prints the series the paper plots, with both the
-/// analytical (ODE) and simulated values where applicable. Set
-/// ICOLLECT_BENCH_SCALE to trade accuracy for speed:
-///   ICOLLECT_BENCH_SCALE=0.3  quick smoke run
-///   (unset)                   default, a few minutes total for all figures
-///   ICOLLECT_BENCH_SCALE=3    publication-quality averaging
+/// analytical (ODE) and simulated values where applicable; simulated
+/// cells report `mean±ci95` over independent replicas. Environment
+/// knobs:
+///   ICOLLECT_BENCH_SCALE=0.3  quick smoke run (population/duration)
+///   ICOLLECT_BENCH_SCALE=3    publication-quality sizing
+///   ICOLLECT_BENCH_REPS=8     replicas per simulated point (default 4)
+///   ICOLLECT_BENCH_JOBS=8     worker threads (default: hardware)
+///   ICOLLECT_BENCH_SEED=S     root of the seed tree (default built-in)
+///
+/// Seeding: every simulated point draws its replica seeds from
+/// runner::SeedSequence rooted at (ICOLLECT_BENCH_SEED, bench name,
+/// cell index, replica index) — no bench hand-rolls seed arithmetic, so
+/// no two curve parameters ever share an RNG stream.
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/collection_system.h"
 #include "p2p/network.h"
+#include "runner/sweep_runner.h"
 #include "stats/csv.h"
 #include "stats/summary.h"
 
@@ -44,7 +55,8 @@ inline double scaled_time(double base) {
   return base * (scale() < 1.0 ? scale() : 1.0 + (scale() - 1.0) * 0.5);
 }
 
-/// One steady-state simulation measurement.
+/// One steady-state simulation measurement (a replica mean, or a CI
+/// half-width, depending on which half of SimStats it sits in).
 struct SimPoint {
   double normalized_throughput = 0.0;
   double goodput = 0.0;
@@ -54,78 +66,144 @@ struct SimPoint {
   double saved_per_peer_degree = 0.0;
   double saved_per_peer_rank = 0.0;
   double storage_overhead = 0.0;
-  std::uint64_t segments_lost = 0;
-  std::uint64_t segments_injected = 0;
+  double segments_lost = 0.0;
+  double segments_injected = 0.0;
 };
 
-/// Replication count for simulated points (ICOLLECT_BENCH_REPS, default 1):
-/// each figure point is averaged over this many independent seeds.
-inline int reps() {
-  static const int r = [] {
+/// Replication count for simulated points (ICOLLECT_BENCH_REPS,
+/// default 4): each figure point aggregates this many independent
+/// replicas, reported as mean ± 95% CI.
+inline std::size_t reps() {
+  static const std::size_t r = [] {
     const char* env = std::getenv("ICOLLECT_BENCH_REPS");
-    if (env == nullptr) return 1;
+    if (env == nullptr) return std::size_t{4};
     const long v = std::strtol(env, nullptr, 10);
-    return v >= 1 && v <= 1000 ? static_cast<int>(v) : 1;
+    return v >= 1 && v <= 1000 ? static_cast<std::size_t>(v)
+                               : std::size_t{4};
   }();
   return r;
 }
 
-/// Run a network to steady state (warm-up, then measure) and snapshot.
-inline SimPoint run_steady_state_once(const p2p::ProtocolConfig& cfg,
-                                      double warm = 10.0,
-                                      double measure = 25.0) {
-  p2p::Network net{cfg};
-  net.warm_up(scaled_time(warm));
-  net.run_until(net.now() + scaled_time(measure));
-  SimPoint pt;
-  pt.normalized_throughput = net.normalized_throughput();
-  pt.goodput = net.normalized_goodput();
-  pt.mean_block_delay = net.mean_block_delay();
-  pt.mean_blocks_per_peer = net.mean_blocks_per_peer();
-  pt.empty_fraction = net.empty_peer_fraction();
-  pt.storage_overhead = net.storage_overhead();
-  const auto census = net.saved_data_census();
-  const auto n = static_cast<double>(cfg.num_peers);
-  pt.saved_per_peer_degree = census.saved_original_blocks_degree / n;
-  pt.saved_per_peer_rank = census.saved_original_blocks_rank / n;
-  pt.segments_lost = net.metrics().segments_lost;
-  pt.segments_injected = net.metrics().segments_injected;
-  return pt;
+/// Worker threads for the bench sweep (ICOLLECT_BENCH_JOBS, default:
+/// hardware concurrency).
+inline std::size_t jobs() {
+  static const std::size_t j = [] {
+    const char* env = std::getenv("ICOLLECT_BENCH_JOBS");
+    const long v = env != nullptr ? std::strtol(env, nullptr, 10) : 0;
+    return runner::ThreadPool::resolve_jobs(v);
+  }();
+  return j;
 }
 
-/// run_steady_state_once averaged over reps() independent seeds.
-inline SimPoint run_steady_state(p2p::ProtocolConfig cfg, double warm = 10.0,
-                                 double measure = 25.0) {
-  const int n = reps();
-  if (n == 1) return run_steady_state_once(cfg, warm, measure);
-  SimPoint acc;
-  for (int r = 0; r < n; ++r) {
-    cfg.seed = cfg.seed * 1000003ULL + static_cast<std::uint64_t>(r) + 1;
-    const SimPoint p = run_steady_state_once(cfg, warm, measure);
-    acc.normalized_throughput += p.normalized_throughput;
-    acc.goodput += p.goodput;
-    acc.mean_block_delay += p.mean_block_delay;
-    acc.mean_blocks_per_peer += p.mean_blocks_per_peer;
-    acc.empty_fraction += p.empty_fraction;
-    acc.saved_per_peer_degree += p.saved_per_peer_degree;
-    acc.saved_per_peer_rank += p.saved_per_peer_rank;
-    acc.storage_overhead += p.storage_overhead;
-    acc.segments_lost += p.segments_lost;
-    acc.segments_injected += p.segments_injected;
-  }
-  const double k = 1.0 / n;
-  acc.normalized_throughput *= k;
-  acc.goodput *= k;
-  acc.mean_block_delay *= k;
-  acc.mean_blocks_per_peer *= k;
-  acc.empty_fraction *= k;
-  acc.saved_per_peer_degree *= k;
-  acc.saved_per_peer_rank *= k;
-  acc.storage_overhead *= k;
-  acc.segments_lost /= static_cast<std::uint64_t>(n);
-  acc.segments_injected /= static_cast<std::uint64_t>(n);
-  return acc;
+/// Root of the bench seed tree (ICOLLECT_BENCH_SEED).
+inline std::uint64_t seed_root() {
+  static const std::uint64_t s = [] {
+    const char* env = std::getenv("ICOLLECT_BENCH_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10)
+                          : 0x1CDC52008ULL;  // icdcs'2008
+  }();
+  return s;
 }
+
+/// The process-wide worker pool, sized by jobs().
+inline runner::ThreadPool& pool() {
+  static runner::ThreadPool p{jobs()};
+  return p;
+}
+
+/// FNV-1a, used to give each bench binary its own branch of the seed
+/// tree so figures never share replica streams.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Mean and 95%-CI half-width over the replicas of one simulated point.
+struct SimStats {
+  SimPoint mean;
+  SimPoint ci95;
+  std::size_t replicas = 0;
+};
+
+/// Monte-Carlo steady-state sweep: declare every simulated point of a
+/// figure up front with add(), execute them all with run() — each
+/// (point, replica) pair is one task on the shared pool, so a 30-point
+/// figure with 4 replicas exposes 120-way parallelism — then read the
+/// per-point aggregates with result().
+class SteadyStateSweep {
+ public:
+  /// `bench_name` selects this bench's branch of the seed tree.
+  explicit SteadyStateSweep(std::string_view bench_name)
+      : seeds_{runner::SeedSequence{seed_root()}.child(fnv1a(bench_name))} {}
+
+  /// Register one simulated point; returns its handle for result().
+  /// Warm-up and measure durations are in unscaled units (the global
+  /// ICOLLECT_BENCH_SCALE policy is applied here).
+  std::size_t add(const p2p::ProtocolConfig& cfg, double warm = 10.0,
+                  double measure = 25.0) {
+    runner::ReplicaPlan plan;
+    plan.config = cfg;
+    plan.warm = scaled_time(warm);
+    plan.measure = scaled_time(measure);
+    plan.replicas = reps();
+    runner::SweepCell cell;
+    cell.label = std::to_string(cells_.size());
+    cell.plan = plan;
+    cells_.push_back(std::move(cell));
+    return cells_.size() - 1;
+  }
+
+  /// Execute every registered point (replicas x points in parallel).
+  void run() {
+    const runner::SweepRunner sweep{seeds_};
+    const auto results = sweep.run(cells_, pool());
+    stats_.clear();
+    stats_.reserve(results.size());
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      const auto& agg = results[c].aggregate;
+      const auto n =
+          static_cast<double>(cells_[c].plan.config.num_peers);
+      SimStats st;
+      st.replicas = agg.replicas();
+      st.mean = extract(agg, n, false);
+      st.ci95 = extract(agg, n, true);
+      stats_.push_back(st);
+    }
+  }
+
+  [[nodiscard]] const SimStats& result(std::size_t handle) const {
+    return stats_.at(handle);
+  }
+
+ private:
+  static SimPoint extract(const runner::AggregateReport& agg, double n_peers,
+                          bool ci) {
+    const auto get = [&](std::string_view name) {
+      return ci ? runner::ci95_half_width(agg.metric(name))
+                : agg.metric(name).mean();
+    };
+    SimPoint p;
+    p.normalized_throughput = get("normalized_throughput");
+    p.goodput = get("normalized_goodput");
+    p.mean_block_delay = get("mean_block_delay");
+    p.mean_blocks_per_peer = get("mean_blocks_per_peer");
+    p.empty_fraction = get("empty_peer_fraction");
+    p.saved_per_peer_degree = get("saved_original_blocks_degree") / n_peers;
+    p.saved_per_peer_rank = get("saved_original_blocks_rank") / n_peers;
+    p.storage_overhead = get("storage_overhead");
+    p.segments_lost = get("segments_lost");
+    p.segments_injected = get("segments_injected");
+    return p;
+  }
+
+  runner::SeedSequence seeds_;
+  std::vector<runner::SweepCell> cells_;
+  std::vector<SimStats> stats_;
+};
 
 /// Directory for optional CSV export (ICOLLECT_CSV_DIR); nullptr when
 /// unset. Each figure bench mirrors its printed table into
@@ -157,11 +235,11 @@ class Table {
   void print() const {
     std::vector<std::size_t> width(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      width[c] = headers_[c].size();
+      width[c] = display_width(headers_[c]);
     }
     for (const auto& row : rows_) {
       for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
-        width[c] = std::max(width[c], row[c].size());
+        width[c] = std::max(width[c], display_width(row[c]));
       }
     }
     print_row(headers_, width);
@@ -175,12 +253,23 @@ class Table {
   }
 
  private:
+  /// Terminal columns of a UTF-8 cell: count code points, not bytes
+  /// (the ± of a mean±ci cell is two bytes, one column).
+  static std::size_t display_width(const std::string& s) {
+    std::size_t w = 0;
+    for (const char ch : s) {
+      if ((static_cast<unsigned char>(ch) & 0xC0U) != 0x80U) ++w;
+    }
+    return w;
+  }
+
   static void print_row(const std::vector<std::string>& cells,
                         const std::vector<std::size_t>& width) {
     std::string line;
     for (std::size_t c = 0; c < width.size(); ++c) {
       const std::string& cell = c < cells.size() ? cells[c] : std::string{};
-      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ');
+      line += " " + cell +
+              std::string(width[c] - display_width(cell) + 1, ' ');
       if (c + 1 < width.size()) line += "|";
     }
     std::printf("%s\n", line.c_str());
@@ -194,6 +283,14 @@ inline std::string fmt(double v, int prec = 3) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// "mean±ci" cell for a replicated point; collapses to the bare mean
+/// when only one replica ran (no interval to report).
+inline std::string fmt_ci(double mean, double ci, std::size_t replicas,
+                          int prec = 3) {
+  if (replicas < 2) return fmt(mean, prec);
+  return fmt(mean, prec) + "±" + fmt(ci, prec);
 }
 
 }  // namespace icollect::bench

@@ -38,25 +38,40 @@ int main() {
   bench::Table table{{"s", "ode c=2", "sim c=2", "ode c=5", "sim c=5",
                       "ode c=10", "sim c=10"}};
 
+  // Declare every (s, c) point, then execute the whole grid as one
+  // parallel Monte-Carlo sweep (replicas x points tasks); seeds derive
+  // from (bench root, "fig3", point, replica) — never reused across
+  // curve parameters.
+  bench::SteadyStateSweep sweep{"fig3"};
+  auto make_cfg = [&](std::size_t s, double c) {
+    p2p::ProtocolConfig cfg;
+    cfg.num_peers = bench::scaled_peers(150);
+    cfg.lambda = lambda;
+    cfg.mu = mu;
+    cfg.gamma = gamma;
+    cfg.segment_size = s;
+    cfg.buffer_cap = 160;
+    cfg.num_servers = 4;
+    cfg.set_normalized_capacity(c);
+    cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+    return cfg;
+  };
+  std::vector<std::vector<std::size_t>> handles;
   for (const std::size_t s : sizes) {
-    std::vector<std::string> row{std::to_string(s)};
-    for (const double c : capacities) {
-      p2p::ProtocolConfig cfg;
-      cfg.num_peers = bench::scaled_peers(150);
-      cfg.lambda = lambda;
-      cfg.mu = mu;
-      cfg.gamma = gamma;
-      cfg.segment_size = s;
-      cfg.buffer_cap = 160;
-      cfg.num_servers = 4;
-      cfg.set_normalized_capacity(c);
-      cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
-      cfg.seed = 42 + s;
+    auto& per_c = handles.emplace_back();
+    for (const double c : capacities) per_c.push_back(sweep.add(make_cfg(s, c)));
+  }
+  sweep.run();
 
-      const auto ode = CollectionSystem::analyze(cfg);
-      const auto sim = bench::run_steady_state(cfg);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row{std::to_string(sizes[i])};
+    for (std::size_t j = 0; j < capacities.size(); ++j) {
+      const auto ode = CollectionSystem::analyze(make_cfg(sizes[i], capacities[j]));
+      const auto& sim = sweep.result(handles[i][j]);
       row.push_back(fmt(ode.normalized_throughput()));
-      row.push_back(fmt(sim.normalized_throughput));
+      row.push_back(bench::fmt_ci(sim.mean.normalized_throughput,
+                                  sim.ci95.normalized_throughput,
+                                  sim.replicas));
     }
     table.add_row(std::move(row));
   }

@@ -47,12 +47,16 @@ int main() {
                       "c=8 s=20 churn", "c=2 s=1", "c=2 s=1 churn",
                       "c=2 s=20", "c=2 s=20 churn"}};
 
-  for (const auto fidelity : {p2p::CollectionFidelity::kStateCounter,
-                              p2p::CollectionFidelity::kRealCoding}) {
-    std::printf("-- fidelity: %s --\n", p2p::to_string(fidelity));
-    bench::Table fid_table = table;
+  // One parallel sweep over (fidelity x mu x scenario); per-point seeds
+  // derive from the bench seed tree instead of the old `90 + mu` (which
+  // reused one stream for all eight scenarios at each mu).
+  const std::vector<p2p::CollectionFidelity> fidelities{
+      p2p::CollectionFidelity::kStateCounter,
+      p2p::CollectionFidelity::kRealCoding};
+  bench::SteadyStateSweep sweep{"fig4"};
+  std::vector<std::size_t> handles;
+  for (const auto fidelity : fidelities) {
     for (const double mu : mus) {
-      std::vector<std::string> row{fmt(mu, 0)};
       for (const auto& sc : scenarios) {
         p2p::ProtocolConfig cfg;
         cfg.num_peers = bench::scaled_peers(150);
@@ -66,9 +70,23 @@ int main() {
         cfg.fidelity = fidelity;
         cfg.churn.enabled = sc.churn;
         cfg.churn.mean_lifetime = mean_lifetime;
-        cfg.seed = 90 + static_cast<std::uint64_t>(mu);
-        const auto sim = bench::run_steady_state(cfg, 10.0, 30.0);
-        row.push_back(fmt(sim.normalized_throughput));
+        handles.push_back(sweep.add(cfg, 10.0, 30.0));
+      }
+    }
+  }
+  sweep.run();
+
+  std::size_t next = 0;
+  for (const auto fidelity : fidelities) {
+    std::printf("-- fidelity: %s --\n", p2p::to_string(fidelity));
+    bench::Table fid_table = table;
+    for (const double mu : mus) {
+      std::vector<std::string> row{fmt(mu, 0)};
+      for (std::size_t k = 0; k < scenarios.size(); ++k) {
+        const auto& sim = sweep.result(handles[next++]);
+        row.push_back(bench::fmt_ci(sim.mean.normalized_throughput,
+                                    sim.ci95.normalized_throughput,
+                                    sim.replicas));
       }
       fid_table.add_row(std::move(row));
     }

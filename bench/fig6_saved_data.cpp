@@ -38,25 +38,42 @@ int main() {
                       "deg c=5", "rank c=5", "ode c=10", "deg c=10",
                       "rank c=10"}};
 
+  bench::SteadyStateSweep sweep{"fig6"};
+  auto make_cfg = [&](std::size_t s, double c) {
+    p2p::ProtocolConfig cfg;
+    cfg.num_peers = bench::scaled_peers(150);
+    cfg.lambda = lambda;
+    cfg.mu = mu;
+    cfg.gamma = gamma;
+    cfg.segment_size = s;
+    cfg.buffer_cap = 160;
+    cfg.num_servers = 4;
+    cfg.set_normalized_capacity(c);
+    cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+    return cfg;
+  };
+  std::vector<std::vector<std::size_t>> handles;
   for (const std::size_t s : sizes) {
-    std::vector<std::string> row{std::to_string(s)};
+    auto& per_c = handles.emplace_back();
     for (const double c : capacities) {
-      p2p::ProtocolConfig cfg;
-      cfg.num_peers = bench::scaled_peers(150);
-      cfg.lambda = lambda;
-      cfg.mu = mu;
-      cfg.gamma = gamma;
-      cfg.segment_size = s;
-      cfg.buffer_cap = 160;
-      cfg.num_servers = 4;
-      cfg.set_normalized_capacity(c);
-      cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
-      cfg.seed = 600 + s;
-      const auto ode_sol = CollectionSystem::analyze(cfg);
-      const auto sim = bench::run_steady_state(cfg, 10.0, 25.0);
+      per_c.push_back(sweep.add(make_cfg(s, c), 10.0, 25.0));
+    }
+  }
+  sweep.run();
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row{std::to_string(sizes[i])};
+    for (std::size_t j = 0; j < capacities.size(); ++j) {
+      const auto ode_sol =
+          CollectionSystem::analyze(make_cfg(sizes[i], capacities[j]));
+      const auto& sim = sweep.result(handles[i][j]);
       row.push_back(fmt(ode_sol.saved_blocks_per_peer(), 2));
-      row.push_back(fmt(sim.saved_per_peer_degree, 2));
-      row.push_back(fmt(sim.saved_per_peer_rank, 2));
+      row.push_back(bench::fmt_ci(sim.mean.saved_per_peer_degree,
+                                  sim.ci95.saved_per_peer_degree,
+                                  sim.replicas, 2));
+      row.push_back(bench::fmt_ci(sim.mean.saved_per_peer_rank,
+                                  sim.ci95.saved_per_peer_rank, sim.replicas,
+                                  2));
     }
     table.add_row(std::move(row));
   }

@@ -32,7 +32,8 @@ int main() {
                       "rho sim", "overhead sim", "bound mu/g", "z0 closed",
                       "z0 sim"}};
 
-  for (const auto& cs : cases) {
+  bench::SteadyStateSweep sweep{"thm1"};
+  auto make_cfg = [&](const Case& cs) {
     p2p::ProtocolConfig cfg;
     cfg.num_peers = bench::scaled_peers(150);
     cfg.lambda = cs.lambda;
@@ -44,20 +45,31 @@ int main() {
     cfg.num_servers = 4;
     cfg.set_normalized_capacity(cs.lambda / 4.0);
     cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
-    cfg.seed = 7;
+    return cfg;
+  };
+  std::vector<std::size_t> handles;
+  for (const auto& cs : cases) handles.push_back(sweep.add(make_cfg(cs), 12.0, 30.0));
+  sweep.run();
 
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& cs = cases[i];
     const double rho_closed =
         ode::closed_form::rho(cs.lambda, cs.mu, gamma);
     const double z0_closed =
         ode::closed_form::steady_z0(cs.lambda, cs.mu, gamma);
-    const auto ode_sol = CollectionSystem::analyze(cfg);
-    const auto sim = bench::run_steady_state(cfg, 12.0, 30.0);
+    const auto ode_sol = CollectionSystem::analyze(make_cfg(cs));
+    const auto& sim = sweep.result(handles[i]);
 
     table.add_row({fmt(cs.lambda, 0), fmt(cs.mu, 0), std::to_string(cs.s),
                    fmt(rho_closed, 2), fmt(ode_sol.rho(), 2),
-                   fmt(sim.mean_blocks_per_peer, 2),
-                   fmt(sim.storage_overhead, 2), fmt(cs.mu / gamma, 1),
-                   fmt(z0_closed, 4), fmt(sim.empty_fraction, 4)});
+                   bench::fmt_ci(sim.mean.mean_blocks_per_peer,
+                                 sim.ci95.mean_blocks_per_peer, sim.replicas,
+                                 2),
+                   bench::fmt_ci(sim.mean.storage_overhead,
+                                 sim.ci95.storage_overhead, sim.replicas, 2),
+                   fmt(cs.mu / gamma, 1), fmt(z0_closed, 4),
+                   bench::fmt_ci(sim.mean.empty_fraction,
+                                 sim.ci95.empty_fraction, sim.replicas, 4)});
   }
   table.print();
   table.to_csv(bench::maybe_csv("thm1_storage_overhead").get());

@@ -15,9 +15,25 @@ kernel, size), and emits:
     "speedup_vs_scalar": {op: {kernel: x}},       # at the largest size
   }
 
+Also covers the replica engine: `--runner` times a fixed sweep grid
+through `icollect_sweep` serially (--jobs=1) and with every hardware
+thread, verifies the outputs are byte-identical (the determinism
+contract), and writes BENCH_runner.json:
+
+  {
+    "schema": "icollect-runner-bench/1",
+    "hardware_threads": N,                 # of the measuring machine
+    "grid_cells": C, "replicas": R,
+    "serial_seconds": x, "parallel_jobs": J, "parallel_seconds": y,
+    "speedup": x/y,                        # honest: 1-core boxes get ~1
+    "deterministic": true,
+  }
+
 Usage:
   run_bench.py [--build-dir DIR] [--out FILE] [--quick]
-  run_bench.py --validate FILE      # schema check only, no benchmarks
+  run_bench.py --validate FILE          # schema check only, no benchmarks
+  run_bench.py --runner [--runner-out FILE] [--quick]
+  run_bench.py --validate-runner FILE
 
 --quick shortens the measurement window (CI smoke); the committed
 baseline should be produced without it. Exits nonzero on any failure.
@@ -29,8 +45,10 @@ import os
 import re
 import subprocess
 import sys
+import time
 
 SCHEMA = "icollect-gf-bench/1"
+RUNNER_SCHEMA = "icollect-runner-bench/1"
 NAME_RE = re.compile(r"^BM_(\w+)<(\w+)>/(\d+)$")
 BULK_OPS = ("AddScaled", "ScaleAssign", "AddAssign", "Dot")
 
@@ -128,6 +146,68 @@ def validate(doc):
         fail("'speedup_vs_scalar' missing")
 
 
+def run_sweep_timed(binary, out, jobs, replicas, grid):
+    """Run one sweep; -> (wall seconds, output bytes)."""
+    cmd = [binary, "--seed=42", f"--jobs={jobs}", f"--replicas={replicas}",
+           f"--out={out}", *grid]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=3600)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    with open(out, "rb") as f:
+        return elapsed, f.read()
+
+
+def build_runner_baseline(build_dir, quick):
+    binary = os.path.join(build_dir, "tools", "icollect_sweep")
+    if not os.path.exists(binary):
+        fail(f"sweep binary not found: {binary} (build the repo first)")
+    jobs = os.cpu_count() or 1
+    replicas = 2 if quick else 8
+    grid = ["--grid-s=1,5,10", "--grid-c=2,5",
+            "--warm=2" if quick else "--warm=5",
+            "--measure=4" if quick else "--measure=20",
+            "peers=60" if quick else "peers=100",
+            "lambda=10", "mu=5"]
+    cells = 6  # |grid-s| x |grid-c|
+
+    serial_s, serial_bytes = run_sweep_timed(
+        binary, os.path.join(build_dir, "sweep_j1.jsonl"), 1, replicas, grid)
+    parallel_s, parallel_bytes = run_sweep_timed(
+        binary, os.path.join(build_dir, "sweep_jN.jsonl"), jobs, replicas,
+        grid)
+    if serial_bytes != parallel_bytes:
+        fail(f"sweep output differs between --jobs=1 and --jobs={jobs}: "
+             "determinism contract broken")
+    return {
+        "schema": RUNNER_SCHEMA,
+        "hardware_threads": jobs,
+        "grid_cells": cells,
+        "replicas": replicas,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_jobs": jobs,
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else 0.0,
+        "deterministic": True,
+    }
+
+
+def validate_runner(doc):
+    if doc.get("schema") != RUNNER_SCHEMA:
+        fail(f"schema mismatch: {doc.get('schema')!r} != {RUNNER_SCHEMA!r}")
+    for key in ("hardware_threads", "grid_cells", "replicas",
+                "parallel_jobs"):
+        if not isinstance(doc.get(key), int) or doc[key] < 1:
+            fail(f"'{key}' must be a positive integer")
+    for key in ("serial_seconds", "parallel_seconds", "speedup"):
+        if not isinstance(doc.get(key), (int, float)) or doc[key] <= 0:
+            fail(f"'{key}' must be a positive number")
+    if doc.get("deterministic") is not True:
+        fail("'deterministic' must be true — a baseline recorded from a "
+             "nondeterministic engine is not a baseline")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
@@ -136,7 +216,39 @@ def main():
                     help="short measurement window (CI smoke)")
     ap.add_argument("--validate", metavar="FILE",
                     help="validate an existing baseline and exit")
+    ap.add_argument("--runner", action="store_true",
+                    help="benchmark the replica engine instead of GF kernels")
+    ap.add_argument("--runner-out", default="BENCH_runner.json")
+    ap.add_argument("--validate-runner", metavar="FILE",
+                    help="validate an existing runner baseline and exit")
     args = ap.parse_args()
+
+    if args.validate_runner:
+        if not os.path.exists(args.validate_runner):
+            fail(f"missing {args.validate_runner}")
+        with open(args.validate_runner) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{args.validate_runner} is not valid JSON: {e}")
+        validate_runner(doc)
+        print(f"run_bench: OK {args.validate_runner} "
+              f"(speedup {doc['speedup']}x at "
+              f"{doc['parallel_jobs']} jobs on "
+              f"{doc['hardware_threads']} hardware threads)")
+        return
+
+    if args.runner:
+        doc = build_runner_baseline(args.build_dir, args.quick)
+        validate_runner(doc)
+        with open(args.runner_out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"run_bench: wrote {args.runner_out} "
+              f"(serial {doc['serial_seconds']}s, parallel "
+              f"{doc['parallel_seconds']}s at {doc['parallel_jobs']} jobs "
+              f"-> {doc['speedup']}x; byte-deterministic)")
+        return
 
     if args.validate:
         if not os.path.exists(args.validate):

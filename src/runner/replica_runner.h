@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file replica_runner.h
+/// Monte-Carlo execution of one experiment cell: R independent
+/// CollectionSystem simulations, fanned over a ThreadPool, reduced into
+/// an AggregateReport.
+///
+/// Seeding: replica r of cell c runs with
+/// `seeds.replica_seed(c, r)` — strictly derived, never shared, so the
+/// set of simulated trajectories is a pure function of (root seed, cell,
+/// replicas) and completely independent of the worker count. Reduction
+/// happens in replica-index order after the fan-out completes, making
+/// the aggregate byte-stable for any --jobs value.
+///
+/// Telemetry under parallel execution: when `metrics_dir` is set, each
+/// replica writes a full bundle into `<dir>/replica-<r>/`; after the
+/// fan-out the runner merges the per-replica `snapshots.jsonl` series
+/// (columns averaged across replicas at each sample index — the cadence
+/// is virtual-time-driven and identical for all replicas) into
+/// `<dir>/snapshots.jsonl` + `<dir>/snapshots.csv`, and writes the cell
+/// `config.json` and aggregate `summary.json` alongside.
+
+#include <string>
+#include <vector>
+
+#include "core/collection_system.h"
+#include "runner/aggregate.h"
+#include "runner/seed_sequence.h"
+#include "runner/thread_pool.h"
+
+namespace icollect::runner {
+
+/// One experiment cell: a configuration plus its run shape.
+struct ReplicaPlan {
+  p2p::ProtocolConfig config;
+  double warm = 10.0;
+  double measure = 30.0;
+  std::size_t replicas = 8;
+  std::uint64_t cell = 0;  ///< grid-cell index for seed derivation
+
+  /// Optional merged-telemetry bundle directory ("" = no telemetry).
+  std::string metrics_dir;
+  double metrics_interval = 0.5;
+};
+
+/// Run one replica to completion (the per-task body of the fan-out).
+/// `plan.config.seed` is overridden with `seed`. When the plan has a
+/// `metrics_dir`, the replica writes its own telemetry bundle into
+/// `<metrics_dir>/replica-<replica>/`.
+[[nodiscard]] CollectionReport run_one_replica(const ReplicaPlan& plan,
+                                               std::uint64_t seed,
+                                               std::size_t replica = 0);
+
+/// Merge the per-replica snapshot series of a completed cell into
+/// `<metrics_dir>/snapshots.{jsonl,csv}` and write the cell-level
+/// `config.json` / `summary.json`. No-op when the plan has no
+/// metrics_dir.
+void finalize_cell_telemetry(const ReplicaPlan& plan,
+                             const AggregateReport& aggregate,
+                             std::size_t replicas);
+
+/// All R reports of a plan, indexed by replica (parallel fan-out,
+/// deterministic content). This is the building block ReplicaRunner and
+/// SweepRunner reduce over.
+[[nodiscard]] std::vector<CollectionReport> run_replica_reports(
+    const ReplicaPlan& plan, const SeedSequence& seeds, ThreadPool& pool);
+
+class ReplicaRunner {
+ public:
+  explicit ReplicaRunner(SeedSequence seeds) : seeds_{seeds} {}
+
+  /// Execute `plan.replicas` simulations on `pool` and aggregate.
+  [[nodiscard]] AggregateReport run(const ReplicaPlan& plan,
+                                    ThreadPool& pool) const;
+
+ private:
+  SeedSequence seeds_;
+};
+
+}  // namespace icollect::runner

@@ -1,0 +1,47 @@
+#include "runner/sweep_runner.h"
+
+#include <fstream>
+#include <utility>
+
+#include "core/config_args.h"
+
+namespace icollect::runner {
+
+std::vector<SweepResult> SweepRunner::run(std::vector<SweepCell> cells,
+                                          ThreadPool& pool) const {
+  // Flatten (cell, replica) into one task list with pre-assigned result
+  // slots. Cell c's replicas draw from seeds_.child(c) regardless of
+  // which worker executes them or in what order.
+  struct Slot {
+    std::size_t cell;
+    std::size_t replica;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::vector<CollectionReport>> reports(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].plan.cell = c;
+    const std::size_t R =
+        cells[c].plan.replicas == 0 ? 1 : cells[c].plan.replicas;
+    reports[c].resize(R);
+    for (std::size_t r = 0; r < R; ++r) slots.push_back({c, r});
+  }
+
+  const SeedSequence seeds = seeds_;
+  pool.parallel_for(slots.size(), [&](std::size_t i) {
+    const auto [c, r] = slots[i];
+    const ReplicaPlan& plan = cells[c].plan;
+    reports[c][r] = run_one_replica(plan, seeds.child(plan.cell).stream(r), r);
+  });
+
+  std::vector<SweepResult> results;
+  results.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    AggregateReport agg;
+    for (const auto& report : reports[c]) agg.add(report);
+    finalize_cell_telemetry(cells[c].plan, agg, reports[c].size());
+    results.push_back({cells[c].label, std::move(agg)});
+  }
+  return results;
+}
+
+}  // namespace icollect::runner

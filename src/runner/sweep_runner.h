@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file sweep_runner.h
+/// Parameter-grid fan-out: every (cell, replica) pair of a sweep becomes
+/// one ThreadPool task, so a 30-cell x 8-replica grid exposes 240-way
+/// parallelism instead of 8-way with a barrier per cell. Results land in
+/// pre-assigned slots and each cell reduces in replica order, preserving
+/// the byte-determinism contract of the replica engine.
+
+#include <string>
+#include <vector>
+
+#include "runner/replica_runner.h"
+
+namespace icollect::runner {
+
+/// One cell of a sweep: a label for reporting plus its plan. The plan's
+/// `cell` index is assigned by SweepRunner (position in the grid) so
+/// seeds depend only on (root seed, grid position, replica).
+struct SweepCell {
+  std::string label;
+  ReplicaPlan plan;
+};
+
+struct SweepResult {
+  std::string label;
+  AggregateReport aggregate;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SeedSequence seeds) : seeds_{seeds} {}
+
+  /// Run every cell's replicas as one flat task set; results are indexed
+  /// like `cells`.
+  [[nodiscard]] std::vector<SweepResult> run(std::vector<SweepCell> cells,
+                                             ThreadPool& pool) const;
+
+ private:
+  SeedSequence seeds_;
+};
+
+}  // namespace icollect::runner

@@ -1,0 +1,132 @@
+#include "runner/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace icollect::runner {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    const std::lock_guard lock{sleep_mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  ICOLLECT_EXPECTS(task != nullptr);
+  std::size_t target;
+  {
+    const std::lock_guard lock{sleep_mutex_};
+    ICOLLECT_EXPECTS(!stop_);
+    target = next_++ % workers_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    const std::lock_guard lock{workers_[target]->mutex};
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{sleep_mutex_};
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  // Completion is tracked separately from pending_ so that concurrent
+  // parallel_for calls (or stray submits) cannot release each other.
+  std::atomic<std::size_t> done{0};
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, &done, i] {
+      fn(i);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  // The calling thread lends a hand instead of blocking: on a 1-core
+  // host (or when called from inside a worker) this keeps the pool from
+  // deadlocking on itself and loses no parallelism.
+  while (done.load(std::memory_order_acquire) < count) {
+    bool ran = false;
+    for (std::size_t w = 0; w < workers_.size() && !ran; ++w) {
+      ran = try_run_one(w);
+    }
+    if (!ran) std::this_thread::yield();
+  }
+}
+
+std::size_t ThreadPool::resolve_jobs(long requested) noexcept {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  Task task;
+  {
+    // Own deque: newest first (cache-warm tail).
+    auto& own = *workers_[self];
+    const std::lock_guard lock{own.mutex};
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal oldest-first from siblings, starting after `self` so the
+    // pressure spreads instead of piling onto worker 0.
+    const std::size_t n = workers_.size();
+    for (std::size_t k = 1; k < n && !task; ++k) {
+      auto& victim = *workers_[(self + k) % n];
+      const std::lock_guard lock{victim.mutex};
+      if (!victim.queue.empty()) {
+        task = std::move(victim.queue.front());
+        victim.queue.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+
+  {
+    const std::lock_guard lock{sleep_mutex_};
+    --queued_;
+  }
+  task();
+  bool drained;
+  {
+    const std::lock_guard lock{sleep_mutex_};
+    drained = --pending_ == 0;
+  }
+  if (drained) idle_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    if (try_run_one(self)) continue;
+    std::unique_lock lock{sleep_mutex_};
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace icollect::runner

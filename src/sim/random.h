@@ -20,6 +20,19 @@
 
 namespace icollect::sim {
 
+/// SplitMix64 finalizer (Steele/Lea/Flood; the mixer of
+/// std::philox-free seeding folklore): a bijective avalanche on 64 bits.
+/// This is the primitive every derived seed in the codebase flows
+/// through — runner::SeedSequence builds its per-cell / per-replica
+/// stream tree out of it, so two distinct derivation paths never yield
+/// correlated mt19937_64 seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// Seedable random source. Thin, inlined wrapper over std::mt19937_64.
 class Rng {
  public:

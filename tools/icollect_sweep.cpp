@@ -1,0 +1,267 @@
+/// \file icollect_sweep.cpp
+/// Parameter-grid Monte-Carlo driver: fan a (grid x replicas) sweep over
+/// a work-stealing thread pool and emit one JSONL row per cell with
+/// mean / stddev / 95% CI aggregates for every report metric.
+///
+///   icollect_sweep [key=value ...] [--grid-s=1,2,4] [--grid-c=2,5,10]
+///                  [--grid-mu=...] [--grid-lambda=...] [--grid-churn=...]
+///                  [--replicas=R] [--jobs=J] [--seed=S]
+///                  [--warm=T] [--measure=T] [--out=FILE]
+///                  [--metrics-out=DIR] [--metrics-interval=T]
+///
+/// Determinism contract: identical (seed, grid, replicas) produce
+/// byte-identical JSONL for ANY --jobs value — replica seeds are derived
+/// per (cell, replica) from the root seed, results land in pre-assigned
+/// slots, and aggregation runs in index order after the fan-out. Wall
+/// clock and worker count are reported on stderr only, never in the
+/// JSONL.
+///
+/// Examples:
+///   icollect_sweep peers=150 lambda=20 mu=10 --grid-s=1,10,20
+///       --grid-c=2,5,10 --replicas=8 --jobs=8 --out=fig3.jsonl
+///   icollect_sweep peers=60 --grid-s=2,4 --replicas=4
+///       --metrics-out=sweep_bundle
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/config_args.h"
+#include "core/icollect.h"
+#include "obs/json.h"
+#include "runner/sweep_runner.h"
+
+namespace {
+
+using namespace icollect;
+
+struct Axis {
+  std::string key;             // "s", "c", "mu", "lambda", "churn"
+  std::vector<double> values;  // parsed list; s cast to size_t on apply
+};
+
+std::vector<double> parse_list(std::string_view text, const char* flag) {
+  std::vector<double> out;
+  std::string item;
+  std::string buf{text};
+  char* cursor = buf.data();
+  while (cursor != nullptr && *cursor != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(cursor, &end);
+    if (end == cursor) {
+      std::fprintf(stderr, "%s: malformed list '%.*s'\n", flag,
+                   static_cast<int>(text.size()), text.data());
+      std::exit(1);
+    }
+    out.push_back(v);
+    cursor = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s: empty list\n", flag);
+    std::exit(1);
+  }
+  return out;
+}
+
+void apply_axis(p2p::ProtocolConfig& cfg, const std::string& key, double v) {
+  if (key == "s") {
+    cfg.segment_size = static_cast<std::size_t>(v);
+  } else if (key == "c") {
+    cfg.set_normalized_capacity(v);
+  } else if (key == "mu") {
+    cfg.mu = v;
+  } else if (key == "lambda") {
+    cfg.lambda = v;
+  } else if (key == "churn") {
+    cfg.churn.enabled = v > 0.0;
+    cfg.churn.mean_lifetime = v;
+  }
+}
+
+std::string axis_label(const std::string& key, double v) {
+  char buf[64];
+  if (key == "s") {
+    std::snprintf(buf, sizeof(buf), "s=%zu", static_cast<std::size_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s=%g", key.c_str(), v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double warm = 10.0;
+  double measure = 30.0;
+  long replicas = 8;
+  long jobs = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 1;
+  std::string out_path;
+  std::string metrics_dir;
+  double metrics_interval = 0.5;
+  std::vector<Axis> axes;
+  std::vector<std::string_view> cfg_args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    auto grid_flag = [&](const char* name) {
+      const std::string prefix = std::string{"--grid-"} + name + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      axes.push_back(
+          {name, parse_list(arg.substr(prefix.size()), prefix.c_str())});
+      return true;
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::printf(
+          "usage: %s [key=value ...] [flags]\nprotocol keys:\n%s"
+          "grid axes (comma lists; cartesian product):\n"
+          "  --grid-s=... --grid-c=... --grid-mu=... --grid-lambda=...\n"
+          "  --grid-churn=... (mean lifetime; 0 = static)\n"
+          "runner flags:\n"
+          "  --replicas=R (default 8)   --jobs=J (default: hardware)\n"
+          "  --seed=S (root of the per-cell/per-replica seed tree)\n"
+          "  --warm=T --measure=T\n"
+          "output:\n"
+          "  --out=FILE            JSONL, one row per cell (default "
+          "stdout)\n"
+          "  --metrics-out=DIR     merged telemetry per cell "
+          "(<DIR>/cell-<i>/)\n"
+          "  --metrics-interval=T  snapshot spacing (default 0.5)\n",
+          argv[0], config_args_help());
+      return 0;
+    }
+    if (grid_flag("s") || grid_flag("c") || grid_flag("mu") ||
+        grid_flag("lambda") || grid_flag("churn")) {
+      continue;
+    }
+    if (arg.rfind("--replicas=", 0) == 0) {
+      replicas = std::strtol(argv[i] + 11, nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::strtol(argv[i] + 7, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg.rfind("--warm=", 0) == 0) {
+      warm = std::strtod(argv[i] + 7, nullptr);
+    } else if (arg.rfind("--measure=", 0) == 0) {
+      measure = std::strtod(argv[i] + 10, nullptr);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string{arg.substr(6)};
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_dir = std::string{arg.substr(14)};
+    } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+      metrics_interval = std::strtod(argv[i] + 19, nullptr);
+    } else {
+      cfg_args.push_back(arg);
+    }
+  }
+  if (replicas < 1 || replicas > 100000) {
+    std::fprintf(stderr, "--replicas must be in [1, 100000]\n");
+    return 1;
+  }
+  if (metrics_interval <= 0.0) {
+    std::fprintf(stderr, "--metrics-interval must be > 0\n");
+    return 1;
+  }
+
+  p2p::ProtocolConfig base;
+  try {
+    apply_config_args(base, cfg_args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\nprotocol keys:\n%s", e.what(),
+                 config_args_help());
+    return 1;
+  }
+
+  // Cartesian product, declared-axis order, rightmost axis fastest —
+  // the cell order (and therefore every seed) is part of the contract.
+  std::vector<runner::SweepCell> cells;
+  std::vector<std::size_t> idx(axes.size(), 0);
+  while (true) {
+    p2p::ProtocolConfig cfg = base;
+    std::string label;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      apply_axis(cfg, axes[a].key, axes[a].values[idx[a]]);
+      if (!label.empty()) label += ',';
+      label += axis_label(axes[a].key, axes[a].values[idx[a]]);
+    }
+    if (label.empty()) label = "base";
+    try {
+      cfg.validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cell '%s': %s\n", label.c_str(), e.what());
+      return 1;
+    }
+    runner::ReplicaPlan plan;
+    plan.config = cfg;
+    plan.warm = warm;
+    plan.measure = measure;
+    plan.replicas = static_cast<std::size_t>(replicas);
+    if (!metrics_dir.empty()) {
+      plan.metrics_dir = metrics_dir + "/cell-" + std::to_string(cells.size());
+      plan.metrics_interval = metrics_interval;
+    }
+    cells.push_back({label, plan});
+    // Odometer increment; empty axes list degenerates to the single base
+    // cell.
+    bool done = axes.empty();
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) done = true;  // every axis wrapped: product exhausted
+    }
+    if (done) break;
+  }
+
+  const std::size_t n_jobs = runner::ThreadPool::resolve_jobs(jobs);
+  std::fprintf(stderr,
+               "icollect_sweep: %zu cells x %ld replicas on %zu jobs "
+               "(seed %llu)\n",
+               cells.size(), replicas, n_jobs,
+               static_cast<unsigned long long>(seed));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runner::ThreadPool pool{n_jobs};
+  const runner::SweepRunner sweep{runner::SeedSequence{seed}};
+  const auto results = sweep.run(cells, pool);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open --out=%s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream* out = out_path.empty() ? nullptr : &file;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    obs::JsonObject row;
+    row.field("cell", c)
+        .field_str("label", results[c].label)
+        .field("seed", seed)
+        .field("replicas", replicas)
+        .field("warm", warm)
+        .field("measure", measure)
+        .field_raw("config", config_json(cells[c].plan.config))
+        .field_raw("aggregate", results[c].aggregate.to_json());
+    const std::string line = row.str();
+    if (out != nullptr) {
+      *out << line << '\n';
+    } else {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (out != nullptr) out->flush();
+
+  std::fprintf(stderr, "icollect_sweep: done in %.2fs (%zu simulations)\n",
+               elapsed, cells.size() * static_cast<std::size_t>(replicas));
+  return 0;
+}
