@@ -1,0 +1,107 @@
+#include "net/loopback.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace icollect::net {
+
+LoopbackNet::LoopbackNet(Options opts)
+    : opts_{opts}, wheel_{opts.tick_seconds}, rng_{opts.seed} {
+  ICOLLECT_EXPECTS(opts.latency >= 0.0);
+  ICOLLECT_EXPECTS(opts.latency_jitter >= 0.0);
+  ICOLLECT_EXPECTS(opts.drop_probability >= 0.0 &&
+                   opts.drop_probability < 1.0);
+}
+
+LoopbackNet::Endpoint& LoopbackNet::create_endpoint() {
+  const auto id = static_cast<NodeId>(endpoints_.size());
+  endpoints_.emplace_back(new Endpoint{this, id});
+  for (auto& ep : endpoints_) {
+    ep->links_.resize(endpoints_.size(), 0);
+  }
+  return *endpoints_.back();
+}
+
+void LoopbackNet::connect(NodeId a, NodeId b) {
+  ICOLLECT_EXPECTS(a != b);
+  Endpoint& ea = endpoint(a);
+  Endpoint& eb = endpoint(b);
+  if (ea.links_[b] != 0) return;  // already wired
+  ea.links_[b] = 1;
+  eb.links_[a] = 1;
+  if (ea.handler_ != nullptr) ea.handler_->on_peer_up(b);
+  if (eb.handler_ != nullptr) eb.handler_->on_peer_up(a);
+}
+
+void LoopbackNet::sever(NodeId a, NodeId b) {
+  Endpoint& ea = endpoint(a);
+  Endpoint& eb = endpoint(b);
+  if (ea.links_[b] == 0) return;
+  ea.links_[b] = 0;
+  eb.links_[a] = 0;
+  if (ea.handler_ != nullptr) ea.handler_->on_peer_down(b);
+  if (eb.handler_ != nullptr) eb.handler_->on_peer_down(a);
+}
+
+void LoopbackNet::disconnect(NodeId a, NodeId b) { sever(a, b); }
+
+bool LoopbackNet::Endpoint::send(NodeId peer,
+                                 std::span<const std::uint8_t> bytes) {
+  return hub_->do_send(*this, peer, bytes);
+}
+
+void LoopbackNet::Endpoint::close_peer(NodeId peer) {
+  if (peer < links_.size() && links_[peer] != 0) hub_->sever(id_, peer);
+}
+
+bool LoopbackNet::do_send(Endpoint& from, NodeId to,
+                          std::span<const std::uint8_t> bytes) {
+  if (to >= endpoints_.size() || from.links_[to] == 0) return false;
+  if (from.in_flight_bytes_ + bytes.size() > opts_.send_queue_cap_bytes) {
+    ++refusals_;
+    return false;
+  }
+  ++sends_;
+  if (opts_.drop_probability > 0.0 &&
+      rng_.bernoulli(opts_.drop_probability)) {
+    // The link ate it: the sender believes it sent (true), nothing
+    // arrives — exactly the gossip-loss fault the simulator injects.
+    ++drops_;
+    return true;
+  }
+  from.in_flight_bytes_ += bytes.size();
+  auto data = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
+                                                          bytes.end());
+  double delay = opts_.latency;
+  if (opts_.latency_jitter > 0.0) {
+    delay += rng_.uniform(0.0, opts_.latency_jitter);
+  }
+  const NodeId from_id = from.id_;
+  wheel_.schedule_after(delay, [this, from_id, to, data = std::move(data)] {
+    deliver(from_id, to, data);
+  });
+  return true;
+}
+
+void LoopbackNet::deliver(NodeId from, NodeId to,
+                          std::shared_ptr<std::vector<std::uint8_t>> data) {
+  Endpoint& src = endpoint(from);
+  src.in_flight_bytes_ -= std::min(src.in_flight_bytes_, data->size());
+  Endpoint& dst = endpoint(to);
+  // The link may have been severed while the bytes were in flight.
+  if (dst.links_[from] == 0 || dst.handler_ == nullptr) return;
+  bytes_delivered_ += data->size();
+  if (opts_.chunk_bytes == 0 || data->size() <= opts_.chunk_bytes) {
+    dst.handler_->on_bytes(from, *data);
+    return;
+  }
+  for (std::size_t off = 0; off < data->size();
+       off += opts_.chunk_bytes) {
+    const std::size_t n = std::min(opts_.chunk_bytes, data->size() - off);
+    // Re-check: a handler may close the link mid-delivery.
+    if (dst.links_[from] == 0 || dst.handler_ == nullptr) return;
+    dst.handler_->on_bytes(from, {data->data() + off, n});
+  }
+}
+
+}  // namespace icollect::net

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file loopback.h
+/// Deterministic in-process transport: N endpoints wired through one
+/// hub, with a virtual clock, seeded delivery, and injectable link
+/// faults. The simulator's ground-truth twin on the transport side —
+/// a whole multi-node cluster (tools/icollect_cluster) runs in one
+/// thread, instantly, and bit-reproducibly for a fixed seed.
+///
+/// Semantics:
+///  - send() queues the bytes for delivery `latency (+ jitter)` of
+///    virtual time later, via the shared TimerWheel — so delivery order
+///    is a deterministic function of (send order, latency draws).
+///  - drop_probability drops a send at the link (the bytes vanish;
+///    the sender's counters record it) — gossip-loss fault injection.
+///  - chunk_bytes > 0 splits each delivery into chunks of that size,
+///    exercising the receivers' stream reassembly exactly like a TCP
+///    read pattern would.
+///  - Per-endpoint in-flight backpressure: when more than
+///    `send_queue_cap_bytes` are queued from one endpoint, send()
+///    refuses — mirroring the TCP transport's send-queue cap.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "net/transport.h"
+#include "sim/random.h"
+
+namespace icollect::net {
+
+class LoopbackNet {
+ public:
+  struct Options {
+    double tick_seconds = 0.0005;   ///< virtual tick of the shared wheel
+    double latency = 0.001;         ///< one-way delivery latency (seconds)
+    double latency_jitter = 0.0;    ///< uniform extra in [0, jitter)
+    double drop_probability = 0.0;  ///< per-send link loss
+    std::size_t chunk_bytes = 0;    ///< 0 = deliver whole; else split
+    std::size_t send_queue_cap_bytes = 4U << 20U;  ///< per-endpoint in-flight
+    std::uint64_t seed = 1;         ///< drives drops and jitter only
+  };
+
+  explicit LoopbackNet(Options opts);
+
+  LoopbackNet(const LoopbackNet&) = delete;
+  LoopbackNet& operator=(const LoopbackNet&) = delete;
+
+  /// One attached endpoint. NodeIds handed to handlers are the *remote*
+  /// endpoint's index in this hub.
+  class Endpoint final : public Transport {
+   public:
+    void set_handler(TransportHandler* handler) override {
+      handler_ = handler;
+    }
+    bool send(NodeId peer, std::span<const std::uint8_t> bytes) override;
+    void close_peer(NodeId peer) override;
+
+    [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+   private:
+    friend class LoopbackNet;
+    Endpoint(LoopbackNet* hub, NodeId id) : hub_{hub}, id_{id} {}
+
+    LoopbackNet* hub_;
+    NodeId id_;
+    TransportHandler* handler_ = nullptr;
+    std::vector<std::uint8_t> links_;     ///< links_[peer] != 0 iff connected
+    std::size_t in_flight_bytes_ = 0;
+  };
+
+  /// Create a new endpoint; its NodeId is the creation index.
+  Endpoint& create_endpoint();
+
+  [[nodiscard]] std::size_t endpoint_count() const noexcept {
+    return endpoints_.size();
+  }
+  [[nodiscard]] Endpoint& endpoint(NodeId id) {
+    return *endpoints_.at(id);
+  }
+
+  /// Wire two endpoints (symmetric); fires on_peer_up on both handlers.
+  void connect(NodeId a, NodeId b);
+
+  /// Tear a link down (symmetric); fires on_peer_down on both sides.
+  void disconnect(NodeId a, NodeId b);
+
+  [[nodiscard]] TimerWheel& timers() noexcept { return wheel_; }
+  [[nodiscard]] double now() const noexcept { return wheel_.now(); }
+
+  /// Advance virtual time (delivering messages, firing node timers).
+  void run_until(double t) { wheel_.advance_to(t); }
+  void run_for(double dt) { wheel_.advance_to(wheel_.now() + dt); }
+
+  // --- fault/traffic accounting -----------------------------------------
+  [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t backpressure_refusals() const noexcept {
+    return refusals_;
+  }
+  [[nodiscard]] std::uint64_t bytes_delivered() const noexcept {
+    return bytes_delivered_;
+  }
+
+ private:
+  bool do_send(Endpoint& from, NodeId to,
+               std::span<const std::uint8_t> bytes);
+  void deliver(NodeId from, NodeId to, std::shared_ptr<std::vector<std::uint8_t>> data);
+  void sever(NodeId a, NodeId b);
+
+  Options opts_;
+  TimerWheel wheel_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t refusals_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace icollect::net

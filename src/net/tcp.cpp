@@ -1,0 +1,424 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/assert.h"
+
+namespace icollect::net {
+
+namespace {
+
+int make_nonblocking_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool resolve_ipv4(const std::string& host, std::uint16_t port,
+                  sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    out.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host == "localhost") {
+    out.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport() : TcpTransport(Options{}) {}
+
+TcpTransport::TcpTransport(Options opts)
+    : opts_{opts},
+      wheel_{opts.tick_seconds},
+      epoch_{std::chrono::steady_clock::now()} {
+  ICOLLECT_EXPECTS(opts.read_chunk_bytes > 0);
+  ICOLLECT_EXPECTS(opts.connect_timeout > 0.0);
+  ICOLLECT_EXPECTS(opts.connect_retries >= 0);
+  read_buf_.resize(opts_.read_chunk_bytes);
+  if (opts_.idle_timeout > 0.0) {
+    // Periodic reaper; reschedules itself for the transport's lifetime.
+    const double period = opts_.idle_timeout / 2.0;
+    struct Rearm {
+      TcpTransport* self;
+      double period;
+      void operator()() const {
+        self->reap_idle();
+        self->wheel_.schedule_after(period, Rearm{self, period});
+      }
+    };
+    wheel_.schedule_after(period, Rearm{this, period});
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+double TcpTransport::now() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+std::uint16_t TcpTransport::listen(const std::string& host,
+                                   std::uint16_t port) {
+  ICOLLECT_EXPECTS(listen_fd_ < 0);
+  sockaddr_in addr{};
+  if (!resolve_ipv4(host, port, addr)) {
+    throw std::runtime_error("tcp: cannot resolve listen host " + host);
+  }
+  const int fd = make_nonblocking_socket();
+  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string{"tcp: bind failed: "} +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string{"tcp: listen failed: "} +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp: getsockname failed");
+  }
+  listen_fd_ = fd;
+  return ntohs(bound.sin_port);
+}
+
+NodeId TcpTransport::register_conn(std::unique_ptr<Conn> conn) {
+  const NodeId id = next_id_++;
+  conn->id = id;
+  conns_.emplace(id, std::move(conn));
+  return id;
+}
+
+NodeId TcpTransport::connect(const std::string& host, std::uint16_t port) {
+  auto conn = std::make_unique<Conn>();
+  conn->host = host;
+  conn->port = port;
+  conn->outbound = true;
+  conn->last_activity = now();
+  Conn& ref = *conn;
+  const NodeId id = register_conn(std::move(conn));
+  start_connect_attempt(ref);
+  return id;
+}
+
+void TcpTransport::start_connect_attempt(Conn& conn) {
+  ++conn.attempts;
+  sockaddr_in addr{};
+  if (!resolve_ipv4(conn.host.empty() ? "localhost" : conn.host, conn.port,
+                    addr)) {
+    fail_connect_attempt(conn, "resolve");
+    return;
+  }
+  conn.fd = make_nonblocking_socket();
+  if (conn.fd < 0) {
+    fail_connect_attempt(conn, "socket");
+    return;
+  }
+  const int rc =
+      ::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    finish_connect(conn);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    fail_connect_attempt(conn, "connect");
+    return;
+  }
+  conn.state = ConnState::kConnecting;
+  const NodeId id = conn.id;
+  conn.connect_timer =
+      wheel_.schedule_after(opts_.connect_timeout, [this, id] {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) return;
+        Conn& c = *it->second;
+        if (c.state != ConnState::kConnecting) return;
+        c.connect_timer = TimerWheel::kInvalidTimer;
+        if (c.fd >= 0) {
+          ::close(c.fd);
+          c.fd = -1;
+        }
+        fail_connect_attempt(c, "timeout");
+      });
+}
+
+void TcpTransport::fail_connect_attempt(Conn& conn, const char* /*why*/) {
+  if (conn.connect_timer != TimerWheel::kInvalidTimer) {
+    wheel_.cancel(conn.connect_timer);
+    conn.connect_timer = TimerWheel::kInvalidTimer;
+  }
+  if (conn.attempts <= opts_.connect_retries) {
+    const NodeId id = conn.id;
+    const double backoff = opts_.retry_backoff * conn.attempts;
+    wheel_.schedule_after(std::max(backoff, opts_.tick_seconds), [this, id] {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) return;
+      if (it->second->state == ConnState::kClosed) return;
+      start_connect_attempt(*it->second);
+    });
+    return;
+  }
+  ++connects_failed_;
+  close_conn(conn, /*notify=*/true);
+}
+
+void TcpTransport::finish_connect(Conn& conn) {
+  if (conn.connect_timer != TimerWheel::kInvalidTimer) {
+    wheel_.cancel(conn.connect_timer);
+    conn.connect_timer = TimerWheel::kInvalidTimer;
+  }
+  conn.state = ConnState::kUp;
+  conn.last_activity = now();
+  if (handler_ != nullptr) handler_->on_peer_up(conn.id);
+}
+
+bool TcpTransport::send(NodeId peer, std::span<const std::uint8_t> bytes) {
+  const auto it = conns_.find(peer);
+  if (it == conns_.end()) return false;
+  Conn& conn = *it->second;
+  if (conn.state == ConnState::kClosed) return false;
+  const std::size_t queued = conn.outq.size() - conn.out_head;
+  if (queued + bytes.size() > opts_.send_queue_cap_bytes) {
+    ++refusals_;
+    return false;
+  }
+  conn.outq.insert(conn.outq.end(), bytes.begin(), bytes.end());
+  if (conn.state == ConnState::kUp) flush_outq(conn);
+  return true;
+}
+
+void TcpTransport::close_peer(NodeId peer) {
+  const auto it = conns_.find(peer);
+  if (it == conns_.end()) return;
+  close_conn(*it->second, /*notify=*/true);
+}
+
+void TcpTransport::close_conn(Conn& conn, bool notify) {
+  if (conn.state == ConnState::kClosed) return;
+  if (conn.connect_timer != TimerWheel::kInvalidTimer) {
+    wheel_.cancel(conn.connect_timer);
+    conn.connect_timer = TimerWheel::kInvalidTimer;
+  }
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  conn.state = ConnState::kClosed;
+  dead_.push_back(conn.id);
+  if (notify && handler_ != nullptr) handler_->on_peer_down(conn.id);
+}
+
+void TcpTransport::flush_outq(Conn& conn) {
+  while (conn.out_head < conn.outq.size()) {
+    const std::size_t n = conn.outq.size() - conn.out_head;
+    const ssize_t sent = ::send(conn.fd, conn.outq.data() + conn.out_head, n,
+                                MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_head += static_cast<std::size_t>(sent);
+      bytes_sent_ += static_cast<std::uint64_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_conn(conn, /*notify=*/true);
+    return;
+  }
+  conn.outq.clear();
+  conn.out_head = 0;
+}
+
+void TcpTransport::handle_readable(Conn& conn) {
+  for (;;) {
+    const ssize_t got =
+        ::recv(conn.fd, read_buf_.data(), read_buf_.size(), 0);
+    if (got > 0) {
+      conn.last_activity = now();
+      bytes_received_ += static_cast<std::uint64_t>(got);
+      if (handler_ != nullptr) {
+        handler_->on_bytes(conn.id,
+                           {read_buf_.data(), static_cast<std::size_t>(got)});
+      }
+      // The handler may have closed us in response to the bytes.
+      if (conn.state != ConnState::kUp || conn.fd < 0) return;
+      if (static_cast<std::size_t>(got) < read_buf_.size()) return;
+      continue;
+    }
+    if (got == 0) {  // orderly shutdown by the peer
+      close_conn(conn, /*notify=*/true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_conn(conn, /*notify=*/true);
+    return;
+  }
+}
+
+void TcpTransport::handle_writable(Conn& conn) {
+  if (conn.state == ConnState::kConnecting) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+      fail_connect_attempt(conn, "so_error");
+      return;
+    }
+    finish_connect(conn);
+  }
+  if (conn.state == ConnState::kUp) flush_outq(conn);
+}
+
+void TcpTransport::reap_idle() {
+  if (opts_.idle_timeout <= 0.0) return;
+  const double t = now();
+  for (auto& [id, conn] : conns_) {
+    if (conn->state == ConnState::kUp &&
+        t - conn->last_activity > opts_.idle_timeout) {
+      close_conn(*conn, /*notify=*/true);
+    }
+  }
+}
+
+void TcpTransport::reap_closed() {
+  for (const NodeId id : dead_) conns_.erase(id);
+  dead_.clear();
+}
+
+std::size_t TcpTransport::open_connections() const {
+  std::size_t n = 0;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->state != ConnState::kClosed) ++n;
+  }
+  return n;
+}
+
+void TcpTransport::poll_once(double max_wait) {
+  std::vector<pollfd> fds;
+  std::vector<NodeId> fd_owner;
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fd_owner.push_back(kInvalidNodeId);
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (conn->fd < 0 || conn->state == ConnState::kClosed) continue;
+    short events = 0;
+    if (conn->state == ConnState::kUp) events |= POLLIN;
+    if (conn->state == ConnState::kConnecting ||
+        conn->out_head < conn->outq.size()) {
+      events |= POLLOUT;
+    }
+    fds.push_back(pollfd{conn->fd, events, 0});
+    fd_owner.push_back(id);
+  }
+
+  // Never sleep past the next wheel tick so timers keep granularity.
+  const int wait_ms = static_cast<int>(
+      std::max(0.0, std::min(max_wait, opts_.tick_seconds)) * 1000.0);
+  const int ready =
+      ::poll(fds.empty() ? nullptr : fds.data(),
+             static_cast<nfds_t>(fds.size()), std::max(wait_ms, 1));
+
+  if (ready > 0) {
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const pollfd& p = fds[i];
+      if (p.revents == 0) continue;
+      if (fd_owner[i] == kInvalidNodeId) {  // listener
+        for (;;) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          const int flags = ::fcntl(cfd, F_GETFL, 0);
+          ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+          int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          auto conn = std::make_unique<Conn>();
+          conn->fd = cfd;
+          conn->state = ConnState::kUp;
+          conn->last_activity = now();
+          Conn& ref = *conn;
+          register_conn(std::move(conn));
+          if (handler_ != nullptr) handler_->on_peer_up(ref.id);
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd_owner[i]);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      if (conn.state == ConnState::kClosed || conn.fd != p.fd) continue;
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          conn.state == ConnState::kConnecting) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        fail_connect_attempt(conn, "pollerr");
+        continue;
+      }
+      if ((p.revents & POLLOUT) != 0) handle_writable(conn);
+      if (conn.state == ConnState::kClosed || conn.fd < 0) continue;
+      if ((p.revents & POLLIN) != 0) handle_readable(conn);
+      if (conn.state == ConnState::kClosed || conn.fd < 0) continue;
+      if ((p.revents & (POLLERR | POLLHUP)) != 0) {
+        close_conn(conn, /*notify=*/true);
+      }
+    }
+  }
+
+  // Catch the wheel up to the wall clock (fires node timers).
+  const auto target =
+      static_cast<std::uint64_t>(now() / wheel_.tick_seconds());
+  if (target > wheel_.now_tick()) {
+    wheel_.advance(target - wheel_.now_tick());
+  }
+  reap_closed();
+}
+
+bool TcpTransport::run_until(const std::function<bool()>& done,
+                             double timeout_seconds) {
+  const double deadline =
+      timeout_seconds > 0.0 ? now() + timeout_seconds : -1.0;
+  while (!done()) {
+    if (deadline > 0.0 && now() >= deadline) return false;
+    poll_once();
+  }
+  return true;
+}
+
+}  // namespace icollect::net

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file tcp.h
+/// Real-socket transport: nonblocking TCP with a poll(2)-based
+/// single-threaded event loop. Same Transport interface the loopback
+/// provides, so node state machines move between the deterministic
+/// in-process world and the OS network without a line of change.
+///
+///  - Outbound connects are asynchronous with a connect timeout and a
+///    bounded retry budget (linear backoff); the handler sees
+///    on_peer_up on success or on_peer_down once the budget is spent.
+///  - Every connection has a bounded send queue; send() refuses (and
+///    counts) once `send_queue_cap_bytes` are already queued —
+///    backpressure surfaces to the caller instead of ballooning memory.
+///  - An optional idle read timeout reaps connections that have gone
+///    silent.
+///  - The shared TimerWheel is advanced off the wall clock by the poll
+///    loop, so node-level timers (gossip, TTL, pulls) fire with tick
+///    granularity while the loop sleeps in poll().
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "net/transport.h"
+
+namespace icollect::net {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    double tick_seconds = 0.001;     ///< TimerWheel granularity
+    std::size_t send_queue_cap_bytes = 4U << 20U;
+    std::size_t read_chunk_bytes = 64U * 1024U;
+    double connect_timeout = 5.0;    ///< per attempt, seconds
+    int connect_retries = 3;         ///< attempts after the first
+    double retry_backoff = 0.5;      ///< seconds, grows linearly
+    double idle_timeout = 0.0;       ///< close silent conns; 0 = off
+  };
+
+  TcpTransport();
+  explicit TcpTransport(Options opts);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void set_handler(TransportHandler* handler) override { handler_ = handler; }
+
+  /// Bind + listen. Pass port 0 for an ephemeral port; the bound port
+  /// is returned either way. Throws std::runtime_error on failure.
+  std::uint16_t listen(const std::string& host, std::uint16_t port);
+
+  /// Begin an asynchronous connect; returns the connection handle
+  /// immediately. Outcome arrives as on_peer_up / on_peer_down.
+  NodeId connect(const std::string& host, std::uint16_t port);
+
+  bool send(NodeId peer, std::span<const std::uint8_t> bytes) override;
+  void close_peer(NodeId peer) override;
+
+  [[nodiscard]] TimerWheel& timers() noexcept { return wheel_; }
+  /// Wall-clock seconds since construction (the wheel's time base).
+  [[nodiscard]] double now() const;
+
+  /// One event-loop round: poll sockets for up to `max_wait` seconds,
+  /// dispatch IO, then advance the timer wheel to the wall clock.
+  void poll_once(double max_wait = 0.05);
+
+  /// Drive poll_once until `done()` returns true or `timeout_seconds`
+  /// elapses (<= 0 waits forever). Returns done()'s final value.
+  bool run_until(const std::function<bool()>& done, double timeout_seconds);
+
+  [[nodiscard]] std::size_t open_connections() const;
+  [[nodiscard]] std::uint64_t backpressure_refusals() const noexcept {
+    return refusals_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+  [[nodiscard]] std::uint64_t connects_failed() const noexcept {
+    return connects_failed_;
+  }
+
+ private:
+  enum class ConnState { kConnecting, kUp, kClosed };
+
+  struct Conn {
+    NodeId id = kInvalidNodeId;
+    int fd = -1;
+    ConnState state = ConnState::kConnecting;
+    std::string host;           ///< for retries (outbound only)
+    std::uint16_t port = 0;
+    int attempts = 0;
+    bool outbound = false;
+    TimerWheel::TimerId connect_timer = TimerWheel::kInvalidTimer;
+    std::vector<std::uint8_t> outq;
+    std::size_t out_head = 0;
+    double last_activity = 0.0;
+  };
+
+  NodeId register_conn(std::unique_ptr<Conn> conn);
+  void start_connect_attempt(Conn& conn);
+  void fail_connect_attempt(Conn& conn, const char* why);
+  void finish_connect(Conn& conn);
+  void close_conn(Conn& conn, bool notify);
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void flush_outq(Conn& conn);
+  void reap_idle();
+  void reap_closed();
+
+  Options opts_;
+  TimerWheel wheel_;
+  TransportHandler* handler_ = nullptr;
+  int listen_fd_ = -1;
+  NodeId next_id_ = 1;
+  std::unordered_map<NodeId, std::unique_ptr<Conn>> conns_;
+  std::vector<NodeId> dead_;  ///< closed this round, erased after dispatch
+  std::vector<std::uint8_t> read_buf_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t refusals_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t connects_failed_ = 0;
+};
+
+}  // namespace icollect::net

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file cluster.h
+/// N live peers + M live servers wired over the deterministic loopback
+/// transport, all in one process and one thread: the multi-node
+/// collection harness behind tools/icollect_cluster and the
+/// node-vs-simulator validation.
+///
+/// Each node gets an independent splitmix64-derived RNG stream and all
+/// timing goes through the loopback's virtual TimerWheel, so a fixed
+/// seed reproduces an entire cluster run bit-for-bit — the same
+/// determinism contract the replica engine gives the simulator.
+///
+/// Measurement mirrors p2p::Network: normalized throughput is the rate
+/// of innovative server pulls over N·λ, and mean blocks per peer is a
+/// virtual-time average of total buffered blocks, both since
+/// begin_measurement() (so a warm-up window can be excluded).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/segment_id.h"
+#include "net/loopback.h"
+#include "node/node_config.h"
+#include "node/peer_node.h"
+#include "node/server_node.h"
+#include "obs/metrics_registry.h"
+
+namespace icollect::node {
+
+struct ClusterConfig {
+  std::size_t num_peers = 16;
+  std::size_t num_servers = 2;
+  std::size_t segment_size = 4;   ///< s
+  std::size_t buffer_cap = 32;    ///< B
+  std::size_t payload_bytes = 0;
+  double lambda = 8.0;            ///< per-peer block rate λ
+  double mu = 4.0;                ///< per-peer gossip rate μ
+  double gamma = 1.0;             ///< per-block TTL rate γ
+  double server_rate = 16.0;      ///< c_s per server
+  /// Injection budget per peer (0 = unbounded; required for
+  /// run_to_completion, which needs a finite finish line).
+  std::size_t segments_per_peer = 0;
+  bool drop_on_ack = false;
+  /// Peers keep their own segments' originals until ACKed and re-seed
+  /// them after TTL losses (see NodeConfig::retain_own_until_acked).
+  /// Leave off for simulator-fidelity runs (node_vs_sim_test); turn on
+  /// for finite collections that must reach 100% recovery.
+  bool retain_own_until_acked = false;
+  std::uint64_t seed = 1;
+  net::LoopbackNet::Options net{};
+  /// Virtual-time interval of the occupancy sampler feeding
+  /// mean_blocks_per_peer().
+  double sample_interval = 0.05;
+
+  /// Normalized server capacity c = c_s · N_s / N (the paper's knob).
+  [[nodiscard]] double normalized_capacity() const noexcept {
+    return server_rate * static_cast<double>(num_servers) /
+           static_cast<double>(num_peers);
+  }
+};
+
+class LoopbackCluster {
+ public:
+  /// `metrics`, when given, receives cluster-level aggregate gauges
+  /// (cluster.*) suitable for an obs::Snapshotter time series.
+  explicit LoopbackCluster(const ClusterConfig& cfg,
+                           obs::MetricsRegistry* metrics = nullptr);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] net::LoopbackNet& net() noexcept { return net_; }
+  [[nodiscard]] double now() const noexcept { return net_.now(); }
+
+  [[nodiscard]] PeerNode& peer(std::size_t i) { return *peers_.at(i); }
+  [[nodiscard]] ServerNode& server(std::size_t i) { return *servers_.at(i); }
+
+  void run_until(double t) { net_.run_until(t); }
+  void run_for(double dt) { net_.run_for(dt); }
+
+  /// Advance virtual time until every injected segment has been decoded
+  /// by every server (or `max_virtual_time` passes). Requires a finite
+  /// segments_per_peer. Returns whether the collection completed.
+  bool run_to_completion(double max_virtual_time);
+
+  /// True when all peers have spent their injection budget and every
+  /// injected segment is decoded at every server.
+  [[nodiscard]] bool complete() const;
+
+  // --- cluster-wide aggregates --------------------------------------------
+  [[nodiscard]] std::uint64_t segments_injected() const;
+  /// Segments decoded by at least one server (the union view).
+  [[nodiscard]] std::size_t segments_decoded() const {
+    return decoded_union_.size();
+  }
+  /// Innovative pulls summed over servers (pooled-throughput analogue).
+  [[nodiscard]] std::uint64_t innovative_pulls() const;
+  [[nodiscard]] std::uint64_t pulls_sent() const;
+  [[nodiscard]] std::uint64_t gossip_sent() const;
+  [[nodiscard]] std::uint64_t total_buffered_blocks() const;
+
+  // --- measurement window -------------------------------------------------
+  /// Re-anchor measurement at the current virtual time (post-warm-up).
+  void begin_measurement();
+
+  /// Innovative pulls per unit time / (N·λ) since begin_measurement().
+  [[nodiscard]] double normalized_throughput() const;
+
+  /// Virtual-time mean of buffered blocks per peer since
+  /// begin_measurement().
+  [[nodiscard]] double mean_blocks_per_peer() const;
+
+ private:
+  void schedule_sampler();
+  void on_decode(const coding::SegmentId& id);
+
+  ClusterConfig cfg_;
+  net::LoopbackNet net_;
+  std::vector<std::unique_ptr<PeerNode>> peers_;
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::unordered_set<coding::SegmentId> decoded_union_;
+
+  double measure_start_ = 0.0;
+  std::uint64_t base_innovative_ = 0;
+  double blocks_time_sum_ = 0.0;  ///< sum of per-sample total blocks
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace icollect::node

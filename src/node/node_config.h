@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file node_config.h
+/// Configuration of one live node (peer or server). The symbols are the
+/// paper's (Sec. 2), identical to p2p::ProtocolConfig where they
+/// overlap, so a live node and a simulated peer can be parameterized
+/// from the same operating point and compared head-to-head
+/// (tests/node_vs_sim_test.cpp).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace icollect::node {
+
+struct NodeConfig {
+  std::uint32_t node_id = 1;      ///< stable identity sent in HELLO
+  std::size_t segment_size = 4;   ///< s blocks per segment
+  std::size_t payload_bytes = 0;  ///< 0 = coefficients-only blocks
+  std::size_t buffer_cap = 32;    ///< B, max buffered blocks (peers)
+
+  double lambda = 0.0;     ///< per-peer original-block rate λ (segments at λ/s)
+  double mu = 0.0;         ///< per-peer gossip rate μ
+  double gamma = 1.0;      ///< per-block TTL expiry rate γ
+  double pull_rate = 0.0;  ///< c_s, pulls per second (servers)
+
+  /// Stop injecting after this many segments (0 = unbounded). The
+  /// collection harness uses a finite budget so "all injected segments
+  /// recovered" is a well-defined finish line.
+  std::size_t max_segments = 0;
+
+  /// When true, a peer drops its buffered blocks of a segment once a
+  /// SEGMENT_DECODED_ACK for it arrives. Off by default: the paper's
+  /// model has no ack channel, and keeping it off preserves
+  /// simulator-comparable storage dynamics.
+  bool drop_on_ack = false;
+
+  /// When true, a peer guarantees delivery of its *own* segments: it
+  /// keeps the originals until ACKed, and whenever TTL expiry lowers an
+  /// own unACKed segment's local rank below s it re-seeds fresh coded
+  /// blocks (evicting relayed blocks if the buffer is full). The
+  /// paper's model has no such retention — every block decays at γ and
+  /// a segment whose rank dies before collection is lost — so this is
+  /// off by default and node_vs_sim_test keeps it off; the collection
+  /// harness turns it on to make "all injected segments recovered" a
+  /// guarantee rather than a race against γ.
+  bool retain_own_until_acked = false;
+
+  std::uint64_t seed = 1;
+
+  void validate() const {
+    auto fail = [](const std::string& what) {
+      throw std::invalid_argument("NodeConfig: " + what);
+    };
+    if (node_id == 0) fail("node id must be nonzero");
+    if (segment_size == 0) fail("segment size must be >= 1");
+    if (segment_size > 0xFFFF) fail("segment size must fit in 16 bits");
+    if (buffer_cap < segment_size) {
+      fail("buffer cap must hold at least one segment (B >= s)");
+    }
+    if (lambda < 0.0) fail("lambda must be >= 0");
+    if (mu < 0.0) fail("mu must be >= 0");
+    if (gamma <= 0.0) fail("gamma must be > 0");
+    if (pull_rate < 0.0) fail("pull rate must be >= 0");
+  }
+};
+
+}  // namespace icollect::node

@@ -1,0 +1,254 @@
+#include "node/peer_node.h"
+
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace icollect::node {
+
+PeerNode::PeerNode(const NodeConfig& cfg, net::Transport& transport,
+                   net::TimerWheel& wheel, obs::MetricsRegistry* metrics,
+                   const std::string& metric_prefix)
+    : NodeBase{cfg, transport, wheel, metrics, metric_prefix},
+      rng_{cfg.seed},
+      buffer_{cfg.buffer_cap} {
+  if (metrics_ != nullptr) {
+    auto gauge = [this](const char* name, const std::uint64_t* v) {
+      metrics_->gauge(metric_prefix_ + name,
+                      [v] { return static_cast<double>(*v); });
+    };
+    gauge("segments_injected", &segments_injected_);
+    gauge("injection_blocked", &injection_blocked_);
+    gauge("gossip_sent", &gossip_sent_);
+    gauge("gossip_idle", &gossip_idle_);
+    gauge("gossip_no_target", &gossip_no_target_);
+    gauge("blocks_received", &blocks_received_);
+    gauge("blocks_dropped_full", &blocks_dropped_full_);
+    gauge("blocks_dropped_rank", &blocks_dropped_rank_);
+    gauge("blocks_dropped_acked", &blocks_dropped_acked_);
+    gauge("ttl_expirations", &ttl_expirations_);
+    gauge("pull_replies", &pull_replies_);
+    gauge("pull_empty_replies", &pull_empty_replies_);
+    gauge("acks_received", &acks_received_);
+    gauge("own_segments_acked", &own_acked_);
+    gauge("reseeds", &reseeds_);
+    gauge("reseed_evictions", &reseed_evictions_);
+    metrics_->gauge(metric_prefix_ + "buffer_blocks", [this] {
+      return static_cast<double>(buffer_.size());
+    });
+    metrics_->gauge(metric_prefix_ + "buffer_segments", [this] {
+      return static_cast<double>(buffer_.segment_count());
+    });
+  }
+}
+
+void PeerNode::start() {
+  if (config().lambda > 0.0) schedule_inject();
+  if (config().mu > 0.0) schedule_gossip();
+}
+
+void PeerNode::stop_injection() { injection_stopped_ = true; }
+
+bool PeerNode::injection_done() const noexcept {
+  return injection_stopped_ ||
+         (config().max_segments > 0 &&
+          segments_injected_ >= config().max_segments);
+}
+
+const std::vector<std::uint32_t>* PeerNode::original_crcs(
+    const coding::SegmentId& id) const {
+  const auto it = own_crcs_.find(id);
+  return it == own_crcs_.end() ? nullptr : &it->second;
+}
+
+void PeerNode::schedule_inject() {
+  // Segment arrivals at rate λ/s — the paper's block process thinned to
+  // whole segments, matching p2p::Network's injector exactly.
+  const double rate =
+      config().lambda / static_cast<double>(config().segment_size);
+  wheel_.schedule_after(rng_.exponential(rate), [this] {
+    if (!injection_done()) {
+      do_inject();
+      schedule_inject();
+    }
+  });
+}
+
+void PeerNode::do_inject() {
+  const std::size_t s = config().segment_size;
+  if (!buffer_.has_room(s)) {
+    ++injection_blocked_;
+    return;
+  }
+  const coding::SegmentId id{config().node_id, next_seq_++};
+  own_segments_.insert(id);
+  ++segments_injected_;
+
+  std::vector<std::vector<std::uint8_t>> originals;
+  std::vector<std::uint32_t> crcs;
+  originals.reserve(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    std::vector<std::uint8_t> payload(config().payload_bytes);
+    for (auto& byte : payload) {
+      byte = static_cast<std::uint8_t>(rng_.gf_element());
+    }
+    if (!payload.empty()) crcs.push_back(common::crc32(payload));
+    originals.push_back(std::move(payload));
+  }
+  if (!crcs.empty()) own_crcs_.emplace(id, std::move(crcs));
+
+  if (config().retain_own_until_acked) {
+    // Source-side retention: keep the encoder so the segment can be
+    // re-seeded if TTL expiry kills its local rank before a server ACK.
+    const auto [it, inserted] = own_encoders_.emplace(
+        id, coding::SegmentEncoder{id, std::move(originals)});
+    for (std::size_t k = 0; k < s; ++k) {
+      store_block(it->second.systematic_block(k));
+    }
+  } else {
+    for (std::size_t k = 0; k < s; ++k) {
+      store_block(
+          coding::CodedBlock::systematic(id, s, k, std::move(originals[k])));
+    }
+  }
+}
+
+void PeerNode::store_block(coding::CodedBlock block) {
+  const coding::BlockHandle handle = next_handle_++;
+  buffer_.insert(handle, std::move(block));
+  wheel_.schedule_after(rng_.exponential(config().gamma),
+                        [this, handle] { on_ttl_expire(handle); });
+}
+
+void PeerNode::on_ttl_expire(coding::BlockHandle handle) {
+  const auto seg = buffer_.erase(handle);
+  if (!seg) return;  // already evicted / dropped on ack
+  ++ttl_expirations_;
+  reseed_own(*seg);
+}
+
+void PeerNode::reseed_own(const coding::SegmentId& id) {
+  if (!config().retain_own_until_acked) return;
+  const auto it = own_encoders_.find(id);
+  if (it == own_encoders_.end()) return;  // not ours, or already ACKed
+  const std::size_t s = config().segment_size;
+  // Top the segment's local rank back up to s with fresh coded blocks,
+  // evicting relayed (other-segment) blocks if the buffer is full. The
+  // loop is bounded: a fresh coded block fails to raise rank only on a
+  // 256^-rank coefficient collision, so 4·s attempts is ample.
+  for (std::size_t attempts = 0; attempts < 4 * s; ++attempts) {
+    const coding::SegmentBuffer* sb = buffer_.find(id);
+    if (sb != nullptr && sb->rank() >= s) return;
+    if (!buffer_.has_room(1)) {
+      bool evicted = false;
+      for (const coding::SegmentId& other : buffer_.segments()) {
+        if (other == id) continue;
+        coding::SegmentBuffer* osb = buffer_.find(other);
+        if (osb == nullptr || osb->empty()) continue;
+        buffer_.erase(osb->handles().front());
+        ++reseed_evictions_;
+        evicted = true;
+        break;
+      }
+      if (!evicted) return;  // buffer full of this segment alone
+    }
+    store_block(it->second.encode(rng_));
+    ++reseeds_;
+  }
+}
+
+void PeerNode::schedule_gossip() {
+  wheel_.schedule_after(rng_.exponential(config().mu), [this] {
+    do_gossip();
+    schedule_gossip();
+  });
+}
+
+void PeerNode::do_gossip() {
+  if (buffer_.empty()) {
+    ++gossip_idle_;
+    return;
+  }
+  if (peer_conns().empty()) {
+    ++gossip_no_target_;
+    return;
+  }
+  const coding::SegmentId seg = buffer_.random_segment(rng_);
+  const coding::SegmentBuffer* sb = buffer_.find(seg);
+  const net::NodeId target =
+      peer_conns()[rng_.uniform_index(peer_conns().size())];
+  if (send_message(target, wire::Message{wire::GossipBlock{
+                               sb->recode(rng_)}})) {
+    ++gossip_sent_;
+  }
+}
+
+void PeerNode::accept_block(coding::CodedBlock&& block) {
+  ++blocks_received_;
+  if (block.segment_size() != config().segment_size ||
+      block.is_degenerate()) {
+    // Shape mismatch slipped past the handshake, or a degenerate block
+    // an honest encoder never emits — junk either way.
+    return;
+  }
+  if (config().drop_on_ack && acked_.contains(block.segment)) {
+    ++blocks_dropped_acked_;
+    return;
+  }
+  if (buffer_.full()) {
+    ++blocks_dropped_full_;
+    return;
+  }
+  if (const coding::SegmentBuffer* sb = buffer_.find(block.segment);
+      sb != nullptr && sb->full_rank()) {
+    ++blocks_dropped_rank_;
+    return;
+  }
+  store_block(std::move(block));
+}
+
+void PeerNode::handle_pull_request(Session& session,
+                                   const wire::PullRequest& req) {
+  wire::PullBlock reply;
+  reply.token = req.token;
+  reply.occupancy = static_cast<std::uint32_t>(buffer_.size());
+  if (buffer_.empty()) {
+    ++pull_empty_replies_;
+    reply.has_block = false;
+  } else {
+    const coding::SegmentId seg = buffer_.random_segment(rng_);
+    const coding::SegmentBuffer* sb = buffer_.find(seg);
+    reply.has_block = true;
+    reply.block = sb->recode(rng_);
+    ++pull_replies_;
+  }
+  send_message(session.conn, wire::Message{std::move(reply)});
+}
+
+void PeerNode::handle_ack(const coding::SegmentId& id) {
+  ++acks_received_;
+  if (!acked_.insert(id).second) return;  // duplicate (multi-server)
+  if (own_segments_.contains(id)) ++own_acked_;
+  own_encoders_.erase(id);  // delivery guaranteed; release the originals
+  if (config().drop_on_ack) {
+    if (coding::SegmentBuffer* sb = buffer_.find(id); sb != nullptr) {
+      for (const coding::BlockHandle h : sb->handles()) buffer_.erase(h);
+    }
+  }
+}
+
+void PeerNode::handle_message(Session& session, wire::Message&& message) {
+  if (auto* gossip = std::get_if<wire::GossipBlock>(&message)) {
+    accept_block(std::move(gossip->block));
+  } else if (const auto* req = std::get_if<wire::PullRequest>(&message)) {
+    handle_pull_request(session, *req);
+  } else if (const auto* ack =
+                 std::get_if<wire::SegmentDecodedAck>(&message)) {
+    handle_ack(ack->segment);
+  } else {
+    // HELLO twice, or a PULL_BLOCK sent to a peer: protocol violation.
+    end_session(session.conn, wire::ByeReason::kProtocolError);
+  }
+}
+
+}  // namespace icollect::node

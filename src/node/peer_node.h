@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file peer_node.h
+/// The live realization of a protocol peer (Sec. 2): injects segments
+/// of s systematic blocks into its bounded buffer, gossips re-coded
+/// blocks to random established peers at rate μ, expires each buffered
+/// block after an Exp(γ) TTL, and answers server PULL_REQUESTs with a
+/// re-coded block of a uniformly random buffered segment.
+///
+/// All timing flows through the shared TimerWheel and all randomness
+/// through one seeded sim::Rng, so a peer behaves identically — and
+/// deterministically — over the loopback transport and over TCP.
+///
+/// One deliberate divergence from the simulator: the simulator filters
+/// gossip *receivers* at the sender ("eligible_receiver": not full, not
+/// full-rank), which needs global state a live node cannot have. Here
+/// the sender picks blindly and the receiver drops ineligible blocks,
+/// counting them. At simulator-comparable operating points (buffers not
+/// saturated) the two policies measurably agree — node_vs_sim_test
+/// pins that equivalence inside the simulator's confidence interval.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/encoder.h"
+#include "coding/segment_id.h"
+#include "node/node_base.h"
+#include "p2p/peer.h"
+#include "sim/random.h"
+
+namespace icollect::node {
+
+class PeerNode final : public NodeBase {
+ public:
+  PeerNode(const NodeConfig& cfg, net::Transport& transport,
+           net::TimerWheel& wheel, obs::MetricsRegistry* metrics = nullptr,
+           const std::string& metric_prefix = "peer.");
+
+  /// Arm the injection and gossip processes. Call once, after wiring.
+  void start();
+
+  /// Stop injecting new segments (gossip and TTL keep running).
+  void stop_injection();
+
+  [[nodiscard]] const p2p::PeerBuffer& buffer() const noexcept {
+    return buffer_;
+  }
+
+  // --- progress -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t segments_injected() const noexcept {
+    return segments_injected_;
+  }
+  /// Of this node's own injected segments, how many have been ACKed
+  /// decoded by a server.
+  [[nodiscard]] std::uint64_t own_segments_acked() const noexcept {
+    return own_acked_;
+  }
+  /// True when every segment this peer ever injected has been ACKed
+  /// (and at least one was injected).
+  [[nodiscard]] bool all_injected_acked() const noexcept {
+    return segments_injected_ > 0 && own_acked_ == segments_injected_;
+  }
+  /// True once the finite injection budget (max_segments) is spent.
+  [[nodiscard]] bool injection_done() const noexcept;
+
+  /// CRC-32 of each original block of an own injected segment (only
+  /// recorded when payload_bytes > 0) — lets tests verify byte-exact
+  /// end-to-end recovery against the server's decoded originals.
+  [[nodiscard]] const std::vector<std::uint32_t>* original_crcs(
+      const coding::SegmentId& id) const;
+
+  // --- counters -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t gossip_sent() const noexcept {
+    return gossip_sent_;
+  }
+  [[nodiscard]] std::uint64_t gossip_idle() const noexcept {
+    return gossip_idle_;
+  }
+  [[nodiscard]] std::uint64_t gossip_no_target() const noexcept {
+    return gossip_no_target_;
+  }
+  [[nodiscard]] std::uint64_t blocks_received() const noexcept {
+    return blocks_received_;
+  }
+  [[nodiscard]] std::uint64_t blocks_dropped_full() const noexcept {
+    return blocks_dropped_full_;
+  }
+  [[nodiscard]] std::uint64_t blocks_dropped_rank() const noexcept {
+    return blocks_dropped_rank_;
+  }
+  [[nodiscard]] std::uint64_t blocks_dropped_acked() const noexcept {
+    return blocks_dropped_acked_;
+  }
+  [[nodiscard]] std::uint64_t ttl_expirations() const noexcept {
+    return ttl_expirations_;
+  }
+  [[nodiscard]] std::uint64_t injection_blocked() const noexcept {
+    return injection_blocked_;
+  }
+  [[nodiscard]] std::uint64_t pull_replies() const noexcept {
+    return pull_replies_;
+  }
+  [[nodiscard]] std::uint64_t pull_empty_replies() const noexcept {
+    return pull_empty_replies_;
+  }
+  [[nodiscard]] std::uint64_t acks_received() const noexcept {
+    return acks_received_;
+  }
+  [[nodiscard]] std::uint64_t reseeds() const noexcept { return reseeds_; }
+  [[nodiscard]] std::uint64_t reseed_evictions() const noexcept {
+    return reseed_evictions_;
+  }
+
+ protected:
+  [[nodiscard]] wire::NodeRole role() const noexcept override {
+    return wire::NodeRole::kPeer;
+  }
+  void handle_message(Session& session, wire::Message&& message) override;
+
+ private:
+  void schedule_inject();
+  void schedule_gossip();
+  void do_inject();
+  void do_gossip();
+  void accept_block(coding::CodedBlock&& block);
+  void store_block(coding::CodedBlock block);
+  void on_ttl_expire(coding::BlockHandle handle);
+  void reseed_own(const coding::SegmentId& id);
+  void handle_pull_request(Session& session, const wire::PullRequest& req);
+  void handle_ack(const coding::SegmentId& id);
+
+  sim::Rng rng_;
+  p2p::PeerBuffer buffer_;
+  std::uint32_t next_seq_ = 0;
+  coding::BlockHandle next_handle_ = 1;
+  bool injection_stopped_ = false;
+
+  std::unordered_set<coding::SegmentId> own_segments_;
+  std::unordered_set<coding::SegmentId> acked_;
+  std::unordered_map<coding::SegmentId, std::vector<std::uint32_t>>
+      own_crcs_;
+  /// Source-side encoders for own unACKed segments (only populated when
+  /// retain_own_until_acked; released on ACK).
+  std::unordered_map<coding::SegmentId, coding::SegmentEncoder>
+      own_encoders_;
+
+  std::uint64_t segments_injected_ = 0;
+  std::uint64_t own_acked_ = 0;
+  std::uint64_t injection_blocked_ = 0;
+  std::uint64_t gossip_sent_ = 0;
+  std::uint64_t gossip_idle_ = 0;
+  std::uint64_t gossip_no_target_ = 0;
+  std::uint64_t blocks_received_ = 0;
+  std::uint64_t blocks_dropped_full_ = 0;
+  std::uint64_t blocks_dropped_rank_ = 0;
+  std::uint64_t blocks_dropped_acked_ = 0;
+  std::uint64_t ttl_expirations_ = 0;
+  std::uint64_t pull_replies_ = 0;
+  std::uint64_t pull_empty_replies_ = 0;
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t reseeds_ = 0;
+  std::uint64_t reseed_evictions_ = 0;
+};
+
+}  // namespace icollect::node

@@ -1,0 +1,148 @@
+#include "node/server_node.h"
+
+#include <utility>
+
+namespace icollect::node {
+
+ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
+                       net::TimerWheel& wheel, obs::MetricsRegistry* metrics,
+                       const std::string& metric_prefix)
+    : NodeBase{cfg, transport, wheel, metrics, metric_prefix},
+      rng_{cfg.seed},
+      bank_{/*keep_payloads=*/cfg.payload_bytes > 0} {
+  bank_.set_decode_callback(
+      [this](const p2p::ServerBank::DecodeEvent& ev) { on_bank_decode(ev); });
+  if (metrics_ != nullptr) {
+    auto gauge = [this](const char* name, const std::uint64_t* v) {
+      metrics_->gauge(metric_prefix_ + name,
+                      [v] { return static_cast<double>(*v); });
+    };
+    gauge("pulls_sent", &pulls_sent_);
+    gauge("pull_replies", &pull_replies_);
+    gauge("pull_empty_replies", &pull_empty_replies_);
+    gauge("pulls_starved", &pulls_starved_);
+    gauge("innovative_pulls", &innovative_pulls_);
+    gauge("redundant_pulls", &redundant_pulls_);
+    gauge("stale_pulls", &stale_pulls_);
+    gauge("forwarded_out", &forwarded_out_);
+    gauge("forwarded_in", &forwarded_in_);
+    gauge("acks_sent", &acks_sent_);
+    gauge("segments_decoded", &segments_decoded_metric_);
+  }
+}
+
+void ServerNode::start() {
+  if (config().pull_rate > 0.0) schedule_pull();
+}
+
+void ServerNode::schedule_pull() {
+  wheel_.schedule_after(rng_.exponential(config().pull_rate), [this] {
+    do_pull();
+    schedule_pull();
+  });
+}
+
+void ServerNode::do_pull() {
+  // The paper's rule: uniform over peers with non-null buffers. A live
+  // server only knows occupancy as of each peer's last PULL_BLOCK, so
+  // zero reports age out after kOccupancyRefresh and unknown peers are
+  // treated as non-empty (optimistic).
+  const double t = wheel_.now();
+  std::vector<net::NodeId> candidates;
+  candidates.reserve(peer_conns().size());
+  for (const net::NodeId conn : peer_conns()) {
+    const auto it = occupancy_.find(conn);
+    if (it != occupancy_.end() && it->second.blocks == 0 &&
+        t - it->second.reported_at < kOccupancyRefresh) {
+      continue;
+    }
+    candidates.push_back(conn);
+  }
+  if (candidates.empty()) {
+    ++pulls_starved_;
+    return;
+  }
+  const net::NodeId target =
+      candidates[rng_.uniform_index(candidates.size())];
+  if (send_message(target,
+                   wire::Message{wire::PullRequest{next_token_++}})) {
+    ++pulls_sent_;
+  }
+}
+
+void ServerNode::handle_pull_block(Session& session,
+                                   wire::PullBlock&& reply) {
+  occupancy_[session.conn] =
+      OccupancyInfo{reply.occupancy, wheel_.now()};
+  if (!reply.has_block) {
+    ++pull_empty_replies_;
+    return;
+  }
+  ++pull_replies_;
+  if (reply.block.segment_size() != config().segment_size ||
+      reply.block.is_degenerate()) {
+    return;  // junk a conforming peer never sends
+  }
+  offer_to_bank(reply.block, /*from_pull=*/true);
+}
+
+void ServerNode::offer_to_bank(const coding::CodedBlock& block,
+                               bool from_pull) {
+  const auto result = bank_.offer(block, wheel_.now());
+  if (!from_pull) return;  // forwarded blocks don't count as pulls
+  switch (result) {
+    case p2p::ServerBank::PullResult::kInnovative: {
+      ++innovative_pulls_;
+      // Pooled-state forwarding: let the other servers' banks absorb
+      // what this pull contributed.
+      for (const net::NodeId conn : server_conns()) {
+        if (send_message(conn, wire::Message{wire::GossipBlock{block}})) {
+          ++forwarded_out_;
+        }
+      }
+      break;
+    }
+    case p2p::ServerBank::PullResult::kRedundant:
+      ++redundant_pulls_;
+      break;
+    case p2p::ServerBank::PullResult::kAlreadyDecoded:
+      ++stale_pulls_;
+      break;
+  }
+}
+
+void ServerNode::on_bank_decode(const p2p::ServerBank::DecodeEvent& event) {
+  // The bank fires this callback before recording the segment as
+  // decoded, so count the event rather than reading bank state.
+  ++segments_decoded_metric_;
+  ++acks_sent_;
+  const wire::Message ack{wire::SegmentDecodedAck{event.id}};
+  for (const net::NodeId conn : peer_conns()) send_message(conn, ack);
+  for (const net::NodeId conn : server_conns()) send_message(conn, ack);
+  if (decode_hook_) decode_hook_(event.id, event.when);
+}
+
+void ServerNode::handle_message(Session& session, wire::Message&& message) {
+  if (auto* reply = std::get_if<wire::PullBlock>(&message)) {
+    handle_pull_block(session, std::move(*reply));
+  } else if (const auto* gossip = std::get_if<wire::GossipBlock>(&message)) {
+    // Server→server forwarding of an innovative pulled block; peers
+    // never gossip at servers, but tolerating it costs nothing.
+    ++forwarded_in_;
+    if (gossip->block.segment_size() == config().segment_size &&
+        !gossip->block.is_degenerate()) {
+      offer_to_bank(gossip->block, /*from_pull=*/false);
+    }
+  } else if (std::holds_alternative<wire::SegmentDecodedAck>(message)) {
+    // Another server finished a segment we are still collecting; our
+    // own bank converges via forwarding, so this is informational.
+  } else {
+    end_session(session.conn, wire::ByeReason::kProtocolError);
+  }
+}
+
+void ServerNode::on_session_closed(Session& session) {
+  occupancy_.erase(session.conn);
+}
+
+}  // namespace icollect::node

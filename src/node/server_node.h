@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file server_node.h
+/// A live collaborating logging server: pulls re-coded blocks from
+/// random non-empty peers at rate c_s, feeds them to a progressive
+/// GF(2^8) decoder bank, and announces completed segments with
+/// SEGMENT_DECODED_ACK.
+///
+/// The paper pools all N_s servers into one collection state; separate
+/// live processes realize that pooling by *forwarding*: every block a
+/// server pulls that is innovative for its own bank is re-sent as a
+/// GOSSIP_BLOCK to the other servers, whose banks absorb it without
+/// counting a pull. In steady state every bank therefore tracks the
+/// pooled rank (modulo forwarding latency), each segment decodes at
+/// every server, and summed per-server innovative-pull counts remain
+/// comparable to the simulator's pooled ServerBank
+/// (tests/node_vs_sim_test.cpp holds them to its confidence interval).
+///
+/// Peer selection mirrors PullPolicy::kUniformNonEmpty using the
+/// occupancy each PULL_BLOCK piggybacks: peers whose last reported
+/// occupancy is zero are skipped (they re-enter the candidate set
+/// optimistically after occupancy_refresh seconds, since a live server
+/// cannot observe refills remotely).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/segment_id.h"
+#include "node/node_base.h"
+#include "p2p/server.h"
+#include "sim/random.h"
+
+namespace icollect::node {
+
+class ServerNode final : public NodeBase {
+ public:
+  ServerNode(const NodeConfig& cfg, net::Transport& transport,
+             net::TimerWheel& wheel, obs::MetricsRegistry* metrics = nullptr,
+             const std::string& metric_prefix = "server.");
+
+  /// Arm the pull process. Call once, after wiring.
+  void start();
+
+  /// Invoked when this server's bank completes a segment.
+  using DecodeHook =
+      std::function<void(const coding::SegmentId&, double when)>;
+  void set_decode_hook(DecodeHook hook) { decode_hook_ = std::move(hook); }
+
+  [[nodiscard]] const p2p::ServerBank& bank() const noexcept { return bank_; }
+  [[nodiscard]] p2p::ServerBank& bank() noexcept { return bank_; }
+
+  // --- counters -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t pulls_sent() const noexcept {
+    return pulls_sent_;
+  }
+  [[nodiscard]] std::uint64_t pull_replies() const noexcept {
+    return pull_replies_;
+  }
+  [[nodiscard]] std::uint64_t pull_empty_replies() const noexcept {
+    return pull_empty_replies_;
+  }
+  [[nodiscard]] std::uint64_t pulls_starved() const noexcept {
+    return pulls_starved_;
+  }
+  [[nodiscard]] std::uint64_t innovative_pulls() const noexcept {
+    return innovative_pulls_;
+  }
+  [[nodiscard]] std::uint64_t redundant_pulls() const noexcept {
+    return redundant_pulls_;
+  }
+  [[nodiscard]] std::uint64_t stale_pulls() const noexcept {
+    return stale_pulls_;
+  }
+  [[nodiscard]] std::uint64_t forwarded_out() const noexcept {
+    return forwarded_out_;
+  }
+  [[nodiscard]] std::uint64_t forwarded_in() const noexcept {
+    return forwarded_in_;
+  }
+  [[nodiscard]] std::uint64_t acks_sent() const noexcept {
+    return acks_sent_;
+  }
+  [[nodiscard]] std::uint64_t segments_decoded() const noexcept {
+    return bank_.segments_decoded();
+  }
+
+ protected:
+  [[nodiscard]] wire::NodeRole role() const noexcept override {
+    return wire::NodeRole::kServer;
+  }
+  void handle_message(Session& session, wire::Message&& message) override;
+  void on_session_closed(Session& session) override;
+
+ private:
+  void schedule_pull();
+  void do_pull();
+  void handle_pull_block(Session& session, wire::PullBlock&& reply);
+  void offer_to_bank(const coding::CodedBlock& block, bool from_pull);
+  void on_bank_decode(const p2p::ServerBank::DecodeEvent& event);
+
+  /// Seconds after which a zero-occupancy report expires and the peer
+  /// is probed again.
+  static constexpr double kOccupancyRefresh = 1.0;
+
+  sim::Rng rng_;
+  p2p::ServerBank bank_;
+  DecodeHook decode_hook_;
+  std::uint32_t next_token_ = 1;
+
+  struct OccupancyInfo {
+    std::uint32_t blocks = 0;
+    double reported_at = 0.0;
+  };
+  std::unordered_map<net::NodeId, OccupancyInfo> occupancy_;
+
+  std::uint64_t pulls_sent_ = 0;
+  std::uint64_t pull_replies_ = 0;
+  std::uint64_t pull_empty_replies_ = 0;
+  std::uint64_t pulls_starved_ = 0;
+  std::uint64_t innovative_pulls_ = 0;
+  std::uint64_t redundant_pulls_ = 0;
+  std::uint64_t stale_pulls_ = 0;
+  std::uint64_t forwarded_out_ = 0;
+  std::uint64_t forwarded_in_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t segments_decoded_metric_ = 0;
+};
+
+}  // namespace icollect::node

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "p2p/churn.h"
-#include "workload/crc32.h"
+#include "common/crc32.h"
 
 namespace icollect::p2p {
 
@@ -165,7 +165,7 @@ void Network::do_inject(std::size_t slot) {
     payloads = make_payloads(p, id);
     info.original_crcs.reserve(payloads.size());
     for (const auto& b : payloads) {
-      info.original_crcs.push_back(workload::crc32(b));
+      info.original_crcs.push_back(common::crc32(b));
     }
   } else {
     payloads.assign(cfg_.segment_size, {});
@@ -311,7 +311,7 @@ void Network::on_segment_decoded(const ServerBank::DecodeEvent& event) {
   if (event.decoder != nullptr && !info.original_crcs.empty()) {
     for (std::size_t k = 0; k < info.segment_size; ++k) {
       const auto& blk = event.decoder->original(k);
-      if (workload::crc32({blk.data(), blk.size()}) !=
+      if (common::crc32({blk.data(), blk.size()}) !=
           info.original_crcs[k]) {
         ++metrics_.payload_crc_failures;
       }

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file frame.h
+/// Versioned, length-prefixed binary framing of wire::Message with
+/// CRC-32 integrity — the unit a transport actually moves.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic  "iCoL" (0x69 0x43 0x6F 0x4C)
+///        4     1  version (kProtocolVersion)
+///        5     1  message type (wire::MessageType)
+///        6     2  reserved (must be 0)
+///        8     4  body length in bytes
+///       12     4  CRC-32 (IEEE 802.3) of the body bytes
+///       16   len  body (per-type layout; see docs/PROTOCOL.md)
+///
+/// Decoding is *bounded*: the advertised body length is validated
+/// against the decoder's cap before any body buffering happens, so a
+/// hostile 4 GiB length prefix costs 16 bytes of inspection, not an
+/// allocation. Every rejection carries a typed DecodeStatus; the
+/// decoder never throws on malformed input and never reads out of
+/// range (see tests/wire_fuzz_test.cpp).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wire/message.h"
+
+namespace icollect::wire {
+
+inline constexpr std::array<std::uint8_t, 4> kMagic{0x69, 0x43, 0x6F, 0x4C};
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Default cap on a frame body. Generous for any realistic coded block
+/// (s + payload) yet small enough that a malicious length prefix cannot
+/// balloon memory.
+inline constexpr std::size_t kDefaultMaxBodyBytes = 1U << 20U;
+
+/// Cap on the segment size s carried inside block-bearing bodies;
+/// rejects absurd coefficient-vector lengths before allocation.
+inline constexpr std::size_t kMaxWireSegmentSize = 1U << 14U;
+
+enum class DecodeStatus : std::uint8_t {
+  kFrame = 0,      ///< a complete, valid message was produced
+  kNeedMore = 1,   ///< no complete frame buffered yet (not an error)
+  kBadMagic = 2,   ///< stream does not start with the frame magic
+  kBadVersion = 3, ///< frame version this build does not speak
+  kBadType = 4,    ///< unknown message type
+  kOversized = 5,  ///< advertised body length exceeds the decoder cap
+  kBadCrc = 6,     ///< body bytes do not match the header CRC
+  kMalformedBody = 7, ///< body structure invalid for its message type
+};
+
+[[nodiscard]] constexpr bool is_error(DecodeStatus s) noexcept {
+  return s != DecodeStatus::kFrame && s != DecodeStatus::kNeedMore;
+}
+
+[[nodiscard]] constexpr const char* to_string(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kMalformedBody: return "malformed-body";
+  }
+  return "?";
+}
+
+/// Append the complete frame for `m` to `out` (header + body). Reusing
+/// one `out` vector across sends keeps steady-state encoding
+/// allocation-free once it has grown to the working frame size.
+void encode_frame(const Message& m, std::vector<std::uint8_t>& out);
+
+/// Convenience: the frame as a fresh vector.
+[[nodiscard]] std::vector<std::uint8_t> encoded_frame(const Message& m);
+
+/// Serialized size of the frame `m` would encode to.
+[[nodiscard]] std::size_t frame_size(const Message& m);
+
+/// Incremental frame decoder over an arbitrary byte stream: feed()
+/// whatever chunks the transport delivers, then drain next() until it
+/// reports kNeedMore. Any error status latches — the stream position is
+/// unrecoverable (framing is lost), so the session owner should BYE and
+/// close; reset() restarts a fresh stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body_bytes = kDefaultMaxBodyBytes)
+      : max_body_{max_body_bytes} {}
+
+  /// Buffer incoming stream bytes. No parsing happens here.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  struct Result {
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    Message message;  ///< meaningful iff status == kFrame
+  };
+
+  /// Extract the next complete frame, or report why one is not
+  /// available. After an error, returns the same error until reset().
+  [[nodiscard]] Result next();
+
+  /// Drop all buffered bytes and clear any latched error.
+  void reset();
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buf_.size() - head_;
+  }
+  [[nodiscard]] std::uint64_t frames_decoded() const noexcept {
+    return frames_;
+  }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t max_body_bytes() const noexcept {
+    return max_body_;
+  }
+
+ private:
+  std::size_t max_body_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  ///< consumed prefix of buf_
+  DecodeStatus latched_ = DecodeStatus::kNeedMore;
+  std::uint64_t frames_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+/// Parse one message body of the given type (the bytes between two
+/// frame boundaries, CRC already verified). Exposed separately so tests
+/// can target body malformations without re-deriving CRCs.
+[[nodiscard]] DecodeStatus decode_body(MessageType type,
+                                       std::span<const std::uint8_t> body,
+                                       Message& out);
+
+/// Append the body encoding of `m` (no frame header) to `out`.
+void encode_body(const Message& m, std::vector<std::uint8_t>& out);
+
+}  // namespace icollect::wire

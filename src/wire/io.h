@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file io.h
+/// Little-endian byte-order primitives for the wire protocol: an
+/// appending writer over a caller-owned vector and a bounds-checked
+/// reader over a span. The reader never throws and never reads out of
+/// range — a failed read sets a sticky failure flag and returns zeros /
+/// empty spans, so body parsers can decode optimistically and check
+/// `ok()` once at the end. All multi-byte integers are little-endian on
+/// the wire regardless of host order.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace icollect::wire {
+
+/// Appends primitives to a byte vector (the frame/body under
+/// construction). The vector is caller-owned so encoders can reuse one
+/// buffer across frames and stay allocation-free at steady state.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_{&out} {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8U));
+  }
+  void u32(std::uint32_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8U));
+    out_->push_back(static_cast<std::uint8_t>(v >> 16U));
+    out_->push_back(static_cast<std::uint8_t>(v >> 24U));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t written() const noexcept { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked sequential reader over an immutable byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!ensure(2)) return 0;
+    const auto v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8U));
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(data_[pos_]) |
+        (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8U) |
+        (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16U) |
+        (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24U);
+    pos_ += 4;
+    return v;
+  }
+  /// A view of the next `n` bytes (empty on underrun; failure latches).
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  /// True if every read so far was in range.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True if the reader is healthy AND fully consumed — the acceptance
+  /// test for a fixed-layout body (trailing garbage is a malformation).
+  [[nodiscard]] bool done() const noexcept { return ok_ && pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] bool ensure(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace icollect::wire

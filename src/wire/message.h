@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file message.h
+/// The live-node protocol vocabulary: every message two icollect nodes
+/// can exchange, as plain structs. This is the protocol from Sec. 2 of
+/// the paper made concrete for real processes — gossip push
+/// (GOSSIP_BLOCK), the servers' coupon-collector pull
+/// (PULL_REQUEST / PULL_BLOCK), decode notification
+/// (SEGMENT_DECODED_ACK), plus session bracketing (HELLO / BYE) with
+/// version negotiation. Frame layout and the byte-level codec live in
+/// frame.h; docs/PROTOCOL.md documents the format normatively.
+
+#include <cstdint>
+#include <variant>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+
+namespace icollect::wire {
+
+/// Protocol version this build speaks. A HELLO advertises an inclusive
+/// [version_min, version_max] range; two nodes interoperate iff the
+/// ranges intersect (they then speak the highest common version).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,
+  kGossipBlock = 2,
+  kPullRequest = 3,
+  kPullBlock = 4,
+  kSegmentDecodedAck = 5,
+  kBye = 6,
+};
+
+[[nodiscard]] constexpr bool is_valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(MessageType::kHello) &&
+         t <= static_cast<std::uint8_t>(MessageType::kBye);
+}
+
+[[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kHello: return "hello";
+    case MessageType::kGossipBlock: return "gossip-block";
+    case MessageType::kPullRequest: return "pull-request";
+    case MessageType::kPullBlock: return "pull-block";
+    case MessageType::kSegmentDecodedAck: return "segment-decoded-ack";
+    case MessageType::kBye: return "bye";
+  }
+  return "?";
+}
+
+enum class NodeRole : std::uint8_t {
+  kPeer = 0,    ///< buffers and gossips coded blocks
+  kServer = 1,  ///< pulls, decodes, acknowledges
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeRole r) noexcept {
+  switch (r) {
+    case NodeRole::kPeer: return "peer";
+    case NodeRole::kServer: return "server";
+  }
+  return "?";
+}
+
+/// Session opener; first frame on every connection, sent by both sides.
+struct Hello {
+  NodeRole role = NodeRole::kPeer;
+  std::uint8_t version_min = kProtocolVersion;
+  std::uint8_t version_max = kProtocolVersion;
+  std::uint32_t node_id = 0;      ///< the sender's stable identity
+  std::uint16_t segment_size = 0; ///< s the sender codes with
+  std::uint32_t buffer_cap = 0;   ///< B (peers; 0 for servers)
+};
+
+/// One re-coded block pushed peer→peer (gossip), or forwarded
+/// server→server to keep the collaborating servers' decoder banks
+/// converged (the live realization of the paper's pooled server state).
+struct GossipBlock {
+  coding::CodedBlock block;
+};
+
+/// Server→peer: "send me one re-coded block of a uniformly random
+/// segment in your buffer". `token` correlates the reply.
+struct PullRequest {
+  std::uint32_t token = 0;
+};
+
+/// Peer→server reply. `occupancy` piggybacks the peer's current buffered
+/// block count so servers can steer pulls toward non-empty peers (the
+/// paper's occupancy-aware pull rule) without a separate control
+/// channel. `has_block` is false when the buffer was empty.
+struct PullBlock {
+  std::uint32_t token = 0;
+  std::uint32_t occupancy = 0;
+  bool has_block = false;
+  coding::CodedBlock block;  ///< meaningful iff has_block
+};
+
+/// Server→all: a segment's collection completed (rank reached s).
+struct SegmentDecodedAck {
+  coding::SegmentId segment;
+};
+
+enum class ByeReason : std::uint8_t {
+  kNormal = 0,
+  kVersionMismatch = 1,
+  kProtocolError = 2,
+  kShutdown = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(ByeReason r) noexcept {
+  switch (r) {
+    case ByeReason::kNormal: return "normal";
+    case ByeReason::kVersionMismatch: return "version-mismatch";
+    case ByeReason::kProtocolError: return "protocol-error";
+    case ByeReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// Session closer; the connection is dropped after sending/receiving.
+struct Bye {
+  ByeReason reason = ByeReason::kNormal;
+};
+
+using Message = std::variant<Hello, GossipBlock, PullRequest, PullBlock,
+                             SegmentDecodedAck, Bye>;
+
+[[nodiscard]] constexpr MessageType type_of(const Message& m) noexcept {
+  switch (m.index()) {
+    case 0: return MessageType::kHello;
+    case 1: return MessageType::kGossipBlock;
+    case 2: return MessageType::kPullRequest;
+    case 3: return MessageType::kPullBlock;
+    case 4: return MessageType::kSegmentDecodedAck;
+    default: return MessageType::kBye;
+  }
+}
+
+}  // namespace icollect::wire

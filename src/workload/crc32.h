@@ -1,43 +1,15 @@
 #pragma once
 
 /// \file crc32.h
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with a
-/// compile-time table. Vital-statistics records carry a CRC so that
-/// end-to-end tests can prove byte-exact recovery through encode →
-/// gossip → recode → server decode.
+/// Forwarding header: the CRC-32 implementation moved to
+/// common/crc32.h so the wire protocol can reuse it without pulling in
+/// the workload layer. Existing includers keep working through this
+/// alias.
 
-#include <array>
-#include <cstdint>
-#include <span>
+#include "common/crc32.h"
 
 namespace icollect::workload {
 
-namespace detail {
-
-constexpr std::array<std::uint32_t, 256> build_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-inline constexpr std::array<std::uint32_t, 256> kCrcTable = build_crc_table();
-
-}  // namespace detail
-
-/// CRC-32 of a byte range.
-[[nodiscard]] inline std::uint32_t crc32(
-    std::span<const std::uint8_t> bytes) noexcept {
-  std::uint32_t c = 0xFFFFFFFFU;
-  for (const std::uint8_t b : bytes) {
-    c = detail::kCrcTable[(c ^ b) & 0xFFU] ^ (c >> 8U);
-  }
-  return c ^ 0xFFFFFFFFU;
-}
+using common::crc32;
 
 }  // namespace icollect::workload

@@ -85,6 +85,62 @@ TEST(ConfigArgs, MalformedTokensRejected) {
   (void)cfg;
 }
 
+// A rejected invocation must tell the operator *what* was wrong, not
+// just that something was: the exception text has to name the offending
+// key and value so a typo in a 12-token sweep command is findable.
+TEST(ConfigArgs, UnknownKeyErrorNamesTheKey) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"peesr=300"});
+  try {
+    apply_config_args(cfg, a);
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("peesr"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigArgs, MalformedNumericErrorNamesKeyAndValue) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"lambda=fast"});
+  try {
+    apply_config_args(cfg, a);
+    FAIL() << "malformed numeric accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("lambda"), std::string::npos) << what;
+    EXPECT_NE(what.find("fast"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigArgs, MissingValueErrorShowsTheToken) {
+  p2p::ProtocolConfig cfg;
+  for (const char* bad : {"peers", "=5"}) {
+    p2p::ProtocolConfig fresh;
+    const auto a = args({bad});
+    try {
+      apply_config_args(fresh, a);
+      FAIL() << "token without key=value shape accepted: " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("key=value"), std::string::npos)
+          << e.what();
+    }
+  }
+  (void)cfg;
+}
+
+TEST(ConfigArgs, EmptyValueRejected) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"peers="});
+  EXPECT_THROW(apply_config_args(cfg, a), std::invalid_argument);
+}
+
+TEST(ConfigArgs, NegativeRateRejectedByValidation) {
+  p2p::ProtocolConfig cfg;
+  const auto a = args({"lambda=-3"});
+  EXPECT_THROW(apply_config_args(cfg, a), std::invalid_argument);
+}
+
 TEST(ConfigArgs, FinalValidationRuns) {
   p2p::ProtocolConfig cfg;
   const auto a = args({"buffer=2", "s=10"});  // B < s

@@ -1,0 +1,226 @@
+/// Tests for the transport substrate: the hashed TimerWheel contract
+/// (tick quantization, in-tick ordering, cancellation, wrap-around) and
+/// the deterministic LoopbackNet (latency, chunked delivery, seeded
+/// drops, backpressure, link teardown).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/loopback.h"
+#include "net/timer_wheel.h"
+#include "net/transport.h"
+
+namespace icollect::net {
+namespace {
+
+TEST(TimerWheel, FiresAtQuantizedTime) {
+  TimerWheel w{0.01};
+  std::vector<double> fired;
+  w.schedule_after(0.034, [&] { fired.push_back(w.now()); });
+  w.advance_to(0.03);
+  EXPECT_TRUE(fired.empty());
+  w.advance_to(0.05);
+  ASSERT_EQ(fired.size(), 1U);
+  // 0.034 rounds up to the next whole tick.
+  EXPECT_NEAR(fired[0], 0.04, 1e-9);
+}
+
+TEST(TimerWheel, ZeroDelayFiresNextTickNotThisOne) {
+  TimerWheel w{0.01};
+  int fired = 0;
+  w.schedule_after(0.0, [&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  w.advance(1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, InTickOrderIsSchedulingOrder) {
+  TimerWheel w{0.01};
+  std::string order;
+  w.schedule_after(0.005, [&] { order += 'a'; });
+  w.schedule_after(0.005, [&] { order += 'b'; });
+  w.schedule_after(0.005, [&] { order += 'c'; });
+  w.advance(1);
+  EXPECT_EQ(order, "abc");
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel w{0.01};
+  int fired = 0;
+  const auto id = w.schedule_after(0.02, [&] { ++fired; });
+  EXPECT_EQ(w.pending(), 1U);
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.cancel(id));  // second cancel is a no-op
+  w.advance(10);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.pending(), 0U);
+}
+
+TEST(TimerWheel, WrapAroundBeyondSlotCount) {
+  // A delay many times the slot count must still fire exactly once, at
+  // the right tick — the wheel re-files future-round entries.
+  TimerWheel w{0.01, 8};
+  int fired = 0;
+  w.schedule_after(1.0, [&] { ++fired; });  // 100 ticks on an 8-slot wheel
+  w.advance(99);
+  EXPECT_EQ(fired, 0);
+  w.advance(1);
+  EXPECT_EQ(fired, 1);
+  w.advance(200);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CallbackMayReschedule) {
+  TimerWheel w{0.01};
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 5) w.schedule_after(0.01, tick);
+  };
+  w.schedule_after(0.01, tick);
+  w.advance(100);
+  EXPECT_EQ(fired, 5);
+}
+
+/// Records every transport event for later inspection.
+class RecordingHandler final : public TransportHandler {
+ public:
+  void on_peer_up(NodeId peer) override { ups.push_back(peer); }
+  void on_peer_down(NodeId peer) override { downs.push_back(peer); }
+  void on_bytes(NodeId peer, std::span<const std::uint8_t> bytes) override {
+    ++reads;
+    auto& stream = received[peer];
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+
+  std::vector<NodeId> ups;
+  std::vector<NodeId> downs;
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> received;
+  int reads = 0;
+};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Loopback, ConnectFiresPeerUpBothSides) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler ha;
+  RecordingHandler hb;
+  a.set_handler(&ha);
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  ASSERT_EQ(ha.ups.size(), 1U);
+  ASSERT_EQ(hb.ups.size(), 1U);
+  EXPECT_EQ(ha.ups[0], b.id());
+  EXPECT_EQ(hb.ups[0], a.id());
+}
+
+TEST(Loopback, DeliveryHonorsLatency) {
+  LoopbackNet::Options opts;
+  opts.latency = 0.05;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  ASSERT_TRUE(a.send(b.id(), bytes_of("hello")));
+  net.run_for(0.04);
+  EXPECT_TRUE(hb.received[a.id()].empty());
+  net.run_for(0.02);
+  EXPECT_EQ(hb.received[a.id()], bytes_of("hello"));
+  EXPECT_EQ(net.bytes_delivered(), 5U);
+}
+
+TEST(Loopback, ChunkedDeliverySplitsReads) {
+  LoopbackNet::Options opts;
+  opts.chunk_bytes = 3;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  ASSERT_TRUE(a.send(b.id(), bytes_of("0123456789")));
+  net.run_for(0.01);
+  EXPECT_EQ(hb.received[a.id()], bytes_of("0123456789"));
+  EXPECT_EQ(hb.reads, 4);  // 3+3+3+1
+}
+
+TEST(Loopback, SendToUnconnectedPeerRefused) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  EXPECT_FALSE(a.send(b.id(), bytes_of("x")));
+  EXPECT_EQ(net.sends(), 0U);
+}
+
+TEST(Loopback, DisconnectFiresPeerDownAndSendsStop) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler ha;
+  RecordingHandler hb;
+  a.set_handler(&ha);
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  net.disconnect(a.id(), b.id());
+  ASSERT_EQ(ha.downs.size(), 1U);
+  ASSERT_EQ(hb.downs.size(), 1U);
+  EXPECT_FALSE(a.send(b.id(), bytes_of("x")));
+}
+
+TEST(Loopback, DropsAreSeededAndCounted) {
+  const auto run = [](std::uint64_t seed) {
+    LoopbackNet::Options opts;
+    opts.drop_probability = 0.5;
+    opts.seed = seed;
+    LoopbackNet net{opts};
+    auto& a = net.create_endpoint();
+    auto& b = net.create_endpoint();
+    RecordingHandler hb;
+    b.set_handler(&hb);
+    net.connect(a.id(), b.id());
+    for (int i = 0; i < 200; ++i) {
+      a.send(b.id(), bytes_of("x"));
+    }
+    net.run_for(0.1);
+    return std::pair{net.drops(), hb.received[a.id()].size()};
+  };
+  const auto [drops1, got1] = run(7);
+  const auto [drops2, got2] = run(7);
+  EXPECT_EQ(drops1, drops2);  // same seed → identical loss pattern
+  EXPECT_EQ(got1, got2);
+  EXPECT_GT(drops1, 50U);  // p=0.5 over 200 sends
+  EXPECT_LT(drops1, 150U);
+  EXPECT_EQ(got1 + drops1, 200U);
+}
+
+TEST(Loopback, BackpressureCapsInFlightBytes) {
+  LoopbackNet::Options opts;
+  opts.send_queue_cap_bytes = 10;
+  opts.latency = 1.0;  // keep everything in flight
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  EXPECT_TRUE(a.send(b.id(), bytes_of("12345678")));
+  EXPECT_FALSE(a.send(b.id(), bytes_of("overflow")));
+  EXPECT_EQ(net.backpressure_refusals(), 1U);
+  // Delivery drains the in-flight budget; sending works again.
+  net.run_for(1.1);
+  EXPECT_TRUE(a.send(b.id(), bytes_of("again")));
+}
+
+}  // namespace
+}  // namespace icollect::net

@@ -1,0 +1,298 @@
+/// End-to-end tests of the live node runtime over the deterministic
+/// loopback transport: a cluster of real PeerNode/ServerNode state
+/// machines speaking the framed wire protocol must collect every
+/// injected segment, recover payloads byte-exactly (checked against the
+/// injecting peers' CRCs), reproduce bit-for-bit per seed, and survive
+/// link faults and garbage bytes without crashing.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/crc32.h"
+#include "net/loopback.h"
+#include "node/cluster.h"
+#include "node/node_config.h"
+#include "node/peer_node.h"
+#include "node/server_node.h"
+#include "wire/frame.h"
+
+namespace icollect::node {
+namespace {
+
+ClusterConfig small_cluster_config() {
+  ClusterConfig cfg;
+  cfg.num_peers = 6;
+  cfg.num_servers = 2;
+  cfg.segment_size = 4;
+  cfg.buffer_cap = 32;
+  cfg.payload_bytes = 24;
+  cfg.lambda = 8.0;
+  cfg.mu = 4.0;
+  cfg.gamma = 1.0;
+  cfg.server_rate = 20.0;
+  cfg.segments_per_peer = 3;
+  cfg.retain_own_until_acked = true;
+  cfg.seed = 11;
+  cfg.net.seed = 11;
+  return cfg;
+}
+
+TEST(NodeCluster, CollectsEverySegmentAtEveryServer) {
+  LoopbackCluster cluster{small_cluster_config()};
+  ASSERT_TRUE(cluster.run_to_completion(300.0))
+      << "decoded " << cluster.segments_decoded() << "/"
+      << cluster.segments_injected();
+  const std::uint64_t injected = cluster.segments_injected();
+  EXPECT_EQ(injected, 6U * 3U);
+  EXPECT_EQ(cluster.segments_decoded(), injected);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.server(i).segments_decoded(), injected);
+  }
+  // Collaborating servers need at least s innovative blocks per segment
+  // pooled across pulls and forwarding.
+  EXPECT_GE(cluster.innovative_pulls(), injected * 4U);
+}
+
+TEST(NodeCluster, PayloadsRecoveredByteExactly) {
+  const auto cfg = small_cluster_config();
+  LoopbackCluster cluster{cfg};
+  ASSERT_TRUE(cluster.run_to_completion(300.0));
+  // Every decoded segment's recovered originals must CRC-match what the
+  // injecting peer generated — the whole pipeline (systematic seeding,
+  // recoding, framing, transport, Gaussian elimination) is lossless.
+  std::size_t checked = 0;
+  for (std::size_t p = 0; p < cfg.num_peers; ++p) {
+    PeerNode& peer = cluster.peer(p);
+    for (std::uint32_t seq = 0; seq < cfg.segments_per_peer; ++seq) {
+      const coding::SegmentId id{peer.config().node_id, seq};
+      const auto* crcs = peer.original_crcs(id);
+      ASSERT_NE(crcs, nullptr);
+      for (std::size_t srv = 0; srv < cfg.num_servers; ++srv) {
+        const auto* originals = cluster.server(srv).bank().originals(id);
+        ASSERT_NE(originals, nullptr) << "server " << srv << " missing "
+                                      << id.origin << "/" << id.seq;
+        ASSERT_EQ(originals->size(), crcs->size());
+        for (std::size_t k = 0; k < crcs->size(); ++k) {
+          EXPECT_EQ(common::crc32((*originals)[k]), (*crcs)[k]);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, cfg.num_peers * cfg.segments_per_peer *
+                         cfg.segment_size * cfg.num_servers);
+}
+
+TEST(NodeCluster, FixedSeedReproducesBitForBit) {
+  const auto run = [] {
+    LoopbackCluster cluster{small_cluster_config()};
+    cluster.run_for(25.0);
+    return std::array<std::uint64_t, 5>{
+        cluster.segments_injected(),
+        static_cast<std::uint64_t>(cluster.segments_decoded()),
+        cluster.innovative_pulls(), cluster.pulls_sent(),
+        cluster.gossip_sent()};
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run());
+
+  auto other = small_cluster_config();
+  other.seed = 12;
+  other.net.seed = 12;
+  LoopbackCluster cluster{other};
+  cluster.run_for(25.0);
+  // A different seed must actually change the trajectory.
+  const std::array<std::uint64_t, 5> changed{
+      cluster.segments_injected(),
+      static_cast<std::uint64_t>(cluster.segments_decoded()),
+      cluster.innovative_pulls(), cluster.pulls_sent(),
+      cluster.gossip_sent()};
+  EXPECT_NE(changed, first);
+}
+
+TEST(NodeCluster, SurvivesTtlChurnViaSourceRetention) {
+  // Aggressive TTL: blocks decay fast enough that without source
+  // retention segments die before collection. With it, the collection
+  // still finishes — and the re-seed path demonstrably fired.
+  auto cfg = small_cluster_config();
+  cfg.gamma = 3.0;
+  LoopbackCluster cluster{cfg};
+  ASSERT_TRUE(cluster.run_to_completion(600.0))
+      << "decoded " << cluster.segments_decoded() << "/"
+      << cluster.segments_injected();
+  std::uint64_t reseeds = 0;
+  for (std::size_t p = 0; p < cfg.num_peers; ++p) {
+    reseeds += cluster.peer(p).reseeds();
+  }
+  EXPECT_GT(reseeds, 0U);
+}
+
+TEST(NodeCluster, UnionRecoveryUnderLinkFaults) {
+  // Per-send loss and adversarial chunking: frame reassembly and the
+  // redundancy of gossip+retention must still get every segment to at
+  // least one server (strict every-server convergence relies on the
+  // lossless server-server forwarding links, so only the union is
+  // guaranteed here).
+  auto cfg = small_cluster_config();
+  cfg.net.drop_probability = 0.05;
+  cfg.net.chunk_bytes = 7;
+  cfg.net.latency_jitter = 0.002;
+  LoopbackCluster cluster{cfg};
+  double t = 0.0;
+  do {
+    cluster.run_for(5.0);
+    t += 5.0;
+  } while (t < 600.0 &&
+           (cluster.segments_injected() < 6U * 3U ||
+            cluster.segments_decoded() < cluster.segments_injected()));
+  EXPECT_EQ(cluster.segments_injected(), 6U * 3U);
+  EXPECT_EQ(cluster.segments_decoded(), cluster.segments_injected());
+  EXPECT_GT(cluster.net().drops(), 0U);
+}
+
+TEST(NodeCluster, DropOnAckPurgesDecodedSegments) {
+  auto cfg = small_cluster_config();
+  cfg.drop_on_ack = true;
+  LoopbackCluster cluster{cfg};
+  ASSERT_TRUE(cluster.run_to_completion(300.0));
+  // Every injected segment ends up ACKed at every peer (full mesh,
+  // lossless links), so with drop_on_ack every buffered block has been
+  // purged once in-flight ACKs drain.
+  cluster.run_for(5.0);
+  EXPECT_EQ(cluster.total_buffered_blocks(), 0U);
+}
+
+// --- direct two-node protocol behaviors ------------------------------------
+
+struct TwoNodes {
+  net::LoopbackNet net{[] {
+    net::LoopbackNet::Options o;
+    o.latency = 0.001;
+    return o;
+  }()};
+  net::LoopbackNet::Endpoint& a{net.create_endpoint()};
+  net::LoopbackNet::Endpoint& b{net.create_endpoint()};
+};
+
+NodeConfig peer_config(std::uint32_t id) {
+  NodeConfig cfg;
+  cfg.node_id = id;
+  cfg.segment_size = 4;
+  cfg.buffer_cap = 16;
+  cfg.lambda = 0.0;  // quiescent unless a test arms processes
+  cfg.mu = 0.0;
+  cfg.gamma = 1.0;
+  cfg.seed = id;
+  return cfg;
+}
+
+TEST(NodeProtocol, HandshakeEstablishesRosters) {
+  TwoNodes t;
+  PeerNode peer{peer_config(1), t.a, t.net.timers()};
+  ServerNode server{[] {
+    auto cfg = peer_config(0x80000001U);
+    cfg.buffer_cap = 4;
+    return cfg;
+  }(), t.b, t.net.timers()};
+  t.net.connect(t.a.id(), t.b.id());
+  t.net.run_for(0.1);
+  EXPECT_EQ(peer.server_session_count(), 1U);
+  EXPECT_EQ(peer.peer_session_count(), 0U);
+  EXPECT_EQ(server.peer_session_count(), 1U);
+  EXPECT_GE(peer.frames_sent(), 1U);     // its HELLO
+  EXPECT_GE(peer.frames_received(), 1U); // the server's HELLO
+}
+
+/// A raw endpoint handler that ignores everything — lets tests inject
+/// arbitrary bytes at a live node.
+class SilentHandler final : public net::TransportHandler {
+ public:
+  void on_peer_up(net::NodeId) override {}
+  void on_peer_down(net::NodeId peer) override { downs.push_back(peer); }
+  void on_bytes(net::NodeId, std::span<const std::uint8_t>) override {}
+  std::vector<net::NodeId> downs;
+};
+
+TEST(NodeProtocol, GarbageBytesTerminateTheSession) {
+  TwoNodes t;
+  PeerNode peer{peer_config(1), t.a, t.net.timers()};
+  SilentHandler raw;
+  t.b.set_handler(&raw);
+  t.net.connect(t.a.id(), t.b.id());
+  t.net.run_for(0.1);
+  const std::vector<std::uint8_t> junk{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01,
+                                       0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                       0x08, 0x09, 0x0A, 0x0B};
+  t.b.send(t.a.id(), junk);
+  t.net.run_for(0.1);
+  EXPECT_EQ(peer.decode_errors(), 1U);
+  EXPECT_EQ(peer.peer_session_count(), 0U);
+  EXPECT_EQ(peer.server_session_count(), 0U);
+  // The peer severed the link after the framing violation.
+  ASSERT_EQ(raw.downs.size(), 1U);
+}
+
+TEST(NodeProtocol, VersionMismatchRejectedWithBye) {
+  TwoNodes t;
+  PeerNode peer{peer_config(1), t.a, t.net.timers()};
+  SilentHandler raw;
+  t.b.set_handler(&raw);
+  t.net.connect(t.a.id(), t.b.id());
+  t.net.run_for(0.1);
+  wire::Hello hello;
+  hello.role = wire::NodeRole::kPeer;
+  hello.version_min = 9;  // disjoint from [1,1]
+  hello.version_max = 12;
+  hello.node_id = 2;
+  hello.segment_size = 4;
+  t.b.send(t.a.id(), wire::encoded_frame(wire::Message{hello}));
+  t.net.run_for(0.1);
+  EXPECT_EQ(peer.version_rejects(), 1U);
+  EXPECT_EQ(peer.peer_session_count(), 0U);
+  ASSERT_EQ(raw.downs.size(), 1U);
+}
+
+TEST(NodeProtocol, SegmentSizeMismatchRejected) {
+  TwoNodes t;
+  PeerNode peer{peer_config(1), t.a, t.net.timers()};
+  SilentHandler raw;
+  t.b.set_handler(&raw);
+  t.net.connect(t.a.id(), t.b.id());
+  t.net.run_for(0.1);
+  wire::Hello hello;
+  hello.role = wire::NodeRole::kPeer;
+  hello.node_id = 2;
+  hello.segment_size = 9;  // peer codes with s=4
+  t.b.send(t.a.id(), wire::encoded_frame(wire::Message{hello}));
+  t.net.run_for(0.1);
+  EXPECT_EQ(peer.peer_session_count(), 0U);
+  ASSERT_EQ(raw.downs.size(), 1U);
+}
+
+TEST(NodeProtocol, PullOnEmptyBufferAnswersWithoutBlock) {
+  TwoNodes t;
+  PeerNode peer{peer_config(1), t.a, t.net.timers()};
+  ServerNode server{[] {
+    auto cfg = peer_config(0x80000001U);
+    cfg.buffer_cap = 4;
+    cfg.pull_rate = 50.0;
+    return cfg;
+  }(), t.b, t.net.timers()};
+  t.net.connect(t.a.id(), t.b.id());
+  t.net.run_for(0.1);
+  server.start();  // peer never injects: every pull reply is empty
+  t.net.run_for(1.0);
+  EXPECT_GT(peer.pull_empty_replies(), 0U);
+  EXPECT_EQ(peer.pull_replies(), 0U);
+  EXPECT_EQ(server.segments_decoded(), 0U);
+  // Occupancy-aware pulls back off from a peer that reported empty, so
+  // pulls are far fewer than rate × time would allow.
+  EXPECT_LT(server.pulls_sent(), 25U);
+}
+
+}  // namespace
+}  // namespace icollect::node
