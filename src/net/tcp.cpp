@@ -20,6 +20,10 @@ namespace icollect::net {
 
 namespace {
 
+// Consumed send-queue prefix beyond which flush_outq compacts instead
+// of waiting for a full drain (same rule as wire::FrameDecoder::feed).
+constexpr std::size_t kOutqCompactBytes = 4096;
+
 int make_nonblocking_socket() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -258,7 +262,18 @@ void TcpTransport::flush_outq(Conn& conn) {
       bytes_sent_ += static_cast<std::uint64_t>(sent);
       continue;
     }
-    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Partial drain: reclaim the consumed prefix once it is sizable,
+      // otherwise repeated partial drains grow outq without bound
+      // (send() caps only the *unsent* bytes).
+      if (conn.out_head >= kOutqCompactBytes) {
+        conn.outq.erase(conn.outq.begin(),
+                        conn.outq.begin() +
+                            static_cast<std::ptrdiff_t>(conn.out_head));
+        conn.out_head = 0;
+      }
+      return;
+    }
     close_conn(conn, /*notify=*/true);
     return;
   }
@@ -311,11 +326,18 @@ void TcpTransport::handle_writable(Conn& conn) {
 void TcpTransport::reap_idle() {
   if (opts_.idle_timeout <= 0.0) return;
   const double t = now();
-  for (auto& [id, conn] : conns_) {
+  // Collect first: close_conn fires on_peer_down, and a handler that
+  // reconnects from there would insert into conns_ mid-iteration.
+  std::vector<NodeId> idle;
+  for (const auto& [id, conn] : conns_) {
     if (conn->state == ConnState::kUp &&
         t - conn->last_activity > opts_.idle_timeout) {
-      close_conn(*conn, /*notify=*/true);
+      idle.push_back(id);
     }
+  }
+  for (const NodeId id : idle) {
+    const auto it = conns_.find(id);
+    if (it != conns_.end()) close_conn(*it->second, /*notify=*/true);
   }
 }
 

@@ -94,8 +94,10 @@ void ServerNode::offer_to_bank(const coding::CodedBlock& block,
     case p2p::ServerBank::PullResult::kInnovative: {
       ++innovative_pulls_;
       // Pooled-state forwarding: let the other servers' banks absorb
-      // what this pull contributed.
-      for (const net::NodeId conn : server_conns()) {
+      // what this pull contributed. Iterate a copy: a hard send failure
+      // can tear down the session and mutate the roster mid-loop.
+      const std::vector<net::NodeId> servers = server_conns();
+      for (const net::NodeId conn : servers) {
         if (send_message(conn, wire::Message{wire::GossipBlock{block}})) {
           ++forwarded_out_;
         }
@@ -117,8 +119,12 @@ void ServerNode::on_bank_decode(const p2p::ServerBank::DecodeEvent& event) {
   ++segments_decoded_metric_;
   ++acks_sent_;
   const wire::Message ack{wire::SegmentDecodedAck{event.id}};
-  for (const net::NodeId conn : peer_conns()) send_message(conn, ack);
-  for (const net::NodeId conn : server_conns()) send_message(conn, ack);
+  // Iterate copies: send_message can tear down a session (transport
+  // send failure -> on_peer_down -> drop_from_roster) mid-loop.
+  const std::vector<net::NodeId> peers = peer_conns();
+  const std::vector<net::NodeId> servers = server_conns();
+  for (const net::NodeId conn : peers) send_message(conn, ack);
+  for (const net::NodeId conn : servers) send_message(conn, ack);
   if (decode_hook_) decode_hook_(event.id, event.when);
 }
 

@@ -155,6 +155,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: need --listen and/or --connect\n", argv[0]);
     return 2;
   }
+  // node_id may still be 0 here (resolved from the bound port below);
+  // validate the user-settable knobs now so bad values are a usage
+  // error, not an unhandled exception from the node constructor.
+  {
+    node::NodeConfig check = cfg;
+    if (check.node_id == 0) check.node_id = 1;
+    try {
+      check.validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
 
   net::TcpTransport::Options topts;
   topts.connect_timeout = 5.0;
