@@ -1,0 +1,113 @@
+/// \file micro_node_obs.cpp
+/// Overhead gate for live-node instrumentation: drive the same seeded
+/// loopback cluster workload bare and with full telemetry attached (a
+/// metrics registry of per-node gauges + latency histograms and a trace
+/// sink), and fail if the instrumented hot path is more than
+/// ICOLLECT_OBS_OVERHEAD_TOL (default 5%) slower.
+///
+/// Methodology: the two variants alternate A/B/A/B... and each keeps
+/// its minimum over several rounds — the min is the run least disturbed
+/// by the scheduler, and interleaving cancels thermal/frequency drift.
+/// Exit 0 within tolerance, 1 over it (and prints both timings either
+/// way, so CI logs double as a coarse perf series).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "node/cluster.h"
+#include "obs/metrics_registry.h"
+#include "p2p/trace.h"
+
+namespace {
+
+using namespace icollect;
+
+node::ClusterConfig workload_config() {
+  node::ClusterConfig cfg;
+  cfg.num_peers = 8;
+  cfg.num_servers = 2;
+  cfg.segment_size = 4;
+  cfg.buffer_cap = 32;
+  cfg.payload_bytes = 32;
+  cfg.lambda = 8.0;
+  cfg.mu = 4.0;
+  cfg.gamma = 1.0;
+  cfg.server_rate = 24.0;
+  cfg.segments_per_peer = 0;  // unbounded: steady-state gossip + pulls
+  cfg.seed = 17;
+  cfg.net.seed = 17;
+  return cfg;
+}
+
+constexpr double kVirtualSeconds = 80.0;
+
+/// One full workload run; returns wall seconds. The checksum keeps the
+/// optimizer honest and double-checks the two variants did equal work.
+double run_once(bool instrumented, std::uint64_t* checksum) {
+  obs::MetricsRegistry registry;
+  std::uint64_t trace_events = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  node::LoopbackCluster cluster{workload_config(),
+                                instrumented ? &registry : nullptr};
+  if (instrumented) {
+    cluster.set_trace_sink(
+        [&trace_events](const p2p::TraceEvent&) { ++trace_events; });
+  }
+  cluster.run_for(kVirtualSeconds);
+  const auto t1 = std::chrono::steady_clock::now();
+  *checksum = cluster.pulls_sent() + cluster.gossip_sent() +
+              cluster.innovative_pulls();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  double tol = 0.05;
+  if (const char* env = std::getenv("ICOLLECT_OBS_OVERHEAD_TOL")) {
+    tol = std::strtod(env, nullptr);
+    if (tol <= 0.0) tol = 0.05;
+  }
+
+  constexpr int kRounds = 7;
+  double bare_min = 1e300;
+  double instr_min = 1e300;
+  std::uint64_t bare_sum = 0;
+  std::uint64_t instr_sum = 0;
+  // Warm-up round (allocator, page faults) discarded from both mins.
+  std::uint64_t sink = 0;
+  run_once(false, &sink);
+  run_once(true, &sink);
+  for (int r = 0; r < kRounds; ++r) {
+    double t = run_once(false, &bare_sum);
+    if (t < bare_min) bare_min = t;
+    t = run_once(true, &instr_sum);
+    if (t < instr_min) instr_min = t;
+  }
+
+  if (bare_sum != instr_sum) {
+    std::fprintf(stderr,
+                 "micro_node_obs: FAIL: instrumentation changed the run "
+                 "(checksum %llu vs %llu)\n",
+                 static_cast<unsigned long long>(bare_sum),
+                 static_cast<unsigned long long>(instr_sum));
+    return 1;
+  }
+
+  const double overhead = instr_min / bare_min - 1.0;
+  std::printf(
+      "micro_node_obs: bare=%.4fs instrumented=%.4fs overhead=%+.2f%% "
+      "(tolerance %.0f%%, checksum %llu)\n",
+      bare_min, instr_min, 100.0 * overhead, 100.0 * tol,
+      static_cast<unsigned long long>(bare_sum));
+  if (overhead > tol) {
+    std::fprintf(stderr,
+                 "micro_node_obs: FAIL: instrumented hot path is %.2f%% "
+                 "slower (tolerance %.0f%%)\n",
+                 100.0 * overhead, 100.0 * tol);
+    return 1;
+  }
+  return 0;
+}

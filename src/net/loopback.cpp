@@ -62,6 +62,7 @@ bool LoopbackNet::do_send(Endpoint& from, NodeId to,
     return false;
   }
   ++sends_;
+  bytes_sent_ += bytes.size();
   if (opts_.drop_probability > 0.0 &&
       rng_.bernoulli(opts_.drop_probability)) {
     // The link ate it: the sender believes it sent (true), nothing
@@ -70,6 +71,8 @@ bool LoopbackNet::do_send(Endpoint& from, NodeId to,
     return true;
   }
   from.in_flight_bytes_ += bytes.size();
+  in_flight_total_ += bytes.size();
+  if (in_flight_total_ > in_flight_hwm_) in_flight_hwm_ = in_flight_total_;
   auto data = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
                                                           bytes.end());
   double delay = opts_.latency;
@@ -87,11 +90,14 @@ void LoopbackNet::deliver(NodeId from, NodeId to,
                           std::shared_ptr<std::vector<std::uint8_t>> data) {
   Endpoint& src = endpoint(from);
   src.in_flight_bytes_ -= std::min(src.in_flight_bytes_, data->size());
+  in_flight_total_ -= std::min(in_flight_total_, data->size());
   Endpoint& dst = endpoint(to);
   // The link may have been severed while the bytes were in flight.
   if (dst.links_[from] == 0 || dst.handler_ == nullptr) return;
   bytes_delivered_ += data->size();
+  ++deliveries_;
   if (opts_.chunk_bytes == 0 || data->size() <= opts_.chunk_bytes) {
+    ++chunks_;
     dst.handler_->on_bytes(from, *data);
     return;
   }
@@ -100,8 +106,30 @@ void LoopbackNet::deliver(NodeId from, NodeId to,
     const std::size_t n = std::min(opts_.chunk_bytes, data->size() - off);
     // Re-check: a handler may close the link mid-delivery.
     if (dst.links_[from] == 0 || dst.handler_ == nullptr) return;
+    ++chunks_;
     dst.handler_->on_bytes(from, {data->data() + off, n});
   }
+}
+
+void LoopbackNet::attach_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  const auto count = [&](const char* name, const std::uint64_t* v) {
+    registry.gauge(prefix + name,
+                   [v] { return static_cast<double>(*v); });
+  };
+  count("sends", &sends_);
+  count("drops", &drops_);
+  count("queue_drops", &refusals_);
+  count("bytes_out", &bytes_sent_);
+  count("bytes_in", &bytes_delivered_);
+  count("deliveries", &deliveries_);
+  count("chunks", &chunks_);
+  registry.gauge(prefix + "in_flight_bytes", [this] {
+    return static_cast<double>(in_flight_total_);
+  });
+  registry.gauge(prefix + "in_flight_hwm", [this] {
+    return static_cast<double>(in_flight_hwm_);
+  });
 }
 
 }  // namespace icollect::net

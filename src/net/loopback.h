@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "net/timer_wheel.h"
 #include "net/transport.h"
+#include "obs/metrics_registry.h"
 #include "sim/random.h"
 
 namespace icollect::net {
@@ -103,6 +105,27 @@ class LoopbackNet {
   [[nodiscard]] std::uint64_t bytes_delivered() const noexcept {
     return bytes_delivered_;
   }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t chunks() const noexcept { return chunks_; }
+  /// Bytes currently in flight across all endpoints / the largest such
+  /// total ever observed.
+  [[nodiscard]] std::size_t in_flight_bytes() const noexcept {
+    return in_flight_total_;
+  }
+  [[nodiscard]] std::size_t in_flight_high_watermark() const noexcept {
+    return in_flight_hwm_;
+  }
+
+  /// Export the hub's counters and in-flight gauges into `registry` as
+  /// pull-based gauges under `prefix`. Telemetry never touches the hub's
+  /// RNG, so seeded runs stay bit-reproducible with metrics attached.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "loopback.");
 
  private:
   bool do_send(Endpoint& from, NodeId to,
@@ -118,6 +141,11 @@ class LoopbackNet {
   std::uint64_t drops_ = 0;
   std::uint64_t refusals_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t chunks_ = 0;
+  std::size_t in_flight_total_ = 0;  ///< across all endpoints
+  std::size_t in_flight_hwm_ = 0;
 };
 
 }  // namespace icollect::net

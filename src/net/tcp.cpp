@@ -146,6 +146,7 @@ NodeId TcpTransport::connect(const std::string& host, std::uint16_t port) {
 
 void TcpTransport::start_connect_attempt(Conn& conn) {
   ++conn.attempts;
+  if (conn.attempts > 1) ++connect_retries_;
   sockaddr_in addr{};
   if (!resolve_ipv4(conn.host.empty() ? "localhost" : conn.host, conn.port,
                     addr)) {
@@ -213,6 +214,7 @@ void TcpTransport::finish_connect(Conn& conn) {
   }
   conn.state = ConnState::kUp;
   conn.last_activity = now();
+  ++connects_ok_;
   if (handler_ != nullptr) handler_->on_peer_up(conn.id);
 }
 
@@ -227,6 +229,9 @@ bool TcpTransport::send(NodeId peer, std::span<const std::uint8_t> bytes) {
     return false;
   }
   conn.outq.insert(conn.outq.end(), bytes.begin(), bytes.end());
+  ++sends_;
+  outq_bytes_ += bytes.size();
+  if (outq_bytes_ > outq_hwm_) outq_hwm_ = outq_bytes_;
   if (conn.state == ConnState::kUp) flush_outq(conn);
   return true;
 }
@@ -239,6 +244,8 @@ void TcpTransport::close_peer(NodeId peer) {
 
 void TcpTransport::close_conn(Conn& conn, bool notify) {
   if (conn.state == ConnState::kClosed) return;
+  ++closes_;
+  outq_bytes_ -= conn.outq.size() - conn.out_head;  // abandoned unsent bytes
   if (conn.connect_timer != TimerWheel::kInvalidTimer) {
     wheel_.cancel(conn.connect_timer);
     conn.connect_timer = TimerWheel::kInvalidTimer;
@@ -260,9 +267,11 @@ void TcpTransport::flush_outq(Conn& conn) {
     if (sent > 0) {
       conn.out_head += static_cast<std::size_t>(sent);
       bytes_sent_ += static_cast<std::uint64_t>(sent);
+      outq_bytes_ -= static_cast<std::size_t>(sent);
       continue;
     }
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++partial_drains_;
       // Partial drain: reclaim the consumed prefix once it is sizable,
       // otherwise repeated partial drains grow outq without bound
       // (send() caps only the *unsent* bytes).
@@ -337,7 +346,10 @@ void TcpTransport::reap_idle() {
   }
   for (const NodeId id : idle) {
     const auto it = conns_.find(id);
-    if (it != conns_.end()) close_conn(*it->second, /*notify=*/true);
+    if (it != conns_.end()) {
+      ++reaps_;
+      close_conn(*it->second, /*notify=*/true);
+    }
   }
 }
 
@@ -398,6 +410,7 @@ void TcpTransport::poll_once(double max_wait) {
           conn->last_activity = now();
           Conn& ref = *conn;
           register_conn(std::move(conn));
+          ++accepts_;
           if (handler_ != nullptr) handler_->on_peer_up(ref.id);
         }
         continue;
@@ -430,6 +443,37 @@ void TcpTransport::poll_once(double max_wait) {
     wheel_.advance(target - wheel_.now_tick());
   }
   reap_closed();
+}
+
+void TcpTransport::attach_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  // Pull-based gauges over the always-maintained counters: the IO hot
+  // path never sees the registry, and values are read only at snapshot
+  // time. Counter-like values still export monotonically.
+  const auto count = [&](const char* name, const std::uint64_t* v) {
+    registry.gauge(prefix + name,
+                   [v] { return static_cast<double>(*v); });
+  };
+  count("bytes_out", &bytes_sent_);
+  count("bytes_in", &bytes_received_);
+  count("sends", &sends_);
+  count("accepts", &accepts_);
+  count("connects_ok", &connects_ok_);
+  count("connects_failed", &connects_failed_);
+  count("connect_retries", &connect_retries_);
+  count("queue_drops", &refusals_);
+  count("closes", &closes_);
+  count("reaps", &reaps_);
+  count("partial_drains", &partial_drains_);
+  registry.gauge(prefix + "conns", [this] {
+    return static_cast<double>(open_connections());
+  });
+  registry.gauge(prefix + "outq_bytes", [this] {
+    return static_cast<double>(outq_bytes_);
+  });
+  registry.gauge(prefix + "outq_hwm", [this] {
+    return static_cast<double>(outq_hwm_);
+  });
 }
 
 bool TcpTransport::run_until(const std::function<bool()>& done,

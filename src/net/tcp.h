@@ -17,6 +17,9 @@
 ///  - The shared TimerWheel is advanced off the wall clock by the poll
 ///    loop, so node-level timers (gossip, TTL, pulls) fire with tick
 ///    granularity while the loop sleeps in poll().
+///  - The transport always maintains its traffic counters (plain integer
+///    adds); attach_metrics() exports them as pull-based gauges, so
+///    enabling telemetry adds zero cost to the IO hot path.
 
 #include <chrono>
 #include <cstdint>
@@ -28,6 +31,7 @@
 
 #include "net/timer_wheel.h"
 #include "net/transport.h"
+#include "obs/metrics_registry.h"
 
 namespace icollect::net {
 
@@ -88,6 +92,33 @@ class TcpTransport final : public Transport {
   [[nodiscard]] std::uint64_t connects_failed() const noexcept {
     return connects_failed_;
   }
+  [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
+  [[nodiscard]] std::uint64_t accepts() const noexcept { return accepts_; }
+  [[nodiscard]] std::uint64_t connects_ok() const noexcept {
+    return connects_ok_;
+  }
+  [[nodiscard]] std::uint64_t connect_retries() const noexcept {
+    return connect_retries_;
+  }
+  [[nodiscard]] std::uint64_t closes() const noexcept { return closes_; }
+  [[nodiscard]] std::uint64_t idle_reaps() const noexcept { return reaps_; }
+  [[nodiscard]] std::uint64_t partial_drains() const noexcept {
+    return partial_drains_;
+  }
+  /// Unsent bytes currently queued across all connections / the largest
+  /// such total ever observed.
+  [[nodiscard]] std::size_t send_queue_bytes() const noexcept {
+    return outq_bytes_;
+  }
+  [[nodiscard]] std::size_t send_queue_high_watermark() const noexcept {
+    return outq_hwm_;
+  }
+
+  /// Export the transport's counters and queue gauges into `registry`
+  /// as pull-based gauges under `prefix` (see docs/OBSERVABILITY.md for
+  /// the inventory). The registry must outlive the transport's use.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "tcp.");
 
  private:
   enum class ConnState { kConnecting, kUp, kClosed };
@@ -130,6 +161,15 @@ class TcpTransport final : public Transport {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t connects_failed_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t accepts_ = 0;
+  std::uint64_t connects_ok_ = 0;
+  std::uint64_t connect_retries_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t reaps_ = 0;
+  std::uint64_t partial_drains_ = 0;
+  std::size_t outq_bytes_ = 0;  ///< unsent bytes across all conns
+  std::size_t outq_hwm_ = 0;
 };
 
 }  // namespace icollect::net

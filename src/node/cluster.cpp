@@ -43,7 +43,7 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
     nc.seed = sim::splitmix64(cfg.seed + 0x1000 + i);
     peers_.push_back(std::make_unique<PeerNode>(
         nc, net_.endpoint(static_cast<net::NodeId>(i)), net_.timers(),
-        nullptr));
+        metrics, "peer" + std::to_string(i + 1) + "."));
   }
   for (std::size_t i = 0; i < cfg.num_servers; ++i) {
     NodeConfig nc;
@@ -57,7 +57,7 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
     servers_.push_back(std::make_unique<ServerNode>(
         nc,
         net_.endpoint(static_cast<net::NodeId>(cfg.num_peers + i)),
-        net_.timers(), nullptr));
+        net_.timers(), metrics, "server" + std::to_string(i) + "."));
     servers_.back()->set_decode_hook(
         [this](const coding::SegmentId& id, double) { on_decode(id); });
   }
@@ -111,7 +111,13 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
                    [this] { return normalized_throughput(); });
     metrics->gauge("cluster.mean_blocks_per_peer",
                    [this] { return mean_blocks_per_peer(); });
+    net_.attach_metrics(*metrics, "loopback.");
   }
+}
+
+void LoopbackCluster::set_trace_sink(p2p::TraceSink sink) {
+  for (auto& p : peers_) p->set_trace_sink(sink);
+  for (auto& s : servers_) s->set_trace_sink(sink);
 }
 
 void LoopbackCluster::schedule_sampler() {

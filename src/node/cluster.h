@@ -65,9 +65,16 @@ struct ClusterConfig {
 class LoopbackCluster {
  public:
   /// `metrics`, when given, receives cluster-level aggregate gauges
-  /// (cluster.*) suitable for an obs::Snapshotter time series.
+  /// (cluster.*), per-node gauges (peer<i>.* / server<i>.*, 1-based
+  /// peer numbering matching their NodeConfig ids), per-server latency
+  /// histograms, and the loopback hub's counters (loopback.*) — all
+  /// pull-based, so attaching metrics never perturbs the seeded RNG
+  /// streams and runs stay bit-reproducible.
   explicit LoopbackCluster(const ClusterConfig& cfg,
                            obs::MetricsRegistry* metrics = nullptr);
+
+  /// Fan one trace sink out to every node (each gets a copy).
+  void set_trace_sink(p2p::TraceSink sink);
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] net::LoopbackNet& net() noexcept { return net_; }

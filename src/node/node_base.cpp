@@ -25,6 +25,21 @@ NodeBase::NodeBase(const NodeConfig& cfg, net::Transport& transport,
     gauge("wire_decode_errors", &decode_errors_);
     gauge("version_rejects", &version_rejects_);
     gauge("send_refusals", &send_refusals_);
+    gauge("handshakes_ok", &handshakes_ok_);
+    gauge("segment_rejects", &segment_rejects_);
+    // One column per framing-error kind ("wire_err.bad-crc", ...), so a
+    // run's snapshots show *why* sessions died, not only that they did.
+    for (std::uint8_t s = 2; s < 8; ++s) {
+      const auto status = static_cast<wire::DecodeStatus>(s);
+      gauge((std::string{"wire_err."} + wire::to_string(status)).c_str(),
+            &decode_errors_by_[s]);
+    }
+    metrics_->gauge(metric_prefix_ + "peer_sessions", [this] {
+      return static_cast<double>(peer_conns_.size());
+    });
+    metrics_->gauge(metric_prefix_ + "server_sessions", [this] {
+      return static_cast<double>(server_conns_.size());
+    });
   }
 }
 
@@ -75,6 +90,7 @@ void NodeBase::on_bytes(net::NodeId conn,
     if (result.status == wire::DecodeStatus::kNeedMore) return;
     if (wire::is_error(result.status)) {
       ++decode_errors_;
+      ++decode_errors_by_[static_cast<std::size_t>(result.status)];
       end_session(conn, wire::ByeReason::kProtocolError);
       return;
     }
@@ -112,9 +128,11 @@ void NodeBase::handle_hello(Session& session, const wire::Hello& hello) {
   }
   if (hello.segment_size != cfg_.segment_size) {
     // Mixed-s populations cannot exchange coded blocks; refuse early.
+    ++segment_rejects_;
     end_session(session.conn, wire::ByeReason::kProtocolError);
     return;
   }
+  ++handshakes_ok_;
   session.remote = hello;
   session.version = hi;
   session.established = true;

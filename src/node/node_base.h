@@ -13,17 +13,20 @@
 /// and a counter, never an exception: malformed bytes from one peer
 /// must not take the node down.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/timer_wheel.h"
 #include "net/transport.h"
 #include "node/node_config.h"
 #include "obs/metrics_registry.h"
+#include "p2p/trace.h"
 #include "wire/frame.h"
 #include "wire/message.h"
 
@@ -64,12 +67,32 @@ class NodeBase : public net::TransportHandler {
   [[nodiscard]] std::uint64_t decode_errors() const noexcept {
     return decode_errors_;
   }
+  /// Session-ending decode errors of one specific kind.
+  [[nodiscard]] std::uint64_t decode_errors_by(
+      wire::DecodeStatus s) const noexcept {
+    return decode_errors_by_[static_cast<std::size_t>(s)];
+  }
   [[nodiscard]] std::uint64_t version_rejects() const noexcept {
     return version_rejects_;
   }
   [[nodiscard]] std::uint64_t send_refusals() const noexcept {
     return send_refusals_;
   }
+
+  // --- handshake outcomes -------------------------------------------------
+  [[nodiscard]] std::uint64_t handshakes_ok() const noexcept {
+    return handshakes_ok_;
+  }
+  [[nodiscard]] std::uint64_t segment_rejects() const noexcept {
+    return segment_rejects_;
+  }
+
+  /// Observe protocol-level events (inject/gossip/ttl/pull/decode) as
+  /// p2p::TraceEvents stamped with the wheel's time — the same stream
+  /// the simulator's engine emits, so one TraceBuffer / analysis script
+  /// serves both worlds. Pass nullptr-equivalent (default-constructed)
+  /// to detach.
+  void set_trace_sink(p2p::TraceSink sink) { trace_sink_ = std::move(sink); }
 
  protected:
   struct Session {
@@ -110,6 +133,14 @@ class NodeBase : public net::TransportHandler {
     return server_conns_;
   }
 
+  /// Emit one trace event stamped with the wheel's current time; a
+  /// single branch when no sink is installed.
+  void trace(p2p::TraceEventKind kind, std::size_t slot,
+             coding::SegmentId segment, std::uint64_t aux) {
+    if (!trace_sink_) return;
+    trace_sink_(p2p::TraceEvent{kind, wheel_.now(), slot, segment, aux});
+  }
+
   net::Transport& transport_;
   net::TimerWheel& wheel_;
   obs::MetricsRegistry* metrics_;
@@ -124,11 +155,15 @@ class NodeBase : public net::TransportHandler {
   std::vector<net::NodeId> peer_conns_;
   std::vector<net::NodeId> server_conns_;
   std::vector<std::uint8_t> frame_scratch_;
+  p2p::TraceSink trace_sink_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t decode_errors_ = 0;
+  std::array<std::uint64_t, 8> decode_errors_by_{};  ///< by DecodeStatus
   std::uint64_t version_rejects_ = 0;
   std::uint64_t send_refusals_ = 0;
+  std::uint64_t handshakes_ok_ = 0;
+  std::uint64_t segment_rejects_ = 0;
 };
 
 }  // namespace icollect::node

@@ -83,6 +83,7 @@ void PeerNode::do_inject() {
   const coding::SegmentId id{config().node_id, next_seq_++};
   own_segments_.insert(id);
   ++segments_injected_;
+  trace(p2p::TraceEventKind::kSegmentInjected, config().node_id, id, s);
 
   std::vector<std::vector<std::uint8_t>> originals;
   std::vector<std::uint32_t> crcs;
@@ -124,6 +125,7 @@ void PeerNode::on_ttl_expire(coding::BlockHandle handle) {
   const auto seg = buffer_.erase(handle);
   if (!seg) return;  // already evicted / dropped on ack
   ++ttl_expirations_;
+  trace(p2p::TraceEventKind::kTtlExpired, config().node_id, *seg, 0);
   reseed_own(*seg);
 }
 
@@ -180,6 +182,7 @@ void PeerNode::do_gossip() {
   if (send_message(target, wire::Message{wire::GossipBlock{
                                sb->recode(rng_)}})) {
     ++gossip_sent_;
+    trace(p2p::TraceEventKind::kGossipSent, config().node_id, seg, target);
   }
 }
 

@@ -28,7 +28,22 @@ ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
     gauge("forwarded_in", &forwarded_in_);
     gauge("acks_sent", &acks_sent_);
     gauge("segments_decoded", &segments_decoded_metric_);
+    metrics_->gauge(metric_prefix_ + "bank_in_progress", [this] {
+      return static_cast<double>(bank_.segments_in_progress());
+    });
+    metrics_->gauge(metric_prefix_ + "pending_pulls", [this] {
+      return static_cast<double>(pending_pulls_.size());
+    });
   }
+  // Latency histograms are always recorded; with metrics attached they
+  // live in the registry so snapshots export their quantiles.
+  pull_rtt_ = metrics_ != nullptr
+                  ? &metrics_->latency(metric_prefix_ + "pull_rtt")
+                  : &own_pull_rtt_;
+  decode_latency_ =
+      metrics_ != nullptr
+          ? &metrics_->latency(metric_prefix_ + "decode_latency")
+          : &own_decode_latency_;
 }
 
 void ServerNode::start() {
@@ -64,9 +79,11 @@ void ServerNode::do_pull() {
   }
   const net::NodeId target =
       candidates[rng_.uniform_index(candidates.size())];
-  if (send_message(target,
-                   wire::Message{wire::PullRequest{next_token_++}})) {
+  const std::uint32_t token = next_token_++;
+  if (send_message(target, wire::Message{wire::PullRequest{token}})) {
     ++pulls_sent_;
+    if (pending_pulls_.size() >= kMaxPendingPulls) pending_pulls_.clear();
+    pending_pulls_.emplace(token, t);
   }
 }
 
@@ -74,6 +91,11 @@ void ServerNode::handle_pull_block(Session& session,
                                    wire::PullBlock&& reply) {
   occupancy_[session.conn] =
       OccupancyInfo{reply.occupancy, wheel_.now()};
+  if (const auto it = pending_pulls_.find(reply.token);
+      it != pending_pulls_.end()) {
+    pull_rtt_->record_seconds(wheel_.now() - it->second);
+    pending_pulls_.erase(it);
+  }
   if (!reply.has_block) {
     ++pull_empty_replies_;
     return;
@@ -83,13 +105,21 @@ void ServerNode::handle_pull_block(Session& session,
       reply.block.is_degenerate()) {
     return;  // junk a conforming peer never sends
   }
-  offer_to_bank(reply.block, /*from_pull=*/true);
+  offer_to_bank(reply.block, /*from_pull=*/true, session.conn);
 }
 
 void ServerNode::offer_to_bank(const coding::CodedBlock& block,
-                               bool from_pull) {
+                               bool from_pull, net::NodeId from_conn) {
+  // Stamp the segment's first sighting before the offer: if this very
+  // block completes the decode, on_bank_decode fires inside offer() and
+  // consumes the stamp.
+  if (!bank_.is_decoded(block.segment)) {
+    first_seen_.emplace(block.segment, wheel_.now());
+  }
   const auto result = bank_.offer(block, wheel_.now());
   if (!from_pull) return;  // forwarded blocks don't count as pulls
+  trace(p2p::TraceEventKind::kServerPull, from_conn, block.segment,
+        result == p2p::ServerBank::PullResult::kInnovative ? 1 : 0);
   switch (result) {
     case p2p::ServerBank::PullResult::kInnovative: {
       ++innovative_pulls_;
@@ -118,6 +148,12 @@ void ServerNode::on_bank_decode(const p2p::ServerBank::DecodeEvent& event) {
   // decoded, so count the event rather than reading bank state.
   ++segments_decoded_metric_;
   ++acks_sent_;
+  if (const auto it = first_seen_.find(event.id); it != first_seen_.end()) {
+    decode_latency_->record_seconds(event.when - it->second);
+    first_seen_.erase(it);
+  }
+  trace(p2p::TraceEventKind::kSegmentDecoded, 0, event.id,
+        config().segment_size);
   const wire::Message ack{wire::SegmentDecodedAck{event.id}};
   // Iterate copies: send_message can tear down a session (transport
   // send failure -> on_peer_down -> drop_from_roster) mid-loop.
@@ -137,7 +173,7 @@ void ServerNode::handle_message(Session& session, wire::Message&& message) {
     ++forwarded_in_;
     if (gossip->block.segment_size() == config().segment_size &&
         !gossip->block.is_degenerate()) {
-      offer_to_bank(gossip->block, /*from_pull=*/false);
+      offer_to_bank(gossip->block, /*from_pull=*/false, session.conn);
     }
   } else if (std::holds_alternative<wire::SegmentDecodedAck>(message)) {
     // Another server finished a segment we are still collecting; our

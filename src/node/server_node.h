@@ -31,6 +31,7 @@
 #include "node/node_base.h"
 #include "p2p/server.h"
 #include "sim/random.h"
+#include "stats/latency_histogram.h"
 
 namespace icollect::node {
 
@@ -86,6 +87,20 @@ class ServerNode final : public NodeBase {
     return bank_.segments_decoded();
   }
 
+  // --- latency ------------------------------------------------------------
+  /// PULL_REQUEST→PULL_BLOCK round trips, in the wheel's time base
+  /// (virtual seconds over loopback, wall seconds over TCP). Always
+  /// recorded; lives in the registry (as "<prefix>pull_rtt") when
+  /// metrics are attached so snapshots export its quantiles.
+  [[nodiscard]] const stats::LatencyHistogram& pull_rtt() const noexcept {
+    return *pull_rtt_;
+  }
+  /// First block of a segment offered to the bank → segment decoded.
+  [[nodiscard]] const stats::LatencyHistogram& decode_latency()
+      const noexcept {
+    return *decode_latency_;
+  }
+
  protected:
   [[nodiscard]] wire::NodeRole role() const noexcept override {
     return wire::NodeRole::kServer;
@@ -97,12 +112,17 @@ class ServerNode final : public NodeBase {
   void schedule_pull();
   void do_pull();
   void handle_pull_block(Session& session, wire::PullBlock&& reply);
-  void offer_to_bank(const coding::CodedBlock& block, bool from_pull);
+  void offer_to_bank(const coding::CodedBlock& block, bool from_pull,
+                     net::NodeId from_conn);
   void on_bank_decode(const p2p::ServerBank::DecodeEvent& event);
 
   /// Seconds after which a zero-occupancy report expires and the peer
   /// is probed again.
   static constexpr double kOccupancyRefresh = 1.0;
+
+  /// In-flight pull budget: tokens whose replies never arrive (dead
+  /// peer, dropped frame) are forgotten wholesale past this many.
+  static constexpr std::size_t kMaxPendingPulls = 65536;
 
   sim::Rng rng_;
   p2p::ServerBank bank_;
@@ -114,6 +134,17 @@ class ServerNode final : public NodeBase {
     double reported_at = 0.0;
   };
   std::unordered_map<net::NodeId, OccupancyInfo> occupancy_;
+
+  /// PULL_REQUEST send times by token, awaiting their PULL_BLOCK.
+  std::unordered_map<std::uint32_t, double> pending_pulls_;
+  /// When the bank first saw each still-undecoded segment.
+  std::unordered_map<coding::SegmentId, double> first_seen_;
+  /// Point at registry-owned histograms when metrics are attached, else
+  /// at the own_* members — the hot path is identical either way.
+  stats::LatencyHistogram* pull_rtt_ = nullptr;
+  stats::LatencyHistogram* decode_latency_ = nullptr;
+  stats::LatencyHistogram own_pull_rtt_;
+  stats::LatencyHistogram own_decode_latency_;
 
   std::uint64_t pulls_sent_ = 0;
   std::uint64_t pull_replies_ = 0;

@@ -64,6 +64,16 @@ stats::Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
   return *m.hist;
 }
 
+stats::LatencyHistogram& MetricsRegistry::latency(std::string_view name) {
+  if (const Metric* m = find(name)) {
+    if (m->kind != Kind::kLatency) kind_mismatch(name);
+    return *m->latency;
+  }
+  Metric& m = create(name, Kind::kLatency);
+  m.latency = std::make_unique<stats::LatencyHistogram>();
+  return *m.latency;
+}
+
 bool MetricsRegistry::contains(std::string_view name) const {
   return find(name) != nullptr;
 }
@@ -77,6 +87,13 @@ const Counter* MetricsRegistry::find_counter(std::string_view name) const {
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
   const Metric* m = find(name);
   return m != nullptr && m->kind == Kind::kGauge ? m->gauge.get() : nullptr;
+}
+
+const stats::LatencyHistogram* MetricsRegistry::find_latency(
+    std::string_view name) const {
+  const Metric* m = find(name);
+  return m != nullptr && m->kind == Kind::kLatency ? m->latency.get()
+                                                   : nullptr;
 }
 
 void MetricsRegistry::for_each_sample(
@@ -97,6 +114,34 @@ void MetricsRegistry::for_each_sample(
         fn(m.name + ".p99", h.quantile(0.99));
         break;
       }
+      case Kind::kLatency: {
+        const stats::LatencyHistogram& h = *m.latency;
+        fn(m.name + ".count", static_cast<double>(h.count()));
+        fn(m.name + ".p50", h.quantile_seconds(0.50));
+        fn(m.name + ".p90", h.quantile_seconds(0.90));
+        fn(m.name + ".p99", h.quantile_seconds(0.99));
+        fn(m.name + ".max", h.max_seconds());
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::reset() {
+  for (Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        m.counter->reset();
+        break;
+      case Kind::kGauge:
+        m.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        m.hist->reset();
+        break;
+      case Kind::kLatency:
+        m.latency->reset();
+        break;
     }
   }
 }

@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file metrics_registry.h
-/// Central registry of named metrics — counters, gauges, and fixed-bucket
-/// histograms — that the Snapshotter samples into time series.
+/// Central registry of named metrics — counters, gauges, fixed-bucket
+/// histograms, and exponential-bucket latency histograms — that the
+/// Snapshotter samples into time series.
 ///
 /// Design rules:
 ///  - Registration (cold path) hands back a stable reference; the hot
@@ -16,6 +17,11 @@
 ///    NetworkMetrics are exported — see p2p/network_telemetry.h).
 ///  - Export order is registration order, so snapshot columns are stable
 ///    within a run.
+///  - Re-registering a name with the *same* metric kind is find-or-create
+///    (the original object is returned); re-registering it as a
+///    *different* kind throws std::invalid_argument — two subsystems
+///    silently sharing one column under different semantics is the bug
+///    this catches (see tests/obs_metrics_registry_test.cpp).
 
 #include <cstdint>
 #include <functional>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "stats/histogram.h"
+#include "stats/latency_histogram.h"
 
 namespace icollect::obs {
 
@@ -51,6 +58,9 @@ class Gauge {
   [[nodiscard]] double value() const {
     return provider_ ? provider_() : value_;
   }
+  /// Zero the pushed value. A provider, if set, is kept — pull gauges
+  /// read live state and have nothing to reset.
+  void reset() noexcept { value_ = 0.0; }
 
  private:
   double value_ = 0.0;
@@ -74,15 +84,21 @@ class MetricsRegistry {
   /// Find-or-create ignores (lo, hi, bins) when the name already exists.
   stats::Histogram& histogram(std::string_view name, double lo, double hi,
                               std::size_t bins);
+  /// Exponential-bucket latency histogram (records seconds, exports
+  /// <name>.count/.p50/.p90/.p99/.max in seconds).
+  stats::LatencyHistogram& latency(std::string_view name);
 
   [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
   [[nodiscard]] bool contains(std::string_view name) const;
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const stats::LatencyHistogram* find_latency(
+      std::string_view name) const;
 
   /// Visit every exported sample in registration order. Counters and
   /// gauges export one value under their own name; a histogram expands
-  /// into <name>.count, <name>.p50, <name>.p90, <name>.p99.
+  /// into <name>.count, <name>.p50, <name>.p90, <name>.p99; a latency
+  /// histogram additionally exports <name>.max.
   void for_each_sample(
       const std::function<void(std::string_view name, double value)>& fn)
       const;
@@ -90,8 +106,14 @@ class MetricsRegistry {
   /// The exported column names, in for_each_sample order.
   [[nodiscard]] std::vector<std::string> sample_names() const;
 
+  /// Zero every metric's *values* for test isolation: counters to 0,
+  /// histogram bins cleared, pushed gauge values to 0. Registrations,
+  /// handed-out references, gauge providers, and export order all
+  /// survive — only the accumulated samples are discarded.
+  void reset();
+
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLatency };
   struct Metric {
     std::string name;
     Kind kind{};
@@ -100,6 +122,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<stats::Histogram> hist;
+    std::unique_ptr<stats::LatencyHistogram> latency;
   };
 
   [[nodiscard]] const Metric* find(std::string_view name) const;

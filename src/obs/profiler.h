@@ -14,6 +14,10 @@
 /// Scopes nest: the profiler tracks the live nesting depth, and a
 /// timer's totals are *inclusive* of scopes opened inside it (e.g. the
 /// GF(2^8) decode scope runs inside the server-pull scope).
+///
+/// By default scopes read steady_clock directly. set_clock() swaps in a
+/// ClockSource (a ManualClock in tests, a virtual time base in a
+/// harness) — scopes then time themselves with clock->now_ns().
 
 #include <chrono>
 #include <cstdint>
@@ -22,6 +26,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/clock.h"
 
 namespace icollect::obs {
 
@@ -64,6 +70,19 @@ class Profiler {
   /// Find-or-create the cell for `name` (cold path; stable address).
   Timer& timer(std::string_view name);
 
+  /// Time scopes from `clock` instead of steady_clock (nullptr reverts).
+  /// `clock` is not owned and must outlive the profiler.
+  void set_clock(const ClockSource* clock) noexcept { clock_ = clock; }
+
+  /// The current reading of whichever clock scopes use, in ns.
+  [[nodiscard]] std::uint64_t read_ns() const {
+    if (clock_ != nullptr) return clock_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   /// Number of currently-open scopes (0 outside any instrumented region).
   [[nodiscard]] int depth() const noexcept { return depth_; }
 
@@ -82,6 +101,7 @@ class Profiler {
   friend class ProfScope;
   std::deque<Timer> timers_;  // deque: stable addresses
   std::unordered_map<std::string, Timer*> index_;
+  const ClockSource* clock_ = nullptr;
   int depth_ = 0;
 };
 
@@ -92,14 +112,12 @@ class ProfScope {
     if (t == nullptr) return;
     t_ = t;
     ++t->owner_->depth_;
-    start_ = std::chrono::steady_clock::now();
+    start_ns_ = t->owner_->read_ns();
   }
   ~ProfScope() {
     if (t_ == nullptr) return;
-    const auto ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
+    const std::uint64_t end_ns = t_->owner_->read_ns();
+    const std::uint64_t ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
     --t_->owner_->depth_;
     Profiler::Stat& s = t_->stat_;
     ++s.count;
@@ -111,7 +129,7 @@ class ProfScope {
 
  private:
   Profiler::Timer* t_ = nullptr;
-  std::chrono::steady_clock::time_point start_{};
+  std::uint64_t start_ns_ = 0;
 };
 
 }  // namespace icollect::obs

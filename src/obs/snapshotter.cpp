@@ -30,6 +30,19 @@ Snapshotter::Snapshotter(const MetricsRegistry& registry, double interval)
   ICOLLECT_EXPECTS(interval > 0.0);
 }
 
+Snapshotter::Snapshotter(const MetricsRegistry& registry, double interval,
+                         const ClockSource* clock)
+    : Snapshotter{registry, interval} {
+  ICOLLECT_EXPECTS(clock != nullptr);
+  clock_ = clock;
+  next_due_ = clock->now() + interval;
+}
+
+double Snapshotter::read_now() const {
+  ICOLLECT_EXPECTS(clock_ != nullptr);
+  return clock_->now();
+}
+
 void Snapshotter::open_jsonl(const std::string& path) {
   open_or_throw(jsonl_, path);
 }

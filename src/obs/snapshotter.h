@@ -11,6 +11,11 @@
 /// each chunk, so samples land at exact virtual times regardless of the
 /// event mix (see core::CollectionSystem::run).
 ///
+/// Live runtimes attach a ClockSource instead (wall clock or an engine's
+/// own time base) and call the no-argument start()/sample_if_due()
+/// overloads; the sampler then stamps rows from the clock, so the sim
+/// and the live tools emit the same schema from the same code.
+///
 /// JSONL row: {"t":12.5,"<name>":<value>,...} — flat, one object per
 /// line, columns in metric registration order. CSV mirrors the same
 /// columns with a header row. Non-finite values export as JSON null and
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.h"
 #include "obs/metrics_registry.h"
 
 namespace icollect::obs {
@@ -30,6 +36,12 @@ class Snapshotter {
   /// `interval` units of virtual time. interval must be > 0.
   Snapshotter(const MetricsRegistry& registry, double interval);
 
+  /// Clock-driven variant: rows stamp themselves from `clock` (not
+  /// owned; must outlive the snapshotter) via the no-argument
+  /// start()/sample()/sample_if_due() overloads below.
+  Snapshotter(const MetricsRegistry& registry, double interval,
+              const ClockSource* clock);
+
   Snapshotter(const Snapshotter&) = delete;
   Snapshotter& operator=(const Snapshotter&) = delete;
 
@@ -39,23 +51,30 @@ class Snapshotter {
 
   /// Re-anchor the cadence: the next sample is due at `now` + interval.
   void start(double now) { next_due_ = now + interval_; }
+  void start() { start(read_now()); }
 
   [[nodiscard]] double interval() const noexcept { return interval_; }
   [[nodiscard]] double next_due() const noexcept { return next_due_; }
 
   /// Take a sample stamped `now` unconditionally.
   void sample(double now);
+  void sample() { sample(read_now()); }
 
   /// Take at most one sample if `now` has reached next_due(); advances
   /// next_due past `now` by whole intervals. Returns whether it sampled.
   bool sample_if_due(double now);
+  bool sample_if_due() { return sample_if_due(read_now()); }
 
   [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
 
   void flush();
 
  private:
+  /// The attached clock's reading; requires a clock-driven snapshotter.
+  [[nodiscard]] double read_now() const;
+
   const MetricsRegistry* registry_;
+  const ClockSource* clock_ = nullptr;
   double interval_;
   double next_due_;
   std::vector<std::string> columns_;  // fixed at the first sample

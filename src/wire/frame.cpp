@@ -226,6 +226,7 @@ FrameDecoder::Result FrameDecoder::next() {
   const auto fail = [this](DecodeStatus s) -> Result {
     latched_ = s;
     ++errors_;
+    ++by_status_[static_cast<std::size_t>(s)];
     return {s, {}};
   };
   if (buffered_bytes() < kFrameHeaderBytes) {
@@ -262,6 +263,7 @@ FrameDecoder::Result FrameDecoder::next() {
 }
 
 void FrameDecoder::reset() {
+  if (is_error(latched_)) ++resyncs_;
   buf_.clear();
   head_ = 0;
   latched_ = DecodeStatus::kNeedMore;

@@ -115,6 +115,14 @@ class FrameDecoder {
     return frames_;
   }
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  /// Errors of one specific kind (counted once per latch, not per
+  /// repeated next() call on a latched decoder). Error statuses only.
+  [[nodiscard]] std::uint64_t errors_by(DecodeStatus s) const noexcept {
+    return by_status_[static_cast<std::size_t>(s)];
+  }
+  /// reset() calls that discarded a latched error — the session owner
+  /// recovering framing after a poisoned stream.
+  [[nodiscard]] std::uint64_t resyncs() const noexcept { return resyncs_; }
   [[nodiscard]] std::size_t max_body_bytes() const noexcept {
     return max_body_;
   }
@@ -126,6 +134,8 @@ class FrameDecoder {
   DecodeStatus latched_ = DecodeStatus::kNeedMore;
   std::uint64_t frames_ = 0;
   std::uint64_t errors_ = 0;
+  std::array<std::uint64_t, 8> by_status_{};  ///< indexed by DecodeStatus
+  std::uint64_t resyncs_ = 0;
 };
 
 /// Parse one message body of the given type (the bytes between two

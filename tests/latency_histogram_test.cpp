@@ -1,0 +1,140 @@
+/// Tests for the exponential-bucket LatencyHistogram: bucket geometry
+/// (index/floor/width round-trips across the uint64 range), the bounded
+/// relative error of quantiles, exactness below one octave, merge and
+/// reset semantics, and the seconds<->nanoseconds convention shared by
+/// virtual-time and wall-clock latencies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/latency_histogram.h"
+
+namespace icollect::stats {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.quantile(0.5), 0U);
+  EXPECT_EQ(h.quantile(1.0), 0U);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, BucketGeometryRoundTrips) {
+  // Every bucket's floor must map back to that bucket, and the last
+  // value of the bucket (floor + width - 1) must too; floor + width must
+  // land in the next non-empty bucket.
+  const std::vector<std::uint64_t> probes = {
+      0,   1,    63,   64,        65,         127,        128,
+      255, 4096, 5000, 1'000'000, 1ULL << 40, (1ULL << 40) + 12345,
+      std::numeric_limits<std::uint64_t>::max() / 2};
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    const std::uint64_t floor = LatencyHistogram::bucket_floor(idx);
+    const std::uint64_t width = LatencyHistogram::bucket_width(idx);
+    EXPECT_LE(floor, v) << "v=" << v;
+    EXPECT_LT(v, floor + width) << "v=" << v;
+    EXPECT_EQ(LatencyHistogram::bucket_index(floor), idx) << "v=" << v;
+    EXPECT_EQ(LatencyHistogram::bucket_index(floor + width - 1), idx)
+        << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100'000; v += 37) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, ExactBelowOneOctave) {
+  // Values < 2^kSubBits each get their own unit bucket, so quantiles of
+  // small samples are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 50U);
+  EXPECT_EQ(h.quantile(0.5), 25U);
+  EXPECT_EQ(h.quantile(0.1), 5U);
+  EXPECT_EQ(h.quantile(1.0), 50U);
+  EXPECT_EQ(h.max(), 50U);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorBounded) {
+  // Uniform samples over several octaves: every quantile must be within
+  // the documented 2^-(kSubBits+1) relative error (~0.8%).
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 20'000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;  // LCG
+    const std::uint64_t v = 1'000 + (x >> 40);  // ~[1e3, 1.7e7]
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double tol =
+      1.0 / static_cast<double>(1ULL << (LatencyHistogram::kSubBits + 1));
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto exact = static_cast<double>(
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))]);
+    const auto approx = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(approx / exact, 1.0, 2.0 * tol) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), samples.back());
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedMax) {
+  LatencyHistogram h;
+  h.record(1000);  // single sample: every quantile is that sample's bucket
+  EXPECT_LE(h.quantile(0.99), 1000U);
+  EXPECT_EQ(h.quantile(1.0), 1000U);
+}
+
+TEST(LatencyHistogram, SecondsRoundTripAsNanoseconds) {
+  LatencyHistogram h;
+  h.record_seconds(0.002);  // 2ms -> 2'000'000 ns
+  h.record_seconds(-1.0);   // clamps to 0
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_EQ(h.max(), 2'000'000U);
+  EXPECT_NEAR(h.max_seconds(), 0.002, 1e-12);
+  EXPECT_NEAR(h.quantile_seconds(1.0), 0.002, 1e-12);
+}
+
+TEST(LatencyHistogram, MergeFoldsCountsAndMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200U);
+  EXPECT_EQ(a.max(), 1'000'000U);
+  EXPECT_EQ(a.quantile(0.25), 10U);
+  const double rel = static_cast<double>(a.quantile(0.9)) / 1e6;
+  EXPECT_NEAR(rel, 1.0, 0.01);
+  // Merging an empty histogram is a no-op.
+  const std::uint64_t before = a.count();
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(LatencyHistogram, ResetClearsSamplesKeepsWorking) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.quantile(0.5), 0U);
+  h.record(7);
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_EQ(h.quantile(1.0), 7U);
+}
+
+}  // namespace
+}  // namespace icollect::stats

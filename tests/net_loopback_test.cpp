@@ -15,6 +15,7 @@
 #include "net/loopback.h"
 #include "net/timer_wheel.h"
 #include "net/transport.h"
+#include "obs/metrics_registry.h"
 
 namespace icollect::net {
 namespace {
@@ -220,6 +221,76 @@ TEST(Loopback, BackpressureCapsInFlightBytes) {
   // Delivery drains the in-flight budget; sending works again.
   net.run_for(1.1);
   EXPECT_TRUE(a.send(b.id(), bytes_of("again")));
+}
+
+TEST(Loopback, InstrumentationCountersTrackTraffic) {
+  LoopbackNet::Options opts;
+  opts.chunk_bytes = 4;
+  opts.latency = 0.05;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+
+  ASSERT_TRUE(a.send(b.id(), bytes_of("0123456789")));  // 10 bytes
+  // In flight: sent but not yet delivered.
+  EXPECT_EQ(net.bytes_sent(), 10U);
+  EXPECT_EQ(net.in_flight_bytes(), 10U);
+  EXPECT_EQ(net.in_flight_high_watermark(), 10U);
+  EXPECT_EQ(net.deliveries(), 0U);
+
+  net.run_for(0.06);
+  EXPECT_EQ(net.in_flight_bytes(), 0U);
+  EXPECT_EQ(net.deliveries(), 1U);  // one send...
+  EXPECT_EQ(net.chunks(), 3U);      // ...split into 4+4+2 reads
+  EXPECT_EQ(net.bytes_delivered(), 10U);
+  // The high watermark survives the drain.
+  EXPECT_EQ(net.in_flight_high_watermark(), 10U);
+}
+
+TEST(Loopback, DroppedSendsCountAsSentNotInFlight) {
+  LoopbackNet::Options opts;
+  opts.drop_probability = 0.5;
+  opts.latency = 10.0;  // nothing delivers during the test
+  opts.seed = 3;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  net.connect(a.id(), b.id());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.send(b.id(), bytes_of("x")));  // "sent" from a's view
+  }
+  EXPECT_EQ(net.bytes_sent(), 100U);
+  EXPECT_GT(net.drops(), 0U);
+  // Dropped bytes were never enqueued: only survivors are in flight.
+  EXPECT_EQ(net.in_flight_bytes(), 100U - net.drops());
+  EXPECT_EQ(net.deliveries(), 0U);
+}
+
+TEST(Loopback, AttachMetricsExportsPullGauges) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  icollect::obs::MetricsRegistry reg;
+  net.attach_metrics(reg, "lo.");
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  ASSERT_TRUE(a.send(b.id(), bytes_of("hello")));
+  net.run_for(0.01);
+
+  // Gauges are pull-based: they read the live counters at sample time.
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.sends")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.bytes_out")->value(), 5.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.bytes_in")->value(), 5.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.deliveries")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.drops")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.in_flight_bytes")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.in_flight_hwm")->value(), 5.0);
+  ASSERT_TRUE(a.send(b.id(), bytes_of("!!")));
+  EXPECT_DOUBLE_EQ(reg.find_gauge("lo.sends")->value(), 2.0);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "obs/metrics_registry.h"
 
 namespace icollect::net {
 namespace {
@@ -173,6 +174,71 @@ TEST(Tcp, ConnectToDeadPortFailsAfterRetries) {
 TEST(Tcp, SendToUnknownConnRefused) {
   TcpTransport t;
   EXPECT_FALSE(t.send(12345, bytes_of("x")));
+}
+
+TEST(Tcp, InstrumentationCountersTrackLifecycle) {
+  TcpTransport server;
+  TcpTransport client;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+
+  obs::MetricsRegistry reg;
+  client.attach_metrics(reg, "cli.");
+
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  }));
+  EXPECT_EQ(client.connects_ok(), 1U);
+  EXPECT_EQ(client.accepts(), 0U);
+  EXPECT_EQ(server.accepts(), 1U);
+
+  ASSERT_TRUE(client.send(conn, bytes_of("ping")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups[0]].size() >= 4;
+  }));
+  EXPECT_EQ(client.sends(), 1U);
+  EXPECT_GE(client.bytes_sent(), 4U);
+  EXPECT_EQ(client.send_queue_bytes(), 0U);  // fully drained
+  EXPECT_GE(client.send_queue_high_watermark(), 4U);
+
+  // The registry gauges read the same live counters.
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cli.sends")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cli.connects_ok")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cli.outq_bytes")->value(), 0.0);
+  EXPECT_GE(reg.find_gauge("cli.bytes_out")->value(), 4.0);
+
+  client.close_peer(conn);
+  EXPECT_EQ(client.closes(), 1U);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cli.closes")->value(), 1.0);
+}
+
+TEST(Tcp, ConnectRetriesAreCounted) {
+  std::uint16_t dead_port = 0;
+  {
+    TcpTransport probe;
+    dead_port = probe.listen("127.0.0.1", 0);
+  }
+  TcpTransport::Options opts;
+  opts.connect_timeout = 0.3;
+  opts.connect_retries = 2;
+  opts.retry_backoff = 0.02;
+  TcpTransport client{opts};
+  RecordingHandler hc;
+  client.set_handler(&hc);
+  client.connect("127.0.0.1", dead_port);
+  const double t0 = client.now();
+  while (client.now() - t0 < 10.0 && hc.downs.empty()) {
+    client.poll_once(0.01);
+  }
+  ASSERT_EQ(hc.downs.size(), 1U);
+  // First attempt is not a retry; the two extra attempts are.
+  EXPECT_EQ(client.connect_retries(), 2U);
+  EXPECT_EQ(client.connects_failed(), 1U);
+  EXPECT_EQ(client.connects_ok(), 0U);
 }
 
 }  // namespace

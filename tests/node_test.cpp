@@ -15,6 +15,8 @@
 #include "common/crc32.h"
 #include "net/loopback.h"
 #include "node/cluster.h"
+#include "obs/metrics_registry.h"
+#include "p2p/trace.h"
 #include "node/node_config.h"
 #include "node/peer_node.h"
 #include "node/server_node.h"
@@ -188,6 +190,117 @@ NodeConfig peer_config(std::uint32_t id) {
   cfg.gamma = 1.0;
   cfg.seed = id;
   return cfg;
+}
+
+TEST(NodeCluster, TelemetryDoesNotPerturbDeterminism) {
+  // Attaching a metrics registry and a trace sink must not change one
+  // bit of the run: all instrumentation is pull-based or passive.
+  const auto run = [](bool instrumented) {
+    obs::MetricsRegistry reg;
+    std::vector<p2p::TraceEvent> events;
+    LoopbackCluster cluster{small_cluster_config(),
+                            instrumented ? &reg : nullptr};
+    if (instrumented) {
+      cluster.set_trace_sink(
+          [&events](const p2p::TraceEvent& e) { events.push_back(e); });
+    }
+    cluster.run_for(25.0);
+    return std::array<std::uint64_t, 5>{
+        cluster.segments_injected(),
+        static_cast<std::uint64_t>(cluster.segments_decoded()),
+        cluster.innovative_pulls(), cluster.pulls_sent(),
+        cluster.gossip_sent()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(NodeCluster, LatencyHistogramsPopulatedByCollection) {
+  obs::MetricsRegistry reg;
+  LoopbackCluster cluster{small_cluster_config(), &reg};
+  ASSERT_TRUE(cluster.run_to_completion(300.0));
+  const double t = cluster.now();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& rtt = cluster.server(i).pull_rtt();
+    // Every answered pull recorded an RTT sample.
+    EXPECT_GE(rtt.count(), cluster.server(i).pull_replies());
+    EXPECT_GT(rtt.quantile_seconds(0.5), 0.0);
+    EXPECT_LE(rtt.max_seconds(), t);
+    // RTT over the loopback is at least the two-way link latency.
+    EXPECT_GE(rtt.quantile_seconds(0.5),
+              2.0 * cluster.config().net.latency - 1e-9);
+
+    const auto& dl = cluster.server(i).decode_latency();
+    EXPECT_EQ(dl.count(), cluster.server(i).segments_decoded());
+    EXPECT_GT(dl.quantile_seconds(0.5), 0.0);
+    EXPECT_LE(dl.max_seconds(), t);
+  }
+  // The registry sees the same histograms under the per-server prefix.
+  ASSERT_NE(reg.find_latency("server0.pull_rtt"), nullptr);
+  EXPECT_EQ(reg.find_latency("server0.pull_rtt")->count(),
+            cluster.server(0).pull_rtt().count());
+}
+
+TEST(NodeCluster, HandshakeAndWireErrorCountersExported) {
+  obs::MetricsRegistry reg;
+  const auto cfg = small_cluster_config();
+  LoopbackCluster cluster{cfg, &reg};
+  cluster.run_for(5.0);
+  // Full mesh: every peer handshakes with every other node; both ends
+  // count, so the cluster-wide total is twice the edge count.
+  std::uint64_t handshakes = 0;
+  for (std::size_t i = 0; i < cfg.num_peers; ++i) {
+    handshakes += cluster.peer(i).handshakes_ok();
+    EXPECT_EQ(cluster.peer(i).decode_errors(), 0U);
+    EXPECT_EQ(
+        cluster.peer(i).decode_errors_by(wire::DecodeStatus::kBadCrc), 0U);
+  }
+  for (std::size_t i = 0; i < cfg.num_servers; ++i) {
+    handshakes += cluster.server(i).handshakes_ok();
+  }
+  const std::size_t n = cfg.num_peers + cfg.num_servers;
+  EXPECT_EQ(handshakes, n * (n - 1));
+  // Roster occupancy gauges reflect the full mesh.
+  EXPECT_DOUBLE_EQ(reg.find_gauge("peer1.peer_sessions")->value(),
+                   static_cast<double>(cfg.num_peers - 1));
+  EXPECT_DOUBLE_EQ(reg.find_gauge("peer1.server_sessions")->value(),
+                   static_cast<double>(cfg.num_servers));
+  EXPECT_DOUBLE_EQ(reg.find_gauge("peer1.wire_err.bad-crc")->value(), 0.0);
+}
+
+TEST(NodeCluster, TraceSinkSeesProtocolLifecycle) {
+  obs::MetricsRegistry reg;
+  std::vector<p2p::TraceEvent> events;
+  LoopbackCluster cluster{small_cluster_config(), &reg};
+  cluster.set_trace_sink(
+      [&events](const p2p::TraceEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(cluster.run_to_completion(300.0));
+
+  std::uint64_t injects = 0;
+  std::uint64_t decodes = 0;
+  std::uint64_t gossips = 0;
+  std::uint64_t pulls = 0;
+  std::uint64_t innovative = 0;
+  double prev = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.at, prev);  // single virtual clock: nondecreasing
+    prev = e.at;
+    switch (e.kind) {
+      case p2p::TraceEventKind::kSegmentInjected: ++injects; break;
+      case p2p::TraceEventKind::kSegmentDecoded: ++decodes; break;
+      case p2p::TraceEventKind::kGossipSent: ++gossips; break;
+      case p2p::TraceEventKind::kServerPull:
+        ++pulls;
+        innovative += e.aux;
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(injects, cluster.segments_injected());
+  // Each server traces its own decode of each segment.
+  EXPECT_EQ(decodes, cluster.segments_injected() * 2U);
+  EXPECT_EQ(gossips, cluster.gossip_sent());
+  EXPECT_EQ(innovative, cluster.innovative_pulls());
+  EXPECT_LE(pulls, cluster.pulls_sent());  // empty replies don't trace
 }
 
 TEST(NodeProtocol, HandshakeEstablishesRosters) {

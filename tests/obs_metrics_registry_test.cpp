@@ -1,6 +1,7 @@
 /// \file obs_metrics_registry_test.cpp
 /// Registry semantics: find-or-create stability, kind-mismatch errors,
-/// pull-based gauges, histogram column expansion, export ordering.
+/// pull-based gauges, histogram and latency column expansion, export
+/// ordering, and whole-registry reset() for test isolation.
 
 #include "obs/metrics_registry.h"
 
@@ -56,8 +57,25 @@ TEST(MetricsRegistry, KindMismatchThrows) {
   reg.counter("x");
   EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
   EXPECT_THROW(reg.histogram("x", 0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(reg.latency("x"), std::invalid_argument);
   reg.gauge("g");
   EXPECT_THROW(reg.counter("g"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, DuplicateRegistrationContract) {
+  // Same name + same kind: find-or-create returns the original and the
+  // registry does not grow. Same name + different kind: throws, and the
+  // failed call must not have disturbed the existing metric.
+  MetricsRegistry reg;
+  auto& lat = reg.latency("rtt");
+  lat.record(100);
+  EXPECT_EQ(&reg.latency("rtt"), &lat);
+  EXPECT_EQ(reg.size(), 1U);
+  EXPECT_THROW(reg.counter("rtt"), std::invalid_argument);
+  EXPECT_THROW(reg.gauge("rtt"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("rtt", 0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1U);
+  EXPECT_EQ(reg.latency("rtt").count(), 1U);
 }
 
 TEST(MetricsRegistry, Lookups) {
@@ -102,6 +120,67 @@ TEST(MetricsRegistry, HistogramExpandsToQuantileColumns) {
     if (name == "delay.count") count = v;
   });
   EXPECT_DOUBLE_EQ(count, 100.0);
+}
+
+TEST(MetricsRegistry, LatencyExpandsToQuantileAndMaxColumns) {
+  MetricsRegistry reg;
+  auto& h = reg.latency("rtt");
+  h.record_seconds(0.001);
+  h.record_seconds(0.003);
+
+  const auto names = reg.sample_names();
+  ASSERT_EQ(names.size(), 5U);
+  EXPECT_EQ(names[0], "rtt.count");
+  EXPECT_EQ(names[1], "rtt.p50");
+  EXPECT_EQ(names[2], "rtt.p90");
+  EXPECT_EQ(names[3], "rtt.p99");
+  EXPECT_EQ(names[4], "rtt.max");
+
+  double count = -1.0;
+  double max = -1.0;
+  reg.for_each_sample([&](std::string_view name, double v) {
+    if (name == "rtt.count") count = v;
+    if (name == "rtt.max") max = v;
+  });
+  EXPECT_DOUBLE_EQ(count, 2.0);
+  EXPECT_NEAR(max, 0.003, 1e-12);
+  EXPECT_NE(reg.find_latency("rtt"), nullptr);
+  EXPECT_EQ(reg.find_latency("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesKeepsStructure) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("c");
+  c.inc(9);
+  auto& pushed = reg.gauge("pushed");
+  pushed.set(3.5);
+  double source = 11.0;
+  reg.gauge("pulled", [&source] { return source; });
+  auto& h = reg.histogram("h", 0.0, 10.0, 5);
+  h.add(4.0);
+  auto& lat = reg.latency("lat");
+  lat.record(1000);
+  const auto names_before = reg.sample_names();
+
+  reg.reset();
+
+  // Values are zeroed...
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_DOUBLE_EQ(pushed.value(), 0.0);
+  EXPECT_EQ(lat.count(), 0U);
+  double hist_count = -1.0;
+  reg.for_each_sample([&](std::string_view name, double v) {
+    if (name == "h.count") hist_count = v;
+  });
+  EXPECT_DOUBLE_EQ(hist_count, 0.0);
+  // ...but registrations, references, export order, and gauge providers
+  // all survive: the same handles keep working.
+  EXPECT_EQ(reg.sample_names(), names_before);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("pulled")->value(), source);
+  c.inc();
+  EXPECT_EQ(reg.counter("c").value(), 1U);
+  lat.record(5);
+  EXPECT_EQ(reg.latency("lat").count(), 1U);
 }
 
 TEST(MetricsRegistry, ForEachSampleValues) {

@@ -1,12 +1,15 @@
 /// \file obs_profiler_test.cpp
 /// Profiler: scope nesting (inclusive totals, depth bookkeeping), the
-/// null-timer no-op contract, find-or-create cells, table/json output.
+/// null-timer no-op contract, find-or-create cells, table/json output,
+/// and deterministic timing through an injected ClockSource.
 
 #include "obs/profiler.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
+
+#include "obs/clock.h"
 
 namespace {
 
@@ -102,6 +105,38 @@ TEST(Profiler, JsonHasStatsPerScope) {
   EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"total_ns\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_ns\""), std::string::npos) << json;
+}
+
+TEST(Profiler, ManualClockMakesTimingDeterministic) {
+  // With an injected clock, profiled durations are exact — no spin
+  // loops, no flaky thresholds.
+  Profiler prof;
+  icollect::obs::ManualClock clock;
+  prof.set_clock(&clock);
+  auto& t = prof.timer("step");
+  {
+    const ProfScope scope{&t};
+    clock.advance(0.002);  // 2ms
+  }
+  EXPECT_EQ(t.stat().count, 1U);
+  EXPECT_EQ(t.stat().total_ns, 2'000'000U);
+  EXPECT_EQ(t.stat().max_ns, 2'000'000U);
+  {
+    const ProfScope scope{&t};
+    clock.advance(0.001);
+  }
+  EXPECT_EQ(t.stat().count, 2U);
+  EXPECT_EQ(t.stat().total_ns, 3'000'000U);
+  EXPECT_EQ(t.stat().max_ns, 2'000'000U);
+
+  // Detaching the clock falls back to the wall clock; samples still
+  // accumulate (elapsed may legitimately round to 0ns).
+  prof.set_clock(nullptr);
+  {
+    const ProfScope scope{&t};
+    spin();
+  }
+  EXPECT_EQ(t.stat().count, 3U);
 }
 
 TEST(Profiler, ResetClearsStatsKeepsCells) {

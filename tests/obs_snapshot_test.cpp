@@ -1,6 +1,7 @@
 /// \file obs_snapshot_test.cpp
 /// Snapshotter behavior: JSONL schema round-trip, CSV header/rows,
-/// sample_if_due cadence, and non-finite value handling.
+/// sample_if_due cadence (caller-supplied and clock-driven), and
+/// non-finite value handling.
 
 #include "obs/snapshotter.h"
 
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/clock.h"
 #include "obs/metrics_registry.h"
 
 namespace {
@@ -148,6 +150,64 @@ TEST(Snapshotter, NonFiniteValuesExportAsNullAndEmptyCsv) {
 TEST(Snapshotter, RejectsNonPositiveInterval) {
   MetricsRegistry reg;
   EXPECT_THROW((Snapshotter{reg, 0.0}), icollect::ContractViolation);
+}
+
+TEST(Snapshotter, ClockDrivenCadenceReadsTheClock) {
+  // The clocked constructor lets the same Snapshotter run off any time
+  // source — here a ManualClock stands in for the wall clock.
+  MetricsRegistry reg;
+  auto& c = reg.counter("events");
+  icollect::obs::ManualClock clock;
+  Snapshotter snap{reg, 1.0, &clock};
+  snap.start();
+  EXPECT_DOUBLE_EQ(snap.next_due(), 1.0);
+
+  clock.advance(0.5);
+  EXPECT_FALSE(snap.sample_if_due());
+  c.inc();
+  clock.advance(0.5);
+  EXPECT_TRUE(snap.sample_if_due());
+  EXPECT_DOUBLE_EQ(snap.next_due(), 2.0);
+  // A stall longer than one interval takes one sample, no backfill.
+  clock.advance(4.25);
+  EXPECT_TRUE(snap.sample_if_due());
+  EXPECT_DOUBLE_EQ(snap.next_due(), 6.0);
+  EXPECT_EQ(snap.samples(), 2U);
+}
+
+TEST(Snapshotter, ClockDrivenJsonlStampsClockTime) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(2);
+  icollect::obs::ManualClock clock;
+  clock.set(10.0);
+  const std::string path = testing::TempDir() + "obs_snap_clock.jsonl";
+  Snapshotter snap{reg, 1.0, &clock};
+  snap.open_jsonl(path);
+  snap.start();
+  clock.advance(1.5);
+  snap.sample();  // unconditional sample stamps clock->now()
+  snap.flush();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1U);
+  const auto row = parse_flat_object(lines[0]);
+  ASSERT_FALSE(row.empty());
+  EXPECT_EQ(row[0].first, "t");
+  EXPECT_DOUBLE_EQ(std::stod(row[0].second), 11.5);
+}
+
+TEST(Snapshotter, CallbackClockAdaptsExternalTimeSource) {
+  MetricsRegistry reg;
+  reg.counter("c");
+  double external = 0.0;
+  icollect::obs::CallbackClock clock{[&external] { return external; }};
+  Snapshotter snap{reg, 0.5, &clock};
+  snap.start();
+  external = 0.4;
+  EXPECT_FALSE(snap.sample_if_due());
+  external = 0.5;
+  EXPECT_TRUE(snap.sample_if_due());
+  EXPECT_EQ(snap.samples(), 1U);
 }
 
 }  // namespace

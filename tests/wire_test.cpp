@@ -258,6 +258,45 @@ TEST(WireFrame, CustomBodyCapRespected) {
   EXPECT_EQ(tiny.next().status, DecodeStatus::kOversized);
 }
 
+TEST(WireFrame, PerStatusErrorCountersAndResyncs) {
+  // Each latched error increments its own status bucket exactly once,
+  // and a reset() that discards a latched error counts as a resync.
+  FrameDecoder dec;
+
+  auto bad_magic = encoded_frame(Message{PullRequest{}});
+  bad_magic[0] ^= 0xFF;
+  dec.feed(bad_magic);
+  EXPECT_EQ(dec.next().status, DecodeStatus::kBadMagic);
+  // Latched: repeated next() calls must not inflate the bucket.
+  EXPECT_EQ(dec.next().status, DecodeStatus::kBadMagic);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kBadMagic), 1U);
+  EXPECT_EQ(dec.resyncs(), 0U);
+  dec.reset();
+  EXPECT_EQ(dec.resyncs(), 1U);
+
+  auto bad_crc = encoded_frame(Message{PullRequest{.token = 9}});
+  bad_crc.back() ^= 0x01;
+  dec.feed(bad_crc);
+  EXPECT_EQ(dec.next().status, DecodeStatus::kBadCrc);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kBadCrc), 1U);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kBadMagic), 1U);
+  EXPECT_EQ(dec.errors(), 2U);  // aggregate stays the sum of buckets
+  dec.reset();
+  EXPECT_EQ(dec.resyncs(), 2U);
+
+  // A clean-state reset is not a resync — nothing was discarded.
+  dec.reset();
+  EXPECT_EQ(dec.resyncs(), 2U);
+
+  // A healthy decode touches no error bucket.
+  dec.feed(encoded_frame(Message{PullRequest{.token = 1}}));
+  EXPECT_EQ(dec.next().status, DecodeStatus::kFrame);
+  EXPECT_EQ(dec.errors(), 2U);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kBadVersion), 0U);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kOversized), 0U);
+  EXPECT_EQ(dec.errors_by(DecodeStatus::kMalformedBody), 0U);
+}
+
 TEST(WireFrame, EncodeIntoReusesBuffer) {
   std::vector<std::uint8_t> scratch;
   encode_frame(Message{PullRequest{.token = 1}}, scratch);

@@ -14,12 +14,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "node/cluster.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/snapshotter.h"
+#include "obs/trace_pipeline.h"
+#include "stats/latency_histogram.h"
 
 namespace {
 
@@ -48,11 +51,26 @@ void usage(const char* argv0) {
       "                        (on by default: a peer re-seeds its own\n"
       "                        unACKed segments after TTL losses)\n"
       "  --seed S              root seed (default 1)\n"
-      "  --metrics-out FILE    snapshot JSONL of cluster aggregates\n"
+      "  --metrics-out FILE    snapshot JSONL of cluster, per-node, and\n"
+      "                        transport metrics\n"
       "  --metrics-interval T  snapshot spacing, virtual time "
       "(default 0.5)\n"
+      "  --trace-out FILE      protocol event trace JSONL "
+      "(inject/gossip/\n"
+      "                        ttl/pull/decode, virtual-time stamped)\n"
       "  --progress            progress lines on stderr\n",
       argv0);
+}
+
+/// Quantile summary of a latency histogram as a nested JSON object.
+std::string latency_json(const icollect::stats::LatencyHistogram& h) {
+  icollect::obs::JsonObject o;
+  o.field("count", h.count())
+      .field("p50", h.quantile_seconds(0.50))
+      .field("p90", h.quantile_seconds(0.90))
+      .field("p99", h.quantile_seconds(0.99))
+      .field("max", h.max_seconds());
+  return o.str();
 }
 
 }  // namespace
@@ -67,6 +85,7 @@ int main(int argc, char** argv) {
   double max_time = 300.0;
   double capacity = -1.0;
   std::string metrics_out;
+  std::string trace_out;
   double metrics_interval = 0.5;
   bool progress = false;
 
@@ -126,6 +145,8 @@ int main(int argc, char** argv) {
       metrics_out = value("--metrics-out");
     } else if (arg == "--metrics-interval") {
       metrics_interval = std::strtod(value("--metrics-interval"), nullptr);
+    } else if (arg == "--trace-out") {
+      trace_out = value("--trace-out");
     } else if (arg == "--progress") {
       progress = true;
     } else {
@@ -139,6 +160,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --segments-per-peer must be >= 1\n", argv[0]);
     return 2;
   }
+  if (metrics_interval <= 0.0) {
+    std::fprintf(stderr, "%s: --metrics-interval must be > 0\n", argv[0]);
+    return 2;
+  }
   if (capacity >= 0.0) {
     cfg.server_rate = capacity * static_cast<double>(cfg.num_peers) /
                       static_cast<double>(cfg.num_servers);
@@ -148,8 +173,23 @@ int main(int argc, char** argv) {
   node::LoopbackCluster cluster{cfg, &registry};
   obs::Snapshotter snaps{registry, metrics_interval};
   if (!metrics_out.empty()) {
-    snaps.open_jsonl(metrics_out);
+    try {
+      snaps.open_jsonl(metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
     snaps.start(cluster.now());
+  }
+  obs::TraceBuffer trace_buf{0};  // pure pass-through to the JSONL stream
+  if (!trace_out.empty()) {
+    try {
+      trace_buf.open_jsonl(trace_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    cluster.set_trace_sink(trace_buf.sink());
   }
 
   const double step = 0.25;
@@ -173,6 +213,51 @@ int main(int argc, char** argv) {
     snaps.sample(cluster.now());
     snaps.flush();
   }
+  if (!trace_out.empty()) trace_buf.flush();
+
+  // Cluster-wide wire/node/latency aggregates. Everything here is a
+  // count of protocol events or a virtual-time latency, so the block is
+  // a deterministic function of the seed — summaries stay comparable
+  // across runs with and without telemetry files.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t handshakes_ok = 0;
+  std::uint64_t send_refusals = 0;
+  std::uint64_t ttl_expirations = 0;
+  stats::LatencyHistogram pull_rtt;
+  stats::LatencyHistogram decode_latency;
+  const auto add_node = [&](const node::NodeBase& n) {
+    frames_sent += n.frames_sent();
+    frames_received += n.frames_received();
+    decode_errors += n.decode_errors();
+    handshakes_ok += n.handshakes_ok();
+    send_refusals += n.send_refusals();
+  };
+  for (std::size_t i = 0; i < cfg.num_peers; ++i) {
+    add_node(cluster.peer(i));
+    ttl_expirations += cluster.peer(i).ttl_expirations();
+  }
+  for (std::size_t i = 0; i < cfg.num_servers; ++i) {
+    add_node(cluster.server(i));
+    pull_rtt.merge(cluster.server(i).pull_rtt());
+    decode_latency.merge(cluster.server(i).decode_latency());
+  }
+  obs::JsonObject stats;
+  stats.field("frames_sent", frames_sent)
+      .field("frames_received", frames_received)
+      .field("wire_decode_errors", decode_errors)
+      .field("handshakes_ok", handshakes_ok)
+      .field("send_refusals", send_refusals)
+      .field("ttl_expirations", ttl_expirations)
+      .field("loopback_deliveries", cluster.net().deliveries())
+      .field("loopback_chunks", cluster.net().chunks())
+      .field("loopback_bytes_out", cluster.net().bytes_sent())
+      .field("loopback_queue_drops", cluster.net().backpressure_refusals())
+      .field("loopback_in_flight_hwm",
+             cluster.net().in_flight_high_watermark())
+      .field_raw("pull_rtt", latency_json(pull_rtt))
+      .field_raw("decode_latency", latency_json(decode_latency));
 
   const bool complete = cluster.complete();
   obs::JsonObject out;
@@ -191,7 +276,8 @@ int main(int argc, char** argv) {
       .field("mean_blocks_per_peer", cluster.mean_blocks_per_peer())
       .field("loopback_sends", cluster.net().sends())
       .field("loopback_drops", cluster.net().drops())
-      .field("loopback_bytes", cluster.net().bytes_delivered());
+      .field("loopback_bytes", cluster.net().bytes_delivered())
+      .field_raw("stats", stats.str());
   std::printf("%s\n", out.str().c_str());
   return complete ? 0 : 1;
 }

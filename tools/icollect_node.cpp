@@ -17,9 +17,11 @@
 /// decoded; a server exits 0 once --expect-segments segments decoded.
 /// --duration caps the wall-clock wait (exit 1 on timeout).
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -27,10 +29,31 @@
 #include "node/node_config.h"
 #include "node/peer_node.h"
 #include "node/server_node.h"
+#include "obs/clock.h"
+#include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/snapshotter.h"
+#include "obs/trace_pipeline.h"
 
 namespace {
+
+/// SIGUSR1 requests an on-demand stats dump; the poll loop services it
+/// (poll(2) on Linux returns EINTR rather than restarting, and the loop
+/// wakes at least every transport tick, so the dump is prompt).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
+/// One flat JSON object of every registered metric, stamped `t`.
+std::string stats_json(const icollect::obs::MetricsRegistry& registry,
+                       double t) {
+  icollect::obs::JsonObject out;
+  out.field("t", t);
+  registry.for_each_sample([&out](std::string_view name, double value) {
+    out.field(name, value);
+  });
+  return out.str();
+}
 
 void usage(const char* argv0) {
   std::printf(
@@ -52,8 +75,12 @@ void usage(const char* argv0) {
       "  --expect-segments K    server: exit once K segments decoded\n"
       "  --duration T           wall-clock cap in seconds (default 60)\n"
       "  --seed S               RNG seed (default 1)\n"
-      "  --metrics-out FILE     periodic JSONL of node counters\n"
-      "  --metrics-interval T   sample spacing in seconds (default 0.5)\n",
+      "  --metrics-out FILE     periodic JSONL of node + transport "
+      "counters\n"
+      "  --metrics-interval T   sample spacing in seconds (default 0.5)\n"
+      "  --trace-out FILE       protocol event trace JSONL\n"
+      "\n"
+      "SIGUSR1 dumps a one-line stats snapshot to stderr.\n",
       argv0);
 }
 
@@ -87,6 +114,7 @@ int main(int argc, char** argv) {
   std::size_t expect_segments = 0;
   double duration = 60.0;
   std::string metrics_out;
+  std::string trace_out;
   double metrics_interval = 0.5;
 
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +165,8 @@ int main(int argc, char** argv) {
       metrics_out = value("--metrics-out");
     } else if (arg == "--metrics-interval") {
       metrics_interval = std::strtod(value("--metrics-interval"), nullptr);
+    } else if (arg == "--trace-out") {
+      trace_out = value("--trace-out");
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                    std::string{arg}.c_str());
@@ -153,6 +183,10 @@ int main(int argc, char** argv) {
   }
   if (listen_at.empty() && connect_to.empty()) {
     std::fprintf(stderr, "%s: need --listen and/or --connect\n", argv[0]);
+    return 2;
+  }
+  if (metrics_interval <= 0.0) {
+    std::fprintf(stderr, "%s: --metrics-interval must be > 0\n", argv[0]);
     return 2;
   }
   // node_id may still be 0 here (resolved from the bound port below);
@@ -199,17 +233,31 @@ int main(int argc, char** argv) {
                                         0x40000000U + cfg.seed % 0xFFFF);
   }
 
+  // The registry is always live (counters are pull-gauges over state
+  // the node maintains anyway) so SIGUSR1 can dump stats even when no
+  // --metrics-out file was requested.
   obs::MetricsRegistry registry;
-  obs::MetricsRegistry* reg =
-      metrics_out.empty() ? nullptr : &registry;
+  tcp.attach_metrics(registry, "tcp.");
   std::unique_ptr<node::PeerNode> peer;
   std::unique_ptr<node::ServerNode> server;
   if (is_peer) {
-    peer = std::make_unique<node::PeerNode>(cfg, tcp, tcp.timers(), reg,
-                                            "node.");
+    peer = std::make_unique<node::PeerNode>(cfg, tcp, tcp.timers(),
+                                            &registry, "node.");
   } else {
-    server = std::make_unique<node::ServerNode>(cfg, tcp, tcp.timers(), reg,
-                                                "node.");
+    server = std::make_unique<node::ServerNode>(cfg, tcp, tcp.timers(),
+                                                &registry, "node.");
+  }
+
+  obs::TraceBuffer trace_buf{0};
+  if (!trace_out.empty()) {
+    try {
+      trace_buf.open_jsonl(trace_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    if (peer) peer->set_trace_sink(trace_buf.sink());
+    if (server) server->set_trace_sink(trace_buf.sink());
   }
 
   for (const auto& target : connect_to) {
@@ -225,11 +273,21 @@ int main(int argc, char** argv) {
   if (peer) peer->start();
   if (server) server->start();
 
-  obs::Snapshotter snaps{registry, metrics_interval};
-  if (reg != nullptr) {
-    snaps.open_jsonl(metrics_out);
-    snaps.start(tcp.now());
+  // Snapshots stamp themselves from the transport's wall clock through
+  // the obs clock seam — the same Snapshotter the virtual-time sim uses.
+  obs::CallbackClock clock{[&tcp] { return tcp.now(); }};
+  obs::Snapshotter snaps{registry, metrics_interval, &clock};
+  const bool sampling = !metrics_out.empty();
+  if (sampling) {
+    try {
+      snaps.open_jsonl(metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    snaps.start();
   }
+  std::signal(SIGUSR1, on_sigusr1);
 
   const auto done = [&]() -> bool {
     if (peer && cfg.max_segments > 0) return peer->all_injected_acked();
@@ -241,16 +299,22 @@ int main(int argc, char** argv) {
   bool completed = false;
   while (tcp.now() < duration) {
     tcp.poll_once();
-    if (reg != nullptr) snaps.sample_if_due(tcp.now());
+    if (sampling) snaps.sample_if_due();
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      std::fprintf(stderr, "SIGUSR1 stats %s\n",
+                   stats_json(registry, tcp.now()).c_str());
+    }
     if (done()) {
       completed = true;
       break;
     }
   }
-  if (reg != nullptr) {
-    snaps.sample(tcp.now());
+  if (sampling) {
+    snaps.sample();
     snaps.flush();
   }
+  if (!trace_out.empty()) trace_buf.flush();
 
   if (peer) {
     std::fprintf(stderr,
