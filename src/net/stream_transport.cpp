@@ -1,0 +1,49 @@
+#include "net/stream_transport.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/tcp.h"
+
+#if defined(ICOLLECT_HAVE_EPOLL)
+#include "net/epoll_reactor.h"
+#endif
+
+namespace icollect::net {
+
+bool epoll_backend_available() noexcept {
+#if defined(ICOLLECT_HAVE_EPOLL)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<StreamTransport> make_stream_transport(
+    std::string_view backend, const StreamOptions& opts) {
+  if (backend == "poll") {
+    return std::make_unique<TcpTransport>(opts);
+  }
+  if (backend == "epoll") {
+#if defined(ICOLLECT_HAVE_EPOLL)
+    return std::make_unique<EpollReactor>(opts);
+#else
+    throw std::invalid_argument(
+        "stream transport: this build has no epoll backend "
+        "(<sys/epoll.h> was not found at configure time)");
+#endif
+  }
+  if (backend == "auto") {
+#if defined(ICOLLECT_HAVE_EPOLL)
+    return std::make_unique<EpollReactor>(opts);
+#else
+    return std::make_unique<TcpTransport>(opts);
+#endif
+  }
+  throw std::invalid_argument("stream transport: unknown backend '" +
+                              std::string{backend} +
+                              "' (expected poll, epoll, or auto)");
+}
+
+}  // namespace icollect::net

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file stream_transport.h
+/// The socket-transport seam one level above Transport: everything a
+/// live tool needs to stand up a real node — listen, dial, a timer
+/// wheel, an event-loop pump, and metrics export — without naming a
+/// concrete backend.
+///
+/// Two backends implement it:
+///   - TcpTransport (net/tcp.h): single-threaded poll(2) loop. O(n) per
+///     wakeup, portable to any POSIX system; the fallback.
+///   - EpollReactor (net/epoll_reactor.h): level-triggered epoll sharded
+///     across reactor threads with pooled buffers and vectored IO; the
+///     scalable Linux path (see docs/PERFORMANCE.md).
+///
+/// Backend availability is a *configure-time* fact (ICOLLECT_HAVE_EPOLL
+/// is defined when <sys/epoll.h> exists); which backend a process uses
+/// is a runtime choice through make_stream_transport(), so one binary
+/// can A/B them (`icollect_node --backend poll|epoll`,
+/// `scripts/run_bench.py --node` does exactly that).
+///
+/// Whatever the backend's internal threading, the TransportHandler
+/// contract is unchanged: every handler callback fires on the thread
+/// driving poll_once()/run_until(), and timers() is only touched from
+/// that thread.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/timer_wheel.h"
+#include "net/transport.h"
+#include "obs/metrics_registry.h"
+
+namespace icollect::net {
+
+/// Knobs shared by every stream backend. Fields a backend has no use
+/// for are ignored (TcpTransport has no shards and no buffer pool).
+struct StreamOptions {
+  double tick_seconds = 0.001;  ///< TimerWheel granularity
+  std::size_t send_queue_cap_bytes = 4U << 20U;
+  std::size_t read_chunk_bytes = 64U * 1024U;
+  double connect_timeout = 5.0;  ///< per attempt, seconds
+  int connect_retries = 3;       ///< attempts after the first
+  double retry_backoff = 0.5;    ///< seconds, grows linearly
+  double idle_timeout = 0.0;     ///< close silent conns; 0 = off
+  int listen_backlog = 0;        ///< listen(2) backlog; 0 = SOMAXCONN
+  int so_sndbuf = 0;             ///< SO_SNDBUF per conn; 0 = kernel default
+  std::size_t reactor_shards = 0;  ///< epoll reactor threads; 0 = auto
+  std::size_t pool_max_buffers = 4096;  ///< idle buffers the pool retains
+};
+
+class StreamTransport : public Transport {
+ public:
+  /// Bind + listen. Pass port 0 for an ephemeral port; the bound port
+  /// is returned either way. Throws std::runtime_error on failure.
+  virtual std::uint16_t listen(const std::string& host,
+                               std::uint16_t port) = 0;
+
+  /// Begin an asynchronous connect; returns the connection handle
+  /// immediately. Outcome arrives as on_peer_up / on_peer_down.
+  virtual NodeId connect(const std::string& host, std::uint16_t port) = 0;
+
+  /// Node-level timers (gossip, TTL, pulls). Advanced off the wall
+  /// clock by poll_once(); use only from the driving thread.
+  [[nodiscard]] virtual TimerWheel& timers() noexcept = 0;
+
+  /// Wall-clock seconds since construction (the wheel's time base).
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// One event-loop round: wait for IO for up to `max_wait` seconds,
+  /// dispatch handler callbacks, then advance the timer wheel.
+  virtual void poll_once(double max_wait = 0.05) = 0;
+
+  /// Drive poll_once until `done()` returns true or `timeout_seconds`
+  /// elapses (<= 0 waits forever). Returns done()'s final value.
+  virtual bool run_until(const std::function<bool()>& done,
+                         double timeout_seconds) {
+    const double deadline =
+        timeout_seconds > 0.0 ? now() + timeout_seconds : -1.0;
+    while (!done()) {
+      if (deadline > 0.0 && now() >= deadline) return false;
+      poll_once();
+    }
+    return true;
+  }
+
+  /// Connections not yet closed (established + still connecting).
+  [[nodiscard]] virtual std::size_t open_connections() const = 0;
+
+  /// Export the backend's counters into `registry` as pull-based gauges
+  /// under `prefix`. The registry must outlive the transport's use.
+  virtual void attach_metrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) = 0;
+
+  /// "poll" or "epoll" — stamped into bench output and summaries.
+  [[nodiscard]] virtual const char* backend_name() const noexcept = 0;
+};
+
+/// True when this build carries the epoll backend.
+[[nodiscard]] bool epoll_backend_available() noexcept;
+
+/// Construct a backend by name: "poll", "epoll", or "auto" (epoll when
+/// available, else poll). Throws std::invalid_argument for an unknown
+/// name or for "epoll" on a build without it.
+[[nodiscard]] std::unique_ptr<StreamTransport> make_stream_transport(
+    std::string_view backend, const StreamOptions& opts = {});
+
+}  // namespace icollect::net

@@ -64,6 +64,8 @@ TcpTransport::TcpTransport(Options opts)
   ICOLLECT_EXPECTS(opts.read_chunk_bytes > 0);
   ICOLLECT_EXPECTS(opts.connect_timeout > 0.0);
   ICOLLECT_EXPECTS(opts.connect_retries >= 0);
+  ICOLLECT_EXPECTS(opts.listen_backlog >= 0);
+  ICOLLECT_EXPECTS(opts.so_sndbuf >= 0);
   read_buf_.resize(opts_.read_chunk_bytes);
   if (opts_.idle_timeout > 0.0) {
     // Periodic reaper; reschedules itself for the transport's lifetime.
@@ -109,7 +111,9 @@ std::uint16_t TcpTransport::listen(const std::string& host,
     throw std::runtime_error(std::string{"tcp: bind failed: "} +
                              std::strerror(err));
   }
-  if (::listen(fd, 64) < 0) {
+  const int backlog =
+      opts_.listen_backlog > 0 ? opts_.listen_backlog : SOMAXCONN;
+  if (::listen(fd, backlog) < 0) {
     const int err = errno;
     ::close(fd);
     throw std::runtime_error(std::string{"tcp: listen failed: "} +
@@ -158,13 +162,19 @@ void TcpTransport::start_connect_attempt(Conn& conn) {
     fail_connect_attempt(conn, "socket");
     return;
   }
+  if (opts_.so_sndbuf > 0) {
+    ::setsockopt(conn.fd, SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                 sizeof opts_.so_sndbuf);
+  }
   const int rc =
       ::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
   if (rc == 0) {
     finish_connect(conn);
     return;
   }
-  if (errno != EINPROGRESS) {
+  // EINTR: the nonblocking connect proceeds asynchronously regardless
+  // (POSIX) — handle it exactly like EINPROGRESS.
+  if (errno != EINPROGRESS && errno != EINTR) {
     ::close(conn.fd);
     conn.fd = -1;
     fail_connect_attempt(conn, "connect");
@@ -262,8 +272,11 @@ void TcpTransport::close_conn(Conn& conn, bool notify) {
 void TcpTransport::flush_outq(Conn& conn) {
   while (conn.out_head < conn.outq.size()) {
     const std::size_t n = conn.outq.size() - conn.out_head;
-    const ssize_t sent = ::send(conn.fd, conn.outq.data() + conn.out_head, n,
-                                MSG_NOSIGNAL);
+    ssize_t sent;
+    do {
+      sent = ::send(conn.fd, conn.outq.data() + conn.out_head, n,
+                    MSG_NOSIGNAL);
+    } while (sent < 0 && errno == EINTR);
     if (sent > 0) {
       conn.out_head += static_cast<std::size_t>(sent);
       bytes_sent_ += static_cast<std::uint64_t>(sent);
@@ -292,8 +305,10 @@ void TcpTransport::flush_outq(Conn& conn) {
 
 void TcpTransport::handle_readable(Conn& conn) {
   for (;;) {
-    const ssize_t got =
-        ::recv(conn.fd, read_buf_.data(), read_buf_.size(), 0);
+    ssize_t got;
+    do {
+      got = ::recv(conn.fd, read_buf_.data(), read_buf_.size(), 0);
+    } while (got < 0 && errno == EINTR);
     if (got > 0) {
       conn.last_activity = now();
       bytes_received_ += static_cast<std::uint64_t>(got);
@@ -388,9 +403,13 @@ void TcpTransport::poll_once(double max_wait) {
   // Never sleep past the next wheel tick so timers keep granularity.
   const int wait_ms = static_cast<int>(
       std::max(0.0, std::min(max_wait, opts_.tick_seconds)) * 1000.0);
-  const int ready =
+  // EINTR (a signal such as the SIGUSR1 stats dump landed mid-wait) is
+  // not an error: treat it as an empty wakeup so the caller's loop gets
+  // to service the signal, then advance timers as usual.
+  int ready =
       ::poll(fds.empty() ? nullptr : fds.data(),
              static_cast<nfds_t>(fds.size()), std::max(wait_ms, 1));
+  if (ready < 0 && errno == EINTR) ready = 0;
 
   if (ready > 0) {
     for (std::size_t i = 0; i < fds.size(); ++i) {
@@ -399,11 +418,18 @@ void TcpTransport::poll_once(double max_wait) {
       if (fd_owner[i] == kInvalidNodeId) {  // listener
         for (;;) {
           const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-          if (cfd < 0) break;
+          if (cfd < 0) {
+            if (errno == EINTR) continue;
+            break;
+          }
           const int flags = ::fcntl(cfd, F_GETFL, 0);
           ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
           int one = 1;
           ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          if (opts_.so_sndbuf > 0) {
+            ::setsockopt(cfd, SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                         sizeof opts_.so_sndbuf);
+          }
           auto conn = std::make_unique<Conn>();
           conn->fd = cfd;
           conn->state = ConnState::kUp;
@@ -474,17 +500,6 @@ void TcpTransport::attach_metrics(obs::MetricsRegistry& registry,
   registry.gauge(prefix + "outq_hwm", [this] {
     return static_cast<double>(outq_hwm_);
   });
-}
-
-bool TcpTransport::run_until(const std::function<bool()>& done,
-                             double timeout_seconds) {
-  const double deadline =
-      timeout_seconds > 0.0 ? now() + timeout_seconds : -1.0;
-  while (!done()) {
-    if (deadline > 0.0 && now() >= deadline) return false;
-    poll_once();
-  }
-  return true;
 }
 
 }  // namespace icollect::net

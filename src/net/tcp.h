@@ -20,6 +20,12 @@
 ///  - The transport always maintains its traffic counters (plain integer
 ///    adds); attach_metrics() exports them as pull-based gauges, so
 ///    enabling telemetry adds zero cost to the IO hot path.
+///  - Interrupted syscalls (EINTR — e.g. the SIGUSR1 stats dump) are
+///    retried, never surfaced as transport errors.
+///
+/// This is the portable fallback behind the StreamTransport seam; on
+/// Linux the sharded EpollReactor (net/epoll_reactor.h) replaces it for
+/// anything beyond a few thousand connections.
 
 #include <chrono>
 #include <cstdint>
@@ -29,23 +35,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/stream_transport.h"
 #include "net/timer_wheel.h"
 #include "net/transport.h"
 #include "obs/metrics_registry.h"
 
 namespace icollect::net {
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public StreamTransport {
  public:
-  struct Options {
-    double tick_seconds = 0.001;     ///< TimerWheel granularity
-    std::size_t send_queue_cap_bytes = 4U << 20U;
-    std::size_t read_chunk_bytes = 64U * 1024U;
-    double connect_timeout = 5.0;    ///< per attempt, seconds
-    int connect_retries = 3;         ///< attempts after the first
-    double retry_backoff = 0.5;      ///< seconds, grows linearly
-    double idle_timeout = 0.0;       ///< close silent conns; 0 = off
-  };
+  using Options = StreamOptions;
 
   TcpTransport();
   explicit TcpTransport(Options opts);
@@ -58,28 +57,28 @@ class TcpTransport final : public Transport {
 
   /// Bind + listen. Pass port 0 for an ephemeral port; the bound port
   /// is returned either way. Throws std::runtime_error on failure.
-  std::uint16_t listen(const std::string& host, std::uint16_t port);
+  std::uint16_t listen(const std::string& host, std::uint16_t port) override;
 
   /// Begin an asynchronous connect; returns the connection handle
   /// immediately. Outcome arrives as on_peer_up / on_peer_down.
-  NodeId connect(const std::string& host, std::uint16_t port);
+  NodeId connect(const std::string& host, std::uint16_t port) override;
 
   bool send(NodeId peer, std::span<const std::uint8_t> bytes) override;
   void close_peer(NodeId peer) override;
 
-  [[nodiscard]] TimerWheel& timers() noexcept { return wheel_; }
+  [[nodiscard]] TimerWheel& timers() noexcept override { return wheel_; }
   /// Wall-clock seconds since construction (the wheel's time base).
-  [[nodiscard]] double now() const;
+  [[nodiscard]] double now() const override;
 
   /// One event-loop round: poll sockets for up to `max_wait` seconds,
   /// dispatch IO, then advance the timer wheel to the wall clock.
-  void poll_once(double max_wait = 0.05);
+  void poll_once(double max_wait = 0.05) override;
 
-  /// Drive poll_once until `done()` returns true or `timeout_seconds`
-  /// elapses (<= 0 waits forever). Returns done()'s final value.
-  bool run_until(const std::function<bool()>& done, double timeout_seconds);
+  [[nodiscard]] const char* backend_name() const noexcept override {
+    return "poll";
+  }
 
-  [[nodiscard]] std::size_t open_connections() const;
+  [[nodiscard]] std::size_t open_connections() const override;
   [[nodiscard]] std::uint64_t backpressure_refusals() const noexcept {
     return refusals_;
   }
@@ -118,7 +117,7 @@ class TcpTransport final : public Transport {
   /// as pull-based gauges under `prefix` (see docs/OBSERVABILITY.md for
   /// the inventory). The registry must outlive the transport's use.
   void attach_metrics(obs::MetricsRegistry& registry,
-                      const std::string& prefix = "tcp.");
+                      const std::string& prefix = "tcp.") override;
 
  private:
   enum class ConnState { kConnecting, kUp, kClosed };

@@ -29,6 +29,12 @@ struct NodeConfig {
   /// recovered" is a well-defined finish line.
   std::size_t max_segments = 0;
 
+  /// listen(2) backlog for live nodes that accept connections (servers
+  /// under a connect storm — e.g. the 10k-peer load generator ramping
+  /// up). 0 = SOMAXCONN; the kernel clamps larger values to
+  /// net.core.somaxconn anyway.
+  int listen_backlog = 0;
+
   /// When true, a peer drops its buffered blocks of a segment once a
   /// SEGMENT_DECODED_ACK for it arrives. Off by default: the paper's
   /// model has no ack channel, and keeping it off preserves
@@ -62,6 +68,7 @@ struct NodeConfig {
     if (mu < 0.0) fail("mu must be >= 0");
     if (gamma <= 0.0) fail("gamma must be > 0");
     if (pull_rate < 0.0) fail("pull rate must be >= 0");
+    if (listen_backlog < 0) fail("listen backlog must be >= 0");
   }
 };
 

@@ -51,8 +51,23 @@ void ServerNode::start() {
 }
 
 void ServerNode::schedule_pull() {
-  wheel_.schedule_after(rng_.exponential(config().pull_rate), [this] {
-    do_pull();
+  // Exponential inter-arrival times make demanded pulls a Poisson
+  // process, but the wheel rounds every delay up to a whole tick — one
+  // arrival per callback would cap the server at 1/tick pulls per
+  // second (~1k/s at the default 1 ms tick) no matter what pull_rate
+  // asks for. Arrivals whose gaps land inside one tick are therefore
+  // batched: keep drawing until the cumulative delay crosses a tick
+  // boundary, then fire the whole batch on that tick. The per-tick
+  // pull count stays Poisson(pull_rate * tick).
+  double delay = rng_.exponential(config().pull_rate);
+  std::uint32_t burst = 1;
+  const double tick = wheel_.tick_seconds();
+  while (delay < tick && burst < kMaxPullBurst) {
+    delay += rng_.exponential(config().pull_rate);
+    ++burst;
+  }
+  wheel_.schedule_after(delay, [this, burst] {
+    for (std::uint32_t i = 0; i < burst; ++i) do_pull();
     schedule_pull();
   });
 }
@@ -63,22 +78,42 @@ void ServerNode::do_pull() {
   // zero reports age out after kOccupancyRefresh and unknown peers are
   // treated as non-empty (optimistic).
   const double t = wheel_.now();
-  std::vector<net::NodeId> candidates;
-  candidates.reserve(peer_conns().size());
-  for (const net::NodeId conn : peer_conns()) {
-    const auto it = occupancy_.find(conn);
-    if (it != occupancy_.end() && it->second.blocks == 0 &&
-        t - it->second.reported_at < kOccupancyRefresh) {
-      continue;
-    }
-    candidates.push_back(conn);
-  }
-  if (candidates.empty()) {
+  const std::vector<net::NodeId>& conns = peer_conns();
+  if (conns.empty()) {
     ++pulls_starved_;
     return;
   }
-  const net::NodeId target =
-      candidates[rng_.uniform_index(candidates.size())];
+  const auto eligible = [&](net::NodeId conn) {
+    const auto it = occupancy_.find(conn);
+    return it == occupancy_.end() || it->second.blocks != 0 ||
+           t - it->second.reported_at >= kOccupancyRefresh;
+  };
+  // Uniform-over-eligible by rejection sampling: probe uniform indices
+  // and reject known-empty peers. Conditioning a uniform draw on
+  // eligibility IS the uniform distribution over eligible peers, so the
+  // statistics are identical to the old build-a-candidate-list scan —
+  // at O(1) expected cost instead of O(n) per pull. Only when every
+  // probe rejects (mostly-empty roster) do we pay for one full scan.
+  net::NodeId target = net::kInvalidNodeId;
+  for (int probe = 0; probe < kPullProbes; ++probe) {
+    const net::NodeId cand = conns[rng_.uniform_index(conns.size())];
+    if (eligible(cand)) {
+      target = cand;
+      break;
+    }
+  }
+  if (target == net::kInvalidNodeId) {
+    std::vector<net::NodeId> candidates;
+    candidates.reserve(conns.size());
+    for (const net::NodeId conn : conns) {
+      if (eligible(conn)) candidates.push_back(conn);
+    }
+    if (candidates.empty()) {
+      ++pulls_starved_;
+      return;
+    }
+    target = candidates[rng_.uniform_index(candidates.size())];
+  }
   const std::uint32_t token = next_token_++;
   if (send_message(target, wire::Message{wire::PullRequest{token}})) {
     ++pulls_sent_;

@@ -120,6 +120,18 @@ class ServerNode final : public NodeBase {
   /// is probed again.
   static constexpr double kOccupancyRefresh = 1.0;
 
+  /// Rejection-sampling probes per pull before falling back to a full
+  /// roster scan. With fraction p of peers eligible, the fallback runs
+  /// with probability (1-p)^16 — at 10k peers the scan would dominate
+  /// every pull, so keeping selection O(1)-expected is what lets pull
+  /// rate scale with the epoll reactor (docs/PERFORMANCE.md).
+  static constexpr int kPullProbes = 16;
+
+  /// Ceiling on pulls fired from one timer callback. schedule_pull
+  /// batches Poisson arrivals that fall inside one wheel tick; the cap
+  /// bounds the draw loop (and the callback) at absurd pull rates.
+  static constexpr std::uint32_t kMaxPullBurst = 4096;
+
   /// In-flight pull budget: tokens whose replies never arrive (dead
   /// peer, dropped frame) are forgotten wholesale past this many.
   static constexpr std::size_t kMaxPendingPulls = 65536;

@@ -1,0 +1,310 @@
+/// \file epoll_reactor_test.cpp
+/// The epoll reactor against real loopback sockets: the same transport
+/// contract net_tcp_test pins down for the poll backend (connect /
+/// bidirectional bytes / close propagation / backpressure / retry
+/// exhaustion), plus what is reactor-specific — shard distribution,
+/// buffer-pool reuse, batching counters, and the backend factory.
+/// Handler callbacks run on the driving thread only, so the recording
+/// handler needs no locks even though shards do the socket work.
+///
+/// On platforms without <sys/epoll.h> only the factory tests compile;
+/// they pin the graceful-fallback behavior instead.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/stream_transport.h"
+#include "net/transport.h"
+#include "obs/metrics_registry.h"
+
+#if defined(ICOLLECT_HAVE_EPOLL)
+#include "net/epoll_reactor.h"
+#endif
+
+namespace icollect::net {
+namespace {
+
+TEST(StreamFactory, UnknownBackendThrows) {
+  EXPECT_THROW((void)make_stream_transport("bogus", StreamOptions{}),
+               std::invalid_argument);
+}
+
+TEST(StreamFactory, PollBackendAlwaysAvailable) {
+  const auto t = make_stream_transport("poll", StreamOptions{});
+  ASSERT_NE(t, nullptr);
+  EXPECT_STREQ(t->backend_name(), "poll");
+}
+
+TEST(StreamFactory, AutoPicksEpollWhereAvailable) {
+  const auto t = make_stream_transport("auto", StreamOptions{});
+  ASSERT_NE(t, nullptr);
+  if (epoll_backend_available()) {
+    EXPECT_STREQ(t->backend_name(), "epoll");
+  } else {
+    EXPECT_STREQ(t->backend_name(), "poll");
+  }
+}
+
+TEST(StreamFactory, EpollRequestHonoursAvailability) {
+  if (epoll_backend_available()) {
+    const auto t = make_stream_transport("epoll", StreamOptions{});
+    ASSERT_NE(t, nullptr);
+    EXPECT_STREQ(t->backend_name(), "epoll");
+  } else {
+    EXPECT_THROW((void)make_stream_transport("epoll", StreamOptions{}),
+                 std::invalid_argument);
+  }
+}
+
+#if defined(ICOLLECT_HAVE_EPOLL)
+
+class RecordingHandler final : public TransportHandler {
+ public:
+  void on_peer_up(NodeId peer) override { ups.push_back(peer); }
+  void on_peer_down(NodeId peer) override { downs.push_back(peer); }
+  void on_bytes(NodeId peer, std::span<const std::uint8_t> bytes) override {
+    auto& stream = received[peer];
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+
+  std::vector<NodeId> ups;
+  std::vector<NodeId> downs;
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> received;
+};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+/// Pump both transports until `done` or the wall-clock deadline. The
+/// shards work in the background; poll_once only drains their events.
+template <typename Pred>
+bool pump(StreamTransport& a, StreamTransport& b, Pred done,
+          double timeout = 10.0) {
+  const double t0 = a.now();
+  while (a.now() - t0 < timeout) {
+    a.poll_once(0.01);
+    b.poll_once(0.01);
+    if (done()) return true;
+  }
+  return done();
+}
+
+TEST(EpollReactor, ConnectExchangeClose) {
+  EpollReactor server;
+  EpollReactor client;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  ASSERT_GT(port, 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  })) << "connection did not establish";
+
+  ASSERT_TRUE(client.send(conn, bytes_of("ping")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups[0]].size() >= 4;
+  }));
+  EXPECT_EQ(hs.received[hs.ups[0]], bytes_of("ping"));
+
+  ASSERT_TRUE(server.send(hs.ups[0], bytes_of("pong!")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hc.received[conn].size() >= 5;
+  }));
+  EXPECT_EQ(hc.received[conn], bytes_of("pong!"));
+  EXPECT_EQ(server.accepts(), 1U);
+  EXPECT_EQ(client.connects_ok(), 1U);
+  EXPECT_GE(client.bytes_sent(), 4U);
+  EXPECT_GE(server.bytes_received(), 4U);
+
+  // Closing on one side surfaces on_peer_down on the other — and
+  // close_peer itself notifies synchronously like the poll backend.
+  client.close_peer(conn);
+  EXPECT_EQ(hc.downs.size(), 1U);
+  EXPECT_EQ(hc.downs[0], conn);
+  ASSERT_TRUE(pump(server, client, [&] { return !hs.downs.empty(); }));
+  EXPECT_EQ(hs.downs[0], hs.ups[0]);
+}
+
+TEST(EpollReactor, LargeTransferRecyclesBuffers) {
+  // 1 MiB arrives intact through the pooled read path; afterwards the
+  // pool must show reuse (reads outnumber distinct buffers by far).
+  EpollReactor server;
+  EpollReactor client;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  }));
+
+  std::vector<std::uint8_t> blob(1U << 20U);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i * 2654435761U >> 24U);
+  }
+  ASSERT_TRUE(client.send(conn, blob));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups[0]].size() >= blob.size();
+  }));
+  EXPECT_EQ(hs.received[hs.ups[0]], blob);
+
+  // The blob may drain inside one wakeup burst (all pool misses, the
+  // releases land afterwards); a follow-up read must reuse one of the
+  // now-idle buffers.
+  ASSERT_TRUE(client.send(conn, bytes_of("warm")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups[0]].size() >= blob.size() + 4;
+  }));
+  const auto pool = server.pool().stats();
+  EXPECT_GT(pool.hits, 0U) << "read buffers never recycled";
+  EXPECT_GT(server.wakeups(), 0U);
+  EXPECT_GE(server.events_dispatched(), server.wakeups());
+  EXPECT_GT(client.writev_calls(), 0U);
+  EXPECT_GE(client.batched_bytes(), blob.size());
+}
+
+TEST(EpollReactor, BackpressureRefusesOverCap) {
+  StreamOptions opts;
+  opts.send_queue_cap_bytes = 64;
+  EpollReactor client{opts};
+  EpollReactor server;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  }));
+
+  // Flood without pumping the client: once >64 bytes sit unsent, send()
+  // must refuse rather than queue unboundedly. The shard may drain some
+  // of the early frames, so refusal is eventually-guaranteed, not
+  // instant — keep pushing until it happens.
+  const std::vector<std::uint8_t> chunk(48, 0x5A);
+  bool refused = false;
+  for (int i = 0; i < 10000 && !refused; ++i) {
+    refused = !client.send(conn, chunk);
+  }
+  EXPECT_TRUE(refused) << "cap never enforced";
+  EXPECT_GT(client.backpressure_refusals(), 0U);
+}
+
+TEST(EpollReactor, ConnectToDeadPortFailsAfterRetries) {
+  StreamOptions opts;
+  opts.connect_timeout = 0.2;
+  opts.connect_retries = 1;
+  opts.retry_backoff = 0.05;
+  EpollReactor client{opts};
+  RecordingHandler hc;
+  client.set_handler(&hc);
+
+  // Bind-then-close: the port was just proven free, so connecting gets
+  // a fast RST rather than a timeout.
+  std::uint16_t dead_port = 0;
+  {
+    EpollReactor probe;
+    dead_port = probe.listen("127.0.0.1", 0);
+  }
+  const NodeId conn = client.connect("127.0.0.1", dead_port);
+  EXPECT_NE(conn, kInvalidNodeId);
+
+  const double t0 = client.now();
+  while (client.now() - t0 < 10.0 && hc.downs.empty()) {
+    client.poll_once(0.01);
+  }
+  ASSERT_EQ(hc.downs.size(), 1U);
+  EXPECT_EQ(hc.downs[0], conn);
+  EXPECT_TRUE(hc.ups.empty());
+  EXPECT_EQ(client.connects_failed(), 1U);
+  EXPECT_GE(client.connect_retries(), 1U);
+}
+
+TEST(EpollReactor, ConnectionsSpreadAcrossShards) {
+  StreamOptions opts;
+  opts.reactor_shards = 2;
+  EpollReactor server{opts};
+  EpollReactor client{opts};
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  ASSERT_EQ(server.shard_count(), 2U);
+
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  constexpr std::size_t kConns = 8;
+  for (std::size_t i = 0; i < kConns; ++i) {
+    ASSERT_NE(client.connect("127.0.0.1", port), kInvalidNodeId);
+  }
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.ups.size() >= kConns && hc.ups.size() >= kConns;
+  }));
+
+  EXPECT_EQ(server.open_connections(), kConns);
+  const std::size_t s0 = server.shard_connections(0);
+  const std::size_t s1 = server.shard_connections(1);
+  EXPECT_EQ(s0 + s1, kConns);
+  // id % nshards routing with sequential ids: an even split.
+  EXPECT_GT(s0, 0U);
+  EXPECT_GT(s1, 0U);
+}
+
+TEST(EpollReactor, AttachMetricsExportsReactorGauges) {
+  EpollReactor server;
+  EpollReactor client;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  }));
+  ASSERT_TRUE(client.send(conn, bytes_of("hello metrics")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.received.empty() && hs.received[hs.ups[0]].size() >= 13;
+  }));
+
+  obs::MetricsRegistry registry;
+  server.attach_metrics(registry, "epoll.");
+  for (const char* name :
+       {"epoll.accepts", "epoll.bytes_in", "epoll.wakeups",
+        "epoll.events_per_wakeup", "epoll.conns", "epoll.pool_hit_rate",
+        "epoll.shards", "epoll.shard0.conns"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  const auto* conns = registry.find_gauge("epoll.conns");
+  ASSERT_NE(conns, nullptr);
+  EXPECT_DOUBLE_EQ(conns->value(), 1.0);
+  const auto* accepts = registry.find_gauge("epoll.accepts");
+  ASSERT_NE(accepts, nullptr);
+  EXPECT_DOUBLE_EQ(accepts->value(), 1.0);
+}
+
+TEST(EpollReactor, SendToUnknownConnRefused) {
+  EpollReactor t;
+  RecordingHandler h;
+  t.set_handler(&h);
+  EXPECT_FALSE(t.send(NodeId{424242}, bytes_of("nope")));
+}
+
+#endif  // ICOLLECT_HAVE_EPOLL
+
+}  // namespace
+}  // namespace icollect::net

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <sys/time.h>
 #include <unordered_map>
 #include <vector>
 
@@ -214,6 +216,83 @@ TEST(Tcp, InstrumentationCountersTrackLifecycle) {
   client.close_peer(conn);
   EXPECT_EQ(client.closes(), 1U);
   EXPECT_DOUBLE_EQ(reg.find_gauge("cli.closes")->value(), 1.0);
+}
+
+TEST(Tcp, ShortSendsCompactAndDeliver) {
+  // A deliberately tiny socket send buffer forces send() to drain in
+  // many short writes: every EAGAIN is a partial drain, the consumed
+  // outq prefix must be compacted (not grown without bound), and the
+  // stream must still arrive byte-exact.
+  TcpTransport::Options opts;
+  opts.so_sndbuf = 4096;  // kernel clamps to its minimum, still tiny
+  TcpTransport client{opts};
+  TcpTransport server;
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return !hs.ups.empty() && !hc.ups.empty();
+  }));
+
+  std::vector<std::uint8_t> blob(512U * 1024U);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i * 40503U >> 8U);
+  }
+  ASSERT_TRUE(client.send(conn, blob));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups[0]].size() >= blob.size();
+  }));
+  EXPECT_EQ(hs.received[hs.ups[0]], blob);
+  EXPECT_GT(client.partial_drains(), 0U);
+  EXPECT_EQ(client.send_queue_bytes(), 0U);  // outq fully drained
+}
+
+TEST(Tcp, TransferSurvivesSignalStorm) {
+  // Pepper the process with SIGALRM (no SA_RESTART, so poll/recv/send
+  // return EINTR) for the whole transfer: the transport must retry
+  // interrupted syscalls, never drop bytes or surface a spurious close.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old_sa{};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 2000;  // every 2ms
+  storm.it_value.tv_usec = 2000;
+  itimerval old_timer{};
+  ASSERT_EQ(setitimer(ITIMER_REAL, &storm, &old_timer), 0);
+
+  {
+    TcpTransport server;
+    TcpTransport client;
+    RecordingHandler hs;
+    RecordingHandler hc;
+    server.set_handler(&hs);
+    client.set_handler(&hc);
+    const std::uint16_t port = server.listen("127.0.0.1", 0);
+    const NodeId conn = client.connect("127.0.0.1", port);
+    ASSERT_TRUE(pump(server, client, [&] {
+      return !hs.ups.empty() && !hc.ups.empty();
+    }));
+    std::vector<std::uint8_t> blob(1U << 20U);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+      blob[i] = static_cast<std::uint8_t>(i * 2246822519U >> 16U);
+    }
+    ASSERT_TRUE(client.send(conn, blob));
+    ASSERT_TRUE(pump(server, client, [&] {
+      return hs.received[hs.ups[0]].size() >= blob.size();
+    }));
+    EXPECT_EQ(hs.received[hs.ups[0]], blob);
+    EXPECT_TRUE(hs.downs.empty());
+    EXPECT_TRUE(hc.downs.empty());
+  }
+
+  ASSERT_EQ(setitimer(ITIMER_REAL, &old_timer, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGALRM, &old_sa, nullptr), 0);
 }
 
 TEST(Tcp, ConnectRetriesAreCounted) {

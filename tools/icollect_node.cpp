@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "net/tcp.h"
+#include "net/stream_transport.h"
 #include "node/node_config.h"
 #include "node/peer_node.h"
 #include "node/server_node.h"
@@ -79,6 +79,10 @@ void usage(const char* argv0) {
       "counters\n"
       "  --metrics-interval T   sample spacing in seconds (default 0.5)\n"
       "  --trace-out FILE       protocol event trace JSONL\n"
+      "  --backend NAME         poll | epoll | auto (default auto: epoll\n"
+      "                         where the build has it)\n"
+      "  --shards N             epoll reactor threads (default auto)\n"
+      "  --backlog N            listen(2) backlog (default SOMAXCONN)\n"
       "\n"
       "SIGUSR1 dumps a one-line stats snapshot to stderr.\n",
       argv0);
@@ -116,6 +120,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   double metrics_interval = 0.5;
+  std::string backend = "auto";
+  std::size_t shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg{argv[i]};
@@ -167,6 +173,13 @@ int main(int argc, char** argv) {
       metrics_interval = std::strtod(value("--metrics-interval"), nullptr);
     } else if (arg == "--trace-out") {
       trace_out = value("--trace-out");
+    } else if (arg == "--backend") {
+      backend = value("--backend");
+    } else if (arg == "--shards") {
+      shards = std::strtoul(value("--shards"), nullptr, 10);
+    } else if (arg == "--backlog") {
+      cfg.listen_backlog =
+          static_cast<int>(std::strtol(value("--backlog"), nullptr, 10));
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                    std::string{arg}.c_str());
@@ -203,11 +216,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  net::TcpTransport::Options topts;
+  net::StreamOptions topts;
   topts.connect_timeout = 5.0;
   topts.connect_retries = 20;  // peers may start before their server
   topts.retry_backoff = 0.25;
-  net::TcpTransport tcp{topts};
+  topts.listen_backlog = cfg.listen_backlog;
+  topts.reactor_shards = shards;
+  std::unique_ptr<net::StreamTransport> transport;
+  try {
+    transport = net::make_stream_transport(backend, topts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+  net::StreamTransport& tcp = *transport;
+  std::fprintf(stderr, "transport backend: %s\n", tcp.backend_name());
 
   std::uint16_t bound_port = 0;
   if (!listen_at.empty()) {
