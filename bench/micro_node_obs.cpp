@@ -18,7 +18,7 @@
 
 #include "node/cluster.h"
 #include "obs/metrics_registry.h"
-#include "p2p/trace.h"
+#include "proto/trace.h"
 
 namespace {
 
@@ -53,7 +53,7 @@ double run_once(bool instrumented, std::uint64_t* checksum) {
                                 instrumented ? &registry : nullptr};
   if (instrumented) {
     cluster.set_trace_sink(
-        [&trace_events](const p2p::TraceEvent&) { ++trace_events; });
+        [&trace_events](const proto::TraceEvent&) { ++trace_events; });
   }
   cluster.run_for(kVirtualSeconds);
   const auto t1 = std::chrono::steady_clock::now();

@@ -12,7 +12,7 @@
 #include "obs/profiler.h"
 #include "obs/snapshotter.h"
 #include "obs/trace_pipeline.h"
-#include "p2p/trace.h"
+#include "proto/trace.h"
 
 namespace {
 
@@ -51,8 +51,8 @@ BENCHMARK(BM_ProfScopeEnabled);
 
 void BM_TraceRingPush(benchmark::State& state) {
   obs::TraceBuffer buf{4096};
-  p2p::TraceEvent ev;
-  ev.kind = p2p::TraceEventKind::kGossipSent;
+  proto::TraceEvent ev;
+  ev.kind = proto::TraceEventKind::kGossipSent;
   ev.segment = coding::SegmentId{1, 2};
   for (auto _ : state) {
     ev.at += 1.0;
@@ -63,8 +63,8 @@ void BM_TraceRingPush(benchmark::State& state) {
 BENCHMARK(BM_TraceRingPush);
 
 void BM_TraceEventToString(benchmark::State& state) {
-  p2p::TraceEvent ev;
-  ev.kind = p2p::TraceEventKind::kServerPull;
+  proto::TraceEvent ev;
+  ev.kind = proto::TraceEventKind::kServerPull;
   ev.at = 123.456;
   ev.slot = 17;
   ev.segment = coding::SegmentId{7, 9};
@@ -76,8 +76,8 @@ void BM_TraceEventToString(benchmark::State& state) {
 BENCHMARK(BM_TraceEventToString);
 
 void BM_TraceEventJson(benchmark::State& state) {
-  p2p::TraceEvent ev;
-  ev.kind = p2p::TraceEventKind::kServerPull;
+  proto::TraceEvent ev;
+  ev.kind = proto::TraceEventKind::kServerPull;
   ev.at = 123.456;
   for (auto _ : state) {
     benchmark::DoNotOptimize(obs::trace_event_json(ev));

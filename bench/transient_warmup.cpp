@@ -43,7 +43,7 @@ int main() {
                          static_cast<double>(cfg.num_peers);
     std::size_t empty = 0;
     for (std::size_t slot = 0; slot < cfg.num_peers; ++slot) {
-      if (net.peer(slot).buffer.empty()) ++empty;
+      if (net.peer(slot).buffer().empty()) ++empty;
     }
     const double sim_z0 =
         static_cast<double>(empty) / static_cast<double>(cfg.num_peers);

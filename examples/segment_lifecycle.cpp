@@ -54,21 +54,21 @@ int main(int argc, char** argv) {
 
   p2p::Network net{cfg};
   std::unordered_map<coding::SegmentId, Lifecycle> lives;
-  net.set_trace_sink([&](const p2p::TraceEvent& ev) {
+  net.set_trace_sink([&](const proto::TraceEvent& ev) {
     switch (ev.kind) {
-      case p2p::TraceEventKind::kSegmentInjected: {
+      case proto::TraceEventKind::kSegmentInjected: {
         Lifecycle life;
         life.injected_at = ev.at;
         life.origin = ev.slot;
         lives[ev.segment] = life;
         break;
       }
-      case p2p::TraceEventKind::kGossipSent:
+      case proto::TraceEventKind::kGossipSent:
         if (auto it = lives.find(ev.segment); it != lives.end()) {
           ++it->second.gossip_copies;
         }
         break;
-      case p2p::TraceEventKind::kServerPull:
+      case proto::TraceEventKind::kServerPull:
         if (auto it = lives.find(ev.segment); it != lives.end()) {
           ++it->second.pulls;
           it->second.useful_pulls += ev.aux;
@@ -77,13 +77,13 @@ int main(int argc, char** argv) {
           }
         }
         break;
-      case p2p::TraceEventKind::kSegmentDecoded:
+      case proto::TraceEventKind::kSegmentDecoded:
         if (auto it = lives.find(ev.segment); it != lives.end()) {
           it->second.decoded = true;
           it->second.resolved_at = ev.at;
         }
         break;
-      case p2p::TraceEventKind::kSegmentLost:
+      case proto::TraceEventKind::kSegmentLost:
         if (auto it = lives.find(ev.segment); it != lives.end()) {
           it->second.lost = true;
           it->second.resolved_at = ev.at;

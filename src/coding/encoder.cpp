@@ -21,13 +21,13 @@ CodedBlock SegmentEncoder::systematic_block(std::size_t k) const {
   return CodedBlock::systematic(id_, originals_.size(), k, originals_[k]);
 }
 
-CodedBlock SegmentEncoder::encode(sim::Rng& rng) const {
+CodedBlock SegmentEncoder::encode(common::Rng& rng) const {
   CodedBlock out;
   encode_into(out, rng);
   return out;
 }
 
-void SegmentEncoder::encode_into(CodedBlock& out, sim::Rng& rng) const {
+void SegmentEncoder::encode_into(CodedBlock& out, common::Rng& rng) const {
   out.segment = id_;
   out.coefficients.resize(originals_.size());
   do {

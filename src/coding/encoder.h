@@ -14,7 +14,7 @@
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
-#include "sim/random.h"
+#include "common/rng.h"
 
 namespace icollect::coding {
 
@@ -43,12 +43,12 @@ class SegmentEncoder {
   /// Emit a freshly coded block with uniformly random coefficients. The
   /// all-zero draw (probability 256^-s) is rejected and redrawn so every
   /// emitted block is non-degenerate.
-  [[nodiscard]] CodedBlock encode(sim::Rng& rng) const;
+  [[nodiscard]] CodedBlock encode(common::Rng& rng) const;
 
   /// encode() into a caller-owned block, reusing its buffers: once
   /// `out`'s vectors have grown to size, repeated calls allocate
   /// nothing. Draws the same RNG stream as encode().
-  void encode_into(CodedBlock& out, sim::Rng& rng) const;
+  void encode_into(CodedBlock& out, common::Rng& rng) const;
 
  private:
   SegmentId id_;

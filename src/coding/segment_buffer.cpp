@@ -62,13 +62,13 @@ bool SegmentBuffer::is_innovative(const CodedBlock& block) const {
   return probe.is_innovative(candidate);
 }
 
-CodedBlock SegmentBuffer::recode(sim::Rng& rng) const {
+CodedBlock SegmentBuffer::recode(common::Rng& rng) const {
   CodedBlock out;
   recode_into(out, rng);
   return out;
 }
 
-void SegmentBuffer::recode_into(CodedBlock& out, sim::Rng& rng) const {
+void SegmentBuffer::recode_into(CodedBlock& out, common::Rng& rng) const {
   ICOLLECT_EXPECTS(!blocks_.empty());
   const std::size_t payload_size = blocks_.front().block.payload.size();
   out.segment = id_;

@@ -18,12 +18,12 @@
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
-#include "sim/random.h"
+#include "common/rng.h"
 
 namespace icollect::coding {
 
 /// Stable identifier of a stored block within a peer's buffer; allocated
-/// by the owner (see p2p::PeerBuffer) and used by TTL expiry events.
+/// by the owner (see proto::PeerBuffer) and used by TTL expiry events.
 using BlockHandle = std::uint64_t;
 
 class SegmentBuffer {
@@ -61,13 +61,13 @@ class SegmentBuffer {
   /// Produce a re-coded block: a uniformly random GF(2^8) combination of
   /// all stored blocks (degenerate all-zero draws are redrawn).
   /// Precondition: !empty().
-  [[nodiscard]] CodedBlock recode(sim::Rng& rng) const;
+  [[nodiscard]] CodedBlock recode(common::Rng& rng) const;
 
   /// recode() into a caller-owned block, reusing its buffers: once
   /// `out`'s vectors have grown to size, repeated calls allocate
   /// nothing — this is what keeps the server pull-and-decode loop
   /// malloc-free. Draws the same RNG stream as recode().
-  void recode_into(CodedBlock& out, sim::Rng& rng) const;
+  void recode_into(CodedBlock& out, common::Rng& rng) const;
 
   /// Handles of all stored blocks (for the owner's bookkeeping).
   [[nodiscard]] std::vector<BlockHandle> handles() const;

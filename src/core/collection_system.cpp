@@ -38,7 +38,7 @@ void CollectionSystem::use_vital_statistics_payloads() {
         records.reserve(packer.capacity());
         for (std::size_t k = 0; k < packer.capacity(); ++k) {
           auto r = model.sample(net_->now(), record_rng_);
-          r.peer = origin.origin;  // identity of the current occupant
+          r.peer = origin.origin();  // identity of the current occupant
           records.push_back(r);
         }
         return packer.pack(records);
@@ -69,7 +69,7 @@ void CollectionSystem::use_streaming_session_payloads(
         // are due and fit; identity follows the current occupant.
         auto records = session_feed_->take(origin.slot, net_->now(),
                                            packer.capacity());
-        for (auto& r : records) r.peer = origin.origin;
+        for (auto& r : records) r.peer = origin.origin();
         return packer.pack(records);
       });
 }

@@ -29,13 +29,19 @@
 #include "ode/closed_form.h"
 #include "ode/indirect_ode.h"
 #include "ode/rk4.h"
+#include "proto/peer_buffer.h"
+#include "proto/peer_core.h"
+#include "proto/policy.h"
+#include "proto/pull_policy.h"
+#include "proto/selection.h"
+#include "proto/server_bank.h"
+#include "proto/server_core.h"
+#include "proto/trace.h"
 #include "p2p/churn.h"
 #include "p2p/config.h"
 #include "p2p/direct_collector.h"
 #include "p2p/metrics.h"
 #include "p2p/network.h"
-#include "p2p/peer.h"
-#include "p2p/server.h"
 #include "p2p/topology.h"
 #include "sim/event_queue.h"
 #include "sim/poisson_process.h"

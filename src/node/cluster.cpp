@@ -115,7 +115,7 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
   }
 }
 
-void LoopbackCluster::set_trace_sink(p2p::TraceSink sink) {
+void LoopbackCluster::set_trace_sink(proto::TraceSink sink) {
   for (auto& p : peers_) p->set_trace_sink(sink);
   for (auto& s : servers_) s->set_trace_sink(sink);
 }

@@ -74,7 +74,7 @@ class LoopbackCluster {
                            obs::MetricsRegistry* metrics = nullptr);
 
   /// Fan one trace sink out to every node (each gets a copy).
-  void set_trace_sink(p2p::TraceSink sink);
+  void set_trace_sink(proto::TraceSink sink);
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] net::LoopbackNet& net() noexcept { return net_; }

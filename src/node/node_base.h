@@ -26,7 +26,7 @@
 #include "net/transport.h"
 #include "node/node_config.h"
 #include "obs/metrics_registry.h"
-#include "p2p/trace.h"
+#include "proto/trace.h"
 #include "wire/frame.h"
 #include "wire/message.h"
 
@@ -88,11 +88,11 @@ class NodeBase : public net::TransportHandler {
   }
 
   /// Observe protocol-level events (inject/gossip/ttl/pull/decode) as
-  /// p2p::TraceEvents stamped with the wheel's time — the same stream
+  /// proto::TraceEvents stamped with the wheel's time — the same stream
   /// the simulator's engine emits, so one TraceBuffer / analysis script
   /// serves both worlds. Pass nullptr-equivalent (default-constructed)
   /// to detach.
-  void set_trace_sink(p2p::TraceSink sink) { trace_sink_ = std::move(sink); }
+  void set_trace_sink(proto::TraceSink sink) { trace_sink_ = std::move(sink); }
 
  protected:
   struct Session {
@@ -135,10 +135,10 @@ class NodeBase : public net::TransportHandler {
 
   /// Emit one trace event stamped with the wheel's current time; a
   /// single branch when no sink is installed.
-  void trace(p2p::TraceEventKind kind, std::size_t slot,
+  void trace(proto::TraceEventKind kind, std::size_t slot,
              coding::SegmentId segment, std::uint64_t aux) {
     if (!trace_sink_) return;
-    trace_sink_(p2p::TraceEvent{kind, wheel_.now(), slot, segment, aux});
+    trace_sink_(proto::TraceEvent{kind, wheel_.now(), slot, segment, aux});
   }
 
   net::Transport& transport_;
@@ -155,7 +155,7 @@ class NodeBase : public net::TransportHandler {
   std::vector<net::NodeId> peer_conns_;
   std::vector<net::NodeId> server_conns_;
   std::vector<std::uint8_t> frame_scratch_;
-  p2p::TraceSink trace_sink_;
+  proto::TraceSink trace_sink_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t decode_errors_ = 0;

@@ -2,16 +2,33 @@
 
 #include <utility>
 
-#include "common/crc32.h"
-
 namespace icollect::node {
+
+proto::PeerCore::Params PeerNode::core_params(const NodeConfig& cfg) {
+  proto::PeerCore::Params params;
+  params.segment_size = cfg.segment_size;
+  params.buffer_cap = cfg.buffer_cap;
+  params.gamma = cfg.gamma;
+  params.payload_bytes = cfg.payload_bytes;
+  params.drop_on_ack = cfg.drop_on_ack;
+  params.retain_own_until_acked = cfg.retain_own_until_acked;
+  // The simulator keeps CRCs in its global registry; a live node records
+  // them in the core so tests can verify byte-exact recovery end-to-end.
+  params.record_own_crcs = true;
+  return params;
+}
 
 PeerNode::PeerNode(const NodeConfig& cfg, net::Transport& transport,
                    net::TimerWheel& wheel, obs::MetricsRegistry* metrics,
                    const std::string& metric_prefix)
     : NodeBase{cfg, transport, wheel, metrics, metric_prefix},
       rng_{cfg.seed},
-      buffer_{cfg.buffer_cap} {
+      core_{core_params(cfg), cfg.node_id, rng_} {
+  // The core draws each block's Exp(γ) lifetime; expiry runs on the
+  // shared wheel (virtual ticks over loopback, wall ticks over TCP).
+  core_.set_arm_ttl([this](coding::BlockHandle handle, double delay) {
+    wheel_.schedule_after(delay, [this, handle] { on_ttl_expire(handle); });
+  });
   if (metrics_ != nullptr) {
     auto gauge = [this](const char* name, const std::uint64_t* v) {
       metrics_->gauge(metric_prefix_ + name,
@@ -31,13 +48,17 @@ PeerNode::PeerNode(const NodeConfig& cfg, net::Transport& transport,
     gauge("pull_empty_replies", &pull_empty_replies_);
     gauge("acks_received", &acks_received_);
     gauge("own_segments_acked", &own_acked_);
-    gauge("reseeds", &reseeds_);
-    gauge("reseed_evictions", &reseed_evictions_);
+    metrics_->gauge(metric_prefix_ + "reseeds", [this] {
+      return static_cast<double>(core_.reseeds());
+    });
+    metrics_->gauge(metric_prefix_ + "reseed_evictions", [this] {
+      return static_cast<double>(core_.reseed_evictions());
+    });
     metrics_->gauge(metric_prefix_ + "buffer_blocks", [this] {
-      return static_cast<double>(buffer_.size());
+      return static_cast<double>(core_.buffer().size());
     });
     metrics_->gauge(metric_prefix_ + "buffer_segments", [this] {
-      return static_cast<double>(buffer_.segment_count());
+      return static_cast<double>(core_.buffer().segment_count());
     });
   }
 }
@@ -55,12 +76,6 @@ bool PeerNode::injection_done() const noexcept {
           segments_injected_ >= config().max_segments);
 }
 
-const std::vector<std::uint32_t>* PeerNode::original_crcs(
-    const coding::SegmentId& id) const {
-  const auto it = own_crcs_.find(id);
-  return it == own_crcs_.end() ? nullptr : &it->second;
-}
-
 void PeerNode::schedule_inject() {
   // Segment arrivals at rate λ/s — the paper's block process thinned to
   // whole segments, matching p2p::Network's injector exactly.
@@ -75,88 +90,23 @@ void PeerNode::schedule_inject() {
 }
 
 void PeerNode::do_inject() {
-  const std::size_t s = config().segment_size;
-  if (!buffer_.has_room(s)) {
+  if (!core_.can_inject()) {
     ++injection_blocked_;
     return;
   }
-  const coding::SegmentId id{config().node_id, next_seq_++};
-  own_segments_.insert(id);
+  const coding::SegmentId id = core_.next_segment_id();
   ++segments_injected_;
-  trace(p2p::TraceEventKind::kSegmentInjected, config().node_id, id, s);
-
-  std::vector<std::vector<std::uint8_t>> originals;
-  std::vector<std::uint32_t> crcs;
-  originals.reserve(s);
-  for (std::size_t k = 0; k < s; ++k) {
-    std::vector<std::uint8_t> payload(config().payload_bytes);
-    for (auto& byte : payload) {
-      byte = static_cast<std::uint8_t>(rng_.gf_element());
-    }
-    if (!payload.empty()) crcs.push_back(common::crc32(payload));
-    originals.push_back(std::move(payload));
-  }
-  if (!crcs.empty()) own_crcs_.emplace(id, std::move(crcs));
-
-  if (config().retain_own_until_acked) {
-    // Source-side retention: keep the encoder so the segment can be
-    // re-seeded if TTL expiry kills its local rank before a server ACK.
-    const auto [it, inserted] = own_encoders_.emplace(
-        id, coding::SegmentEncoder{id, std::move(originals)});
-    for (std::size_t k = 0; k < s; ++k) {
-      store_block(it->second.systematic_block(k));
-    }
-  } else {
-    for (std::size_t k = 0; k < s; ++k) {
-      store_block(
-          coding::CodedBlock::systematic(id, s, k, std::move(originals[k])));
-    }
-  }
-}
-
-void PeerNode::store_block(coding::CodedBlock block) {
-  const coding::BlockHandle handle = next_handle_++;
-  buffer_.insert(handle, std::move(block));
-  wheel_.schedule_after(rng_.exponential(config().gamma),
-                        [this, handle] { on_ttl_expire(handle); });
+  trace(proto::TraceEventKind::kSegmentInjected, config().node_id, id,
+        config().segment_size);
+  core_.inject();
 }
 
 void PeerNode::on_ttl_expire(coding::BlockHandle handle) {
-  const auto seg = buffer_.erase(handle);
+  const auto seg = core_.on_ttl_expired(handle);
   if (!seg) return;  // already evicted / dropped on ack
   ++ttl_expirations_;
-  trace(p2p::TraceEventKind::kTtlExpired, config().node_id, *seg, 0);
-  reseed_own(*seg);
-}
-
-void PeerNode::reseed_own(const coding::SegmentId& id) {
-  if (!config().retain_own_until_acked) return;
-  const auto it = own_encoders_.find(id);
-  if (it == own_encoders_.end()) return;  // not ours, or already ACKed
-  const std::size_t s = config().segment_size;
-  // Top the segment's local rank back up to s with fresh coded blocks,
-  // evicting relayed (other-segment) blocks if the buffer is full. The
-  // loop is bounded: a fresh coded block fails to raise rank only on a
-  // 256^-rank coefficient collision, so 4·s attempts is ample.
-  for (std::size_t attempts = 0; attempts < 4 * s; ++attempts) {
-    const coding::SegmentBuffer* sb = buffer_.find(id);
-    if (sb != nullptr && sb->rank() >= s) return;
-    if (!buffer_.has_room(1)) {
-      bool evicted = false;
-      for (const coding::SegmentId& other : buffer_.segments()) {
-        if (other == id) continue;
-        coding::SegmentBuffer* osb = buffer_.find(other);
-        if (osb == nullptr || osb->empty()) continue;
-        buffer_.erase(osb->handles().front());
-        ++reseed_evictions_;
-        evicted = true;
-        break;
-      }
-      if (!evicted) return;  // buffer full of this segment alone
-    }
-    store_block(it->second.encode(rng_));
-    ++reseeds_;
-  }
+  trace(proto::TraceEventKind::kTtlExpired, config().node_id, *seg, 0);
+  core_.reseed_own(*seg);
 }
 
 void PeerNode::schedule_gossip() {
@@ -167,7 +117,7 @@ void PeerNode::schedule_gossip() {
 }
 
 void PeerNode::do_gossip() {
-  if (buffer_.empty()) {
+  if (!core_.has_blocks()) {
     ++gossip_idle_;
     return;
   }
@@ -175,68 +125,59 @@ void PeerNode::do_gossip() {
     ++gossip_no_target_;
     return;
   }
-  const coding::SegmentId seg = buffer_.random_segment(rng_);
-  const coding::SegmentBuffer* sb = buffer_.find(seg);
+  const coding::SegmentId seg = core_.choose_gossip_segment();
   const net::NodeId target =
       peer_conns()[rng_.uniform_index(peer_conns().size())];
-  if (send_message(target, wire::Message{wire::GossipBlock{
-                               sb->recode(rng_)}})) {
+  if (send_message(target,
+                   wire::Message{wire::GossipBlock{core_.recode(seg)}})) {
     ++gossip_sent_;
-    trace(p2p::TraceEventKind::kGossipSent, config().node_id, seg, target);
+    trace(proto::TraceEventKind::kGossipSent, config().node_id, seg, target);
   }
 }
 
 void PeerNode::accept_block(coding::CodedBlock&& block) {
   ++blocks_received_;
-  if (block.segment_size() != config().segment_size ||
-      block.is_degenerate()) {
-    // Shape mismatch slipped past the handshake, or a degenerate block
-    // an honest encoder never emits — junk either way.
-    return;
+  switch (core_.accept(std::move(block))) {
+    case proto::PeerCore::AcceptResult::kStored:
+      break;
+    case proto::PeerCore::AcceptResult::kShapeMismatch:
+      break;  // junk a conforming peer never sends; dropped silently
+    case proto::PeerCore::AcceptResult::kAckedSegment:
+      ++blocks_dropped_acked_;
+      break;
+    case proto::PeerCore::AcceptResult::kBufferFull:
+      ++blocks_dropped_full_;
+      break;
+    case proto::PeerCore::AcceptResult::kSegmentFullRank:
+      ++blocks_dropped_rank_;
+      break;
   }
-  if (config().drop_on_ack && acked_.contains(block.segment)) {
-    ++blocks_dropped_acked_;
-    return;
-  }
-  if (buffer_.full()) {
-    ++blocks_dropped_full_;
-    return;
-  }
-  if (const coding::SegmentBuffer* sb = buffer_.find(block.segment);
-      sb != nullptr && sb->full_rank()) {
-    ++blocks_dropped_rank_;
-    return;
-  }
-  store_block(std::move(block));
 }
 
 void PeerNode::handle_pull_request(Session& session,
                                    const wire::PullRequest& req) {
   wire::PullBlock reply;
   reply.token = req.token;
-  reply.occupancy = static_cast<std::uint32_t>(buffer_.size());
-  if (buffer_.empty()) {
-    ++pull_empty_replies_;
-    reply.has_block = false;
-  } else {
-    const coding::SegmentId seg = buffer_.random_segment(rng_);
-    const coding::SegmentBuffer* sb = buffer_.find(seg);
-    reply.has_block = true;
-    reply.block = sb->recode(rng_);
+  reply.occupancy = static_cast<std::uint32_t>(core_.buffer().size());
+  reply.has_block = core_.answer_pull(reply.block);
+  if (reply.has_block) {
     ++pull_replies_;
+  } else {
+    ++pull_empty_replies_;
   }
   send_message(session.conn, wire::Message{std::move(reply)});
 }
 
 void PeerNode::handle_ack(const coding::SegmentId& id) {
   ++acks_received_;
-  if (!acked_.insert(id).second) return;  // duplicate (multi-server)
-  if (own_segments_.contains(id)) ++own_acked_;
-  own_encoders_.erase(id);  // delivery guaranteed; release the originals
-  if (config().drop_on_ack) {
-    if (coding::SegmentBuffer* sb = buffer_.find(id); sb != nullptr) {
-      for (const coding::BlockHandle h : sb->handles()) buffer_.erase(h);
-    }
+  switch (core_.on_ack(id)) {
+    case proto::PeerCore::AckResult::kDuplicate:  // multi-server
+      break;
+    case proto::PeerCore::AckResult::kOwnSegment:
+      ++own_acked_;
+      break;
+    case proto::PeerCore::AckResult::kOtherSegment:
+      break;
   }
 }
 

@@ -1,35 +1,34 @@
 #pragma once
 
 /// \file peer_node.h
-/// The live realization of a protocol peer (Sec. 2): injects segments
-/// of s systematic blocks into its bounded buffer, gossips re-coded
-/// blocks to random established peers at rate μ, expires each buffered
-/// block after an Exp(γ) TTL, and answers server PULL_REQUESTs with a
-/// re-coded block of a uniformly random buffered segment.
+/// The live realization of a protocol peer (Sec. 2): a proto::PeerCore
+/// driven by wire frames and the shared TimerWheel. The core owns every
+/// protocol decision — injection payloads and systematic seeding, gossip
+/// segment choice, the receiver-side acceptance rule, Exp(γ) TTLs, pull
+/// answers, ACK handling, source-side retention/re-seeding; this class
+/// owns what only a live node has — sessions, frames, timers, metrics.
 ///
 /// All timing flows through the shared TimerWheel and all randomness
-/// through one seeded sim::Rng, so a peer behaves identically — and
+/// through one seeded common::Rng, so a peer behaves identically — and
 /// deterministically — over the loopback transport and over TCP.
 ///
 /// One deliberate divergence from the simulator: the simulator filters
-/// gossip *receivers* at the sender ("eligible_receiver": not full, not
-/// full-rank), which needs global state a live node cannot have. Here
-/// the sender picks blindly and the receiver drops ineligible blocks,
-/// counting them. At simulator-comparable operating points (buffers not
-/// saturated) the two policies measurably agree — node_vs_sim_test
-/// pins that equivalence inside the simulator's confidence interval.
+/// gossip *receivers* at the sender (proto::PeerCore::can_accept), which
+/// needs global state a live node cannot have. Here the sender picks
+/// blindly and the receiver drops ineligible blocks via
+/// proto::PeerCore::accept, counting them. At simulator-comparable
+/// operating points (buffers not saturated) the two policies measurably
+/// agree — node_vs_sim_test pins that equivalence inside the simulator's
+/// confidence interval.
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "coding/coded_block.h"
-#include "coding/encoder.h"
 #include "coding/segment_id.h"
+#include "common/rng.h"
 #include "node/node_base.h"
-#include "p2p/peer.h"
-#include "sim/random.h"
+#include "proto/peer_core.h"
 
 namespace icollect::node {
 
@@ -45,8 +44,8 @@ class PeerNode final : public NodeBase {
   /// Stop injecting new segments (gossip and TTL keep running).
   void stop_injection();
 
-  [[nodiscard]] const p2p::PeerBuffer& buffer() const noexcept {
-    return buffer_;
+  [[nodiscard]] const proto::PeerBuffer& buffer() const noexcept {
+    return core_.buffer();
   }
 
   // --- progress -----------------------------------------------------------
@@ -70,7 +69,9 @@ class PeerNode final : public NodeBase {
   /// recorded when payload_bytes > 0) — lets tests verify byte-exact
   /// end-to-end recovery against the server's decoded originals.
   [[nodiscard]] const std::vector<std::uint32_t>* original_crcs(
-      const coding::SegmentId& id) const;
+      const coding::SegmentId& id) const {
+    return core_.original_crcs(id);
+  }
 
   // --- counters -----------------------------------------------------------
   [[nodiscard]] std::uint64_t gossip_sent() const noexcept {
@@ -109,9 +110,11 @@ class PeerNode final : public NodeBase {
   [[nodiscard]] std::uint64_t acks_received() const noexcept {
     return acks_received_;
   }
-  [[nodiscard]] std::uint64_t reseeds() const noexcept { return reseeds_; }
+  [[nodiscard]] std::uint64_t reseeds() const noexcept {
+    return core_.reseeds();
+  }
   [[nodiscard]] std::uint64_t reseed_evictions() const noexcept {
-    return reseed_evictions_;
+    return core_.reseed_evictions();
   }
 
  protected:
@@ -121,31 +124,21 @@ class PeerNode final : public NodeBase {
   void handle_message(Session& session, wire::Message&& message) override;
 
  private:
+  [[nodiscard]] static proto::PeerCore::Params core_params(
+      const NodeConfig& cfg);
+
   void schedule_inject();
   void schedule_gossip();
   void do_inject();
   void do_gossip();
   void accept_block(coding::CodedBlock&& block);
-  void store_block(coding::CodedBlock block);
   void on_ttl_expire(coding::BlockHandle handle);
-  void reseed_own(const coding::SegmentId& id);
   void handle_pull_request(Session& session, const wire::PullRequest& req);
   void handle_ack(const coding::SegmentId& id);
 
-  sim::Rng rng_;
-  p2p::PeerBuffer buffer_;
-  std::uint32_t next_seq_ = 0;
-  coding::BlockHandle next_handle_ = 1;
+  common::Rng rng_;
+  proto::PeerCore core_;
   bool injection_stopped_ = false;
-
-  std::unordered_set<coding::SegmentId> own_segments_;
-  std::unordered_set<coding::SegmentId> acked_;
-  std::unordered_map<coding::SegmentId, std::vector<std::uint32_t>>
-      own_crcs_;
-  /// Source-side encoders for own unACKed segments (only populated when
-  /// retain_own_until_acked; released on ACK).
-  std::unordered_map<coding::SegmentId, coding::SegmentEncoder>
-      own_encoders_;
 
   std::uint64_t segments_injected_ = 0;
   std::uint64_t own_acked_ = 0;
@@ -161,8 +154,6 @@ class PeerNode final : public NodeBase {
   std::uint64_t pull_replies_ = 0;
   std::uint64_t pull_empty_replies_ = 0;
   std::uint64_t acks_received_ = 0;
-  std::uint64_t reseeds_ = 0;
-  std::uint64_t reseed_evictions_ = 0;
 };
 
 }  // namespace icollect::node

@@ -1,6 +1,9 @@
 #include "node/server_node.h"
 
+#include <memory>
 #include <utility>
+
+#include "proto/selection.h"
 
 namespace icollect::node {
 
@@ -9,9 +12,13 @@ ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
                        const std::string& metric_prefix)
     : NodeBase{cfg, transport, wheel, metrics, metric_prefix},
       rng_{cfg.seed},
-      bank_{/*keep_payloads=*/cfg.payload_bytes > 0} {
-  bank_.set_decode_callback(
-      [this](const p2p::ServerBank::DecodeEvent& ev) { on_bank_decode(ev); });
+      wheel_clock_{[this] { return wheel_.now(); }},
+      core_{/*keep_payloads=*/cfg.payload_bytes > 0, wheel_clock_},
+      pull_policy_{std::make_unique<proto::UniformPullPolicy>()} {
+  core_.set_decode_callback(
+      [this](const proto::ServerBank::DecodeEvent& ev) {
+        on_bank_decode(ev);
+      });
   if (metrics_ != nullptr) {
     auto gauge = [this](const char* name, const std::uint64_t* v) {
       metrics_->gauge(metric_prefix_ + name,
@@ -29,7 +36,7 @@ ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
     gauge("acks_sent", &acks_sent_);
     gauge("segments_decoded", &segments_decoded_metric_);
     metrics_->gauge(metric_prefix_ + "bank_in_progress", [this] {
-      return static_cast<double>(bank_.segments_in_progress());
+      return static_cast<double>(core_.bank().segments_in_progress());
     });
     metrics_->gauge(metric_prefix_ + "pending_pulls", [this] {
       return static_cast<double>(pending_pulls_.size());
@@ -88,32 +95,19 @@ void ServerNode::do_pull() {
     return it == occupancy_.end() || it->second.blocks != 0 ||
            t - it->second.reported_at >= kOccupancyRefresh;
   };
-  // Uniform-over-eligible by rejection sampling: probe uniform indices
-  // and reject known-empty peers. Conditioning a uniform draw on
-  // eligibility IS the uniform distribution over eligible peers, so the
-  // statistics are identical to the old build-a-candidate-list scan —
-  // at O(1) expected cost instead of O(n) per pull. Only when every
-  // probe rejects (mostly-empty roster) do we pay for one full scan.
-  net::NodeId target = net::kInvalidNodeId;
-  for (int probe = 0; probe < kPullProbes; ++probe) {
-    const net::NodeId cand = conns[rng_.uniform_index(conns.size())];
-    if (eligible(cand)) {
-      target = cand;
-      break;
-    }
+  // Uniform-over-eligible selection through the shared policy seam:
+  // rejection sampling over roster indices, with the exhaustive-scan
+  // fallback when every probe rejects (proto/selection.h). Conditioning
+  // a uniform draw on eligibility IS the uniform distribution over
+  // eligible peers, at O(1) expected cost instead of O(n) per pull.
+  const auto eligible_index = [&](std::size_t i) { return eligible(conns[i]); };
+  const std::size_t pick = pull_policy_->pick_filtered(
+      rng_, conns.size(), kPullProbes, proto::EligibleRef{eligible_index});
+  if (pick == proto::kNoSelection) {
+    ++pulls_starved_;
+    return;
   }
-  if (target == net::kInvalidNodeId) {
-    std::vector<net::NodeId> candidates;
-    candidates.reserve(conns.size());
-    for (const net::NodeId conn : conns) {
-      if (eligible(conn)) candidates.push_back(conn);
-    }
-    if (candidates.empty()) {
-      ++pulls_starved_;
-      return;
-    }
-    target = candidates[rng_.uniform_index(candidates.size())];
-  }
+  const net::NodeId target = conns[pick];
   const std::uint32_t token = next_token_++;
   if (send_message(target, wire::Message{wire::PullRequest{token}})) {
     ++pulls_sent_;
@@ -148,37 +142,39 @@ void ServerNode::offer_to_bank(const coding::CodedBlock& block,
   // Stamp the segment's first sighting before the offer: if this very
   // block completes the decode, on_bank_decode fires inside offer() and
   // consumes the stamp.
-  if (!bank_.is_decoded(block.segment)) {
+  if (!core_.bank().is_decoded(block.segment)) {
     first_seen_.emplace(block.segment, wheel_.now());
   }
-  const auto result = bank_.offer(block, wheel_.now());
+  const auto result =
+      from_pull ? core_.on_pull_block(block) : core_.on_forwarded_block(block);
   if (!from_pull) return;  // forwarded blocks don't count as pulls
-  trace(p2p::TraceEventKind::kServerPull, from_conn, block.segment,
-        result == p2p::ServerBank::PullResult::kInnovative ? 1 : 0);
+  trace(proto::TraceEventKind::kServerPull, from_conn, block.segment,
+        result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
   switch (result) {
-    case p2p::ServerBank::PullResult::kInnovative: {
+    case proto::ServerBank::PullResult::kInnovative:
       ++innovative_pulls_;
-      // Pooled-state forwarding: let the other servers' banks absorb
-      // what this pull contributed. Iterate a copy: a hard send failure
-      // can tear down the session and mutate the roster mid-loop.
-      const std::vector<net::NodeId> servers = server_conns();
-      for (const net::NodeId conn : servers) {
-        if (send_message(conn, wire::Message{wire::GossipBlock{block}})) {
-          ++forwarded_out_;
-        }
-      }
       break;
-    }
-    case p2p::ServerBank::PullResult::kRedundant:
+    case proto::ServerBank::PullResult::kRedundant:
       ++redundant_pulls_;
       break;
-    case p2p::ServerBank::PullResult::kAlreadyDecoded:
+    case proto::ServerBank::PullResult::kAlreadyDecoded:
       ++stale_pulls_;
       break;
   }
+  if (proto::ServerCore::should_forward(result)) {
+    // Pooled-state forwarding: let the other servers' banks absorb
+    // what this pull contributed. Iterate a copy: a hard send failure
+    // can tear down the session and mutate the roster mid-loop.
+    const std::vector<net::NodeId> servers = server_conns();
+    for (const net::NodeId conn : servers) {
+      if (send_message(conn, wire::Message{wire::GossipBlock{block}})) {
+        ++forwarded_out_;
+      }
+    }
+  }
 }
 
-void ServerNode::on_bank_decode(const p2p::ServerBank::DecodeEvent& event) {
+void ServerNode::on_bank_decode(const proto::ServerBank::DecodeEvent& event) {
   // The bank fires this callback before recording the segment as
   // decoded, so count the event rather than reading bank state.
   ++segments_decoded_metric_;
@@ -187,7 +183,7 @@ void ServerNode::on_bank_decode(const p2p::ServerBank::DecodeEvent& event) {
     decode_latency_->record_seconds(event.when - it->second);
     first_seen_.erase(it);
   }
-  trace(p2p::TraceEventKind::kSegmentDecoded, 0, event.id,
+  trace(proto::TraceEventKind::kSegmentDecoded, 0, event.id,
         config().segment_size);
   const wire::Message ack{wire::SegmentDecodedAck{event.id}};
   // Iterate copies: send_message can tear down a session (transport

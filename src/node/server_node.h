@@ -16,21 +16,27 @@
 /// comparable to the simulator's pooled ServerBank
 /// (tests/node_vs_sim_test.cpp holds them to its confidence interval).
 ///
-/// Peer selection mirrors PullPolicy::kUniformNonEmpty using the
-/// occupancy each PULL_BLOCK piggybacks: peers whose last reported
+/// Peer selection mirrors the simulator's uniform-non-empty rule using
+/// the occupancy each PULL_BLOCK piggybacks: peers whose last reported
 /// occupancy is zero are skipped (they re-enter the candidate set
 /// optimistically after occupancy_refresh seconds, since a live server
-/// cannot observe refills remotely).
+/// cannot observe refills remotely). The selection itself flows through
+/// the shared proto::PullPolicy seam (uniform rejection sampling over
+/// eligible roster indices; see proto/selection.h).
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "coding/segment_id.h"
+#include "common/rng.h"
 #include "node/node_base.h"
-#include "p2p/server.h"
-#include "sim/random.h"
+#include "obs/clock.h"
+#include "proto/pull_policy.h"
+#include "proto/server_core.h"
 #include "stats/latency_histogram.h"
 
 namespace icollect::node {
@@ -49,8 +55,18 @@ class ServerNode final : public NodeBase {
       std::function<void(const coding::SegmentId&, double when)>;
   void set_decode_hook(DecodeHook hook) { decode_hook_ = std::move(hook); }
 
-  [[nodiscard]] const p2p::ServerBank& bank() const noexcept { return bank_; }
-  [[nodiscard]] p2p::ServerBank& bank() noexcept { return bank_; }
+  /// Replace the peer-selection strategy (call before start()). The
+  /// default proto::UniformPullPolicy reproduces the paper's uniform
+  /// pull over (believed-)non-empty peers.
+  void set_pull_policy(std::unique_ptr<proto::PullPolicy> policy) {
+    ICOLLECT_EXPECTS(policy != nullptr);
+    pull_policy_ = std::move(policy);
+  }
+
+  [[nodiscard]] const proto::ServerBank& bank() const noexcept {
+    return core_.bank();
+  }
+  [[nodiscard]] proto::ServerBank& bank() noexcept { return core_.bank(); }
 
   // --- counters -----------------------------------------------------------
   [[nodiscard]] std::uint64_t pulls_sent() const noexcept {
@@ -84,7 +100,7 @@ class ServerNode final : public NodeBase {
     return acks_sent_;
   }
   [[nodiscard]] std::uint64_t segments_decoded() const noexcept {
-    return bank_.segments_decoded();
+    return core_.bank().segments_decoded();
   }
 
   // --- latency ------------------------------------------------------------
@@ -114,7 +130,7 @@ class ServerNode final : public NodeBase {
   void handle_pull_block(Session& session, wire::PullBlock&& reply);
   void offer_to_bank(const coding::CodedBlock& block, bool from_pull,
                      net::NodeId from_conn);
-  void on_bank_decode(const p2p::ServerBank::DecodeEvent& event);
+  void on_bank_decode(const proto::ServerBank::DecodeEvent& event);
 
   /// Seconds after which a zero-occupancy report expires and the peer
   /// is probed again.
@@ -136,8 +152,12 @@ class ServerNode final : public NodeBase {
   /// peer, dropped frame) are forgotten wholesale past this many.
   static constexpr std::size_t kMaxPendingPulls = 65536;
 
-  sim::Rng rng_;
-  p2p::ServerBank bank_;
+  common::Rng rng_;
+  /// The wheel is the server's one clock; the core stamps bank events
+  /// through it (virtual seconds over loopback, wall seconds over TCP).
+  obs::CallbackClock wheel_clock_;
+  proto::ServerCore core_;
+  std::unique_ptr<proto::PullPolicy> pull_policy_;
   DecodeHook decode_hook_;
   std::uint32_t next_token_ = 1;
 

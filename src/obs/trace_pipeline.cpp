@@ -18,9 +18,9 @@ std::uint32_t parse_trace_filter(std::string_view spec) {
     while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
     if (!name.empty()) {
       bool found = false;
-      for (std::size_t k = 0; k < p2p::kTraceEventKindCount; ++k) {
-        const auto kind = static_cast<p2p::TraceEventKind>(k);
-        if (name == p2p::to_string(kind)) {
+      for (std::size_t k = 0; k < proto::kTraceEventKindCount; ++k) {
+        const auto kind = static_cast<proto::TraceEventKind>(k);
+        if (name == proto::to_string(kind)) {
           mask |= kind_bit(kind);
           found = true;
           break;
@@ -37,13 +37,13 @@ std::uint32_t parse_trace_filter(std::string_view spec) {
   return mask == 0 ? kAllTraceKinds : mask;
 }
 
-std::string trace_event_json(const p2p::TraceEvent& ev) {
+std::string trace_event_json(const proto::TraceEvent& ev) {
   char buf[192];
   const int n = std::snprintf(
       buf, sizeof(buf),
       "{\"t\":%.9g,\"kind\":\"%s\",\"slot\":%zu,\"origin\":%u,\"seq\":%u,"
       "\"aux\":%llu}",
-      ev.at, p2p::to_string(ev.kind), ev.slot,
+      ev.at, proto::to_string(ev.kind), ev.slot,
       static_cast<unsigned>(ev.segment.origin),
       static_cast<unsigned>(ev.segment.seq),
       static_cast<unsigned long long>(ev.aux));
@@ -64,7 +64,7 @@ void TraceBuffer::open_jsonl(const std::string& path) {
   }
 }
 
-void TraceBuffer::record(const p2p::TraceEvent& ev) {
+void TraceBuffer::record(const proto::TraceEvent& ev) {
   if ((mask_ & kind_bit(ev.kind)) == 0) {
     ++filtered_out_;
     return;
@@ -85,8 +85,8 @@ void TraceBuffer::record(const p2p::TraceEvent& ev) {
   }
 }
 
-std::vector<p2p::TraceEvent> TraceBuffer::snapshot() const {
-  std::vector<p2p::TraceEvent> out;
+std::vector<proto::TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<proto::TraceEvent> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {
     out.push_back(ring_[(head_ + i) % capacity_]);

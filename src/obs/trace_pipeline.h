@@ -9,7 +9,7 @@
 /// when no file sink is open), and the JSONL stream is the
 /// machine-readable export.
 ///
-/// Depends only on the header-only event types in p2p/trace.h; the p2p
+/// Depends only on the header-only event types in proto/trace.h; the p2p
 /// engine library links *against* obs, not the other way around.
 
 #include <array>
@@ -19,19 +19,19 @@
 #include <string_view>
 #include <vector>
 
-#include "p2p/trace.h"
+#include "proto/trace.h"
 
 namespace icollect::obs {
 
 /// Bit for one trace kind inside a filter mask.
 [[nodiscard]] constexpr std::uint32_t kind_bit(
-    p2p::TraceEventKind k) noexcept {
+    proto::TraceEventKind k) noexcept {
   return 1U << static_cast<unsigned>(k);
 }
 
 /// Mask accepting every kind.
 inline constexpr std::uint32_t kAllTraceKinds =
-    (1U << p2p::kTraceEventKindCount) - 1U;
+    (1U << proto::kTraceEventKindCount) - 1U;
 
 /// Parse a comma-separated list of kind names ("gossip,pull,decode")
 /// into a filter mask, using the names of p2p::to_string(TraceEventKind).
@@ -41,7 +41,7 @@ inline constexpr std::uint32_t kAllTraceKinds =
 
 /// One event as a flat JSON object (no trailing newline):
 /// {"t":1.5,"kind":"gossip","slot":3,"origin":7,"seq":9,"aux":12}
-[[nodiscard]] std::string trace_event_json(const p2p::TraceEvent& ev);
+[[nodiscard]] std::string trace_event_json(const proto::TraceEvent& ev);
 
 class TraceBuffer {
  public:
@@ -61,12 +61,12 @@ class TraceBuffer {
   /// Throws std::runtime_error when the file cannot be opened.
   void open_jsonl(const std::string& path);
 
-  void record(const p2p::TraceEvent& ev);
+  void record(const proto::TraceEvent& ev);
 
   /// Adapter for p2p::Network::set_trace_sink(). The buffer must outlive
   /// the network it observes.
-  [[nodiscard]] p2p::TraceSink sink() {
-    return [this](const p2p::TraceEvent& ev) { record(ev); };
+  [[nodiscard]] proto::TraceSink sink() {
+    return [this](const proto::TraceEvent& ev) { record(ev); };
   }
 
   // --- inspection ---------------------------------------------------------
@@ -80,23 +80,23 @@ class TraceBuffer {
   [[nodiscard]] std::uint64_t overwritten() const noexcept {
     return overwritten_;
   }
-  [[nodiscard]] std::uint64_t count(p2p::TraceEventKind k) const {
+  [[nodiscard]] std::uint64_t count(proto::TraceEventKind k) const {
     return per_kind_[static_cast<std::size_t>(k)];
   }
   /// Ring contents, oldest first.
-  [[nodiscard]] std::vector<p2p::TraceEvent> snapshot() const;
+  [[nodiscard]] std::vector<proto::TraceEvent> snapshot() const;
 
   void flush() {
     if (jsonl_.is_open()) jsonl_.flush();
   }
 
  private:
-  std::vector<p2p::TraceEvent> ring_;
+  std::vector<proto::TraceEvent> ring_;
   std::size_t capacity_;
   std::size_t head_ = 0;  ///< index of the oldest event
   std::size_t size_ = 0;
   std::uint32_t mask_ = kAllTraceKinds;
-  std::array<std::uint64_t, p2p::kTraceEventKindCount> per_kind_{};
+  std::array<std::uint64_t, proto::kTraceEventKindCount> per_kind_{};
   std::uint64_t accepted_ = 0;
   std::uint64_t filtered_out_ = 0;
   std::uint64_t overwritten_ = 0;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "proto/policy.h"
+
 namespace icollect::p2p {
 
 /// How peers are wired to each other for gossip.
@@ -70,29 +72,12 @@ enum class PullPolicy {
   return "?";
 }
 
-/// How a gossiping peer picks which buffered segment to re-code and send.
-///
-/// The paper's rule is uniform over the segments it holds (Sec. 2) —
-/// the assumption behind the degree-proportional growth term of system
-/// (8). The alternatives are scheduling extensions this library adds:
-/// newest-first pushes a peer's most recent data out fastest (which is
-/// exactly what improves "last words" survival under churn), and
-/// rarest-first mimics BitTorrent-style availability balancing using
-/// the peer's local view.
-enum class GossipPolicy {
-  kUniformSegment,  ///< the paper's rule; matches the ODE analysis
-  kNewestFirst,     ///< most recently first-seen segment
-  kRarestFirst,     ///< fewest locally-held blocks (ties: newest)
-};
-
-[[nodiscard]] constexpr const char* to_string(GossipPolicy p) noexcept {
-  switch (p) {
-    case GossipPolicy::kUniformSegment: return "uniform";
-    case GossipPolicy::kNewestFirst: return "newest-first";
-    case GossipPolicy::kRarestFirst: return "rarest-first";
-  }
-  return "?";
-}
+/// GossipPolicy — how a gossiping peer picks which buffered segment to
+/// re-code and send — is protocol surface shared with the live runtime;
+/// it lives in proto/policy.h and is re-exported here for the
+/// simulator-facing configuration vocabulary.
+using proto::GossipPolicy;
+using proto::to_string;
 
 /// How peer lifetimes are distributed under churn.
 enum class LifetimeDistribution {

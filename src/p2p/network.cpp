@@ -4,13 +4,13 @@
 #include <limits>
 #include <utility>
 
-#include "p2p/churn.h"
 #include "common/crc32.h"
+#include "p2p/churn.h"
+#include "proto/selection.h"
 
 namespace icollect::p2p {
 
 namespace {
-constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
 /// Rejection-sampling attempts before falling back to a full scan when
 /// selecting a gossip target u.a.r. among eligible neighbors.
 constexpr int kTargetSampleTries = 12;
@@ -20,11 +20,20 @@ Network::Network(ProtocolConfig cfg)
     : cfg_{std::move(cfg)},
       rng_{cfg_.seed},
       topology_{Topology::build(cfg_, rng_)},
-      servers_{/*keep_payloads=*/cfg_.payload_bytes > 0} {
+      sim_clock_{[this] { return sim_.now(); }},
+      server_core_{/*keep_payloads=*/cfg_.payload_bytes > 0, sim_clock_},
+      pull_policy_{std::make_unique<proto::UniformPullPolicy>()} {
   cfg_.validate();
+  proto::PeerCore::Params core_params;
+  core_params.segment_size = cfg_.segment_size;
+  core_params.buffer_cap = cfg_.buffer_cap;
+  core_params.gamma = cfg_.gamma;
+  core_params.payload_bytes = cfg_.payload_bytes;
+  core_params.gossip_policy = cfg_.gossip_policy;
   peers_.reserve(cfg_.num_peers);
   for (std::size_t slot = 0; slot < cfg_.num_peers; ++slot) {
-    peers_.emplace_back(slot, next_origin_++, cfg_.buffer_cap);
+    peers_.emplace_back(slot, core_params, next_origin_++, rng_);
+    wire_core(slot);
   }
   non_empty_pos_.assign(cfg_.num_peers, 0);
   empty_count_ = cfg_.num_peers;
@@ -32,8 +41,10 @@ Network::Network(ProtocolConfig cfg)
   metrics_.full_peers.update(0.0, 0.0);
   metrics_.total_blocks.update(0.0, 0.0);
 
-  servers_.set_decode_callback(
-      [this](const ServerBank::DecodeEvent& ev) { on_segment_decoded(ev); });
+  server_core_.set_decode_callback(
+      [this](const proto::ServerBank::DecodeEvent& ev) {
+        on_segment_decoded(ev);
+      });
 
   // Expected concurrent events: one injector + one gossiper timer per
   // peer, up to buffer_cap TTL timers per peer, one timer per server,
@@ -70,8 +81,43 @@ Network::Network(ProtocolConfig cfg)
   }
 }
 
+void Network::wire_core(std::size_t slot) {
+  proto::PeerCore& core = peers_[slot].core;
+  // Every block landing in a peer buffer — injection, gossip, re-seed —
+  // funnels through this hook: the driver maintains what only the global
+  // view knows (registry degree, occupancy lists, time-weighted totals).
+  core.set_stored_hook(
+      [this, slot](const coding::SegmentId& seg, std::size_t before) {
+        const auto rit = registry_.find(seg);
+        ICOLLECT_ENSURES(rit != registry_.end());
+        ++rit->second.degree;
+        metrics_.total_blocks.add(sim_.now(), 1.0);
+        update_occupancy(slot, before);
+      });
+  // The core draws the Exp(γ) lifetime; the driver owns the clock, so
+  // expiry lands on the event queue stamped with the occupant's
+  // incarnation (delayed expiries of a departed occupant are no-ops).
+  core.set_arm_ttl([this, slot](coding::BlockHandle handle, double delay) {
+    const std::uint64_t incarnation = peers_[slot].incarnation;
+    sim_.schedule_after(delay, [this, slot, incarnation, handle] {
+      do_ttl_expire(slot, incarnation, handle);
+    });
+  });
+}
+
 void Network::set_payload_source(PayloadSource source) {
   payload_source_ = std::move(source);
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    if (payload_source_) {
+      peers_[slot].core.set_payload_source(
+          [this, slot](const coding::SegmentId& id, std::size_t s,
+                       std::size_t payload_bytes) {
+            return payload_source_(peers_[slot], id, s, payload_bytes);
+          });
+    } else {
+      peers_[slot].core.set_payload_source(nullptr);
+    }
+  }
 }
 
 void Network::set_profiler(obs::Profiler* profiler) {
@@ -128,113 +174,54 @@ void Network::stop_injection() {
   for (auto& p : injectors_) p->stop();
 }
 
-std::vector<std::vector<std::uint8_t>> Network::make_payloads(
-    const Peer& origin, coding::SegmentId id) {
-  if (payload_source_) {
-    auto blocks = payload_source_(origin, id, cfg_.segment_size,
-                                  cfg_.payload_bytes);
-    ICOLLECT_ENSURES(blocks.size() == cfg_.segment_size);
-    for (const auto& b : blocks) {
-      ICOLLECT_ENSURES(b.size() == cfg_.payload_bytes);
-    }
-    return blocks;
-  }
-  std::vector<std::vector<std::uint8_t>> blocks(cfg_.segment_size);
-  for (auto& b : blocks) {
-    b.resize(cfg_.payload_bytes);
-    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng_.gf_element());
-  }
-  return blocks;
-}
-
 void Network::do_inject(std::size_t slot) {
   const obs::ProfScope prof{prof_inject_};
   Peer& p = peers_[slot];
-  if (!p.buffer.has_room(cfg_.segment_size)) {
+  if (!p.core.can_inject()) {
     ++metrics_.injection_blocked;
     return;
   }
-  const coding::SegmentId id{p.origin, p.next_segment_seq++};
+  // Register the segment before inject(): the per-block stored hooks
+  // look it up as each systematic block lands.
+  const coding::SegmentId id = p.core.next_segment_id();
   SegmentInfo info;
   info.injected_at = sim_.now();
   info.origin_slot = slot;
   info.segment_size = cfg_.segment_size;
-
-  std::vector<std::vector<std::uint8_t>> payloads;
-  if (cfg_.payload_bytes > 0) {
-    payloads = make_payloads(p, id);
-    info.original_crcs.reserve(payloads.size());
-    for (const auto& b : payloads) {
-      info.original_crcs.push_back(common::crc32(b));
-    }
-  } else {
-    payloads.assign(cfg_.segment_size, {});
-  }
-  registry_.emplace(id, std::move(info));
-
-  // The source seeds its own buffer with the s systematic blocks —
-  // "s new edges are added to each peer ... together with a new segment
-  // incident to these s edges" (Sec. 3).
-  for (std::size_t k = 0; k < cfg_.segment_size; ++k) {
-    deliver(slot, coding::CodedBlock::systematic(
-                      id, cfg_.segment_size, k, std::move(payloads[k])));
-  }
+  const auto rit = registry_.emplace(id, std::move(info)).first;
+  proto::PeerCore::Injected injected = p.core.inject();
+  ICOLLECT_ENSURES(injected.id == id);
+  rit->second.original_crcs = std::move(injected.crcs);
   ++metrics_.segments_injected;
   metrics_.blocks_injected += cfg_.segment_size;
   metrics_.injected_blocks_window.record(cfg_.segment_size);
   emit(TraceEventKind::kSegmentInjected, slot, id, cfg_.segment_size);
 }
 
-bool Network::eligible_receiver(std::size_t slot,
-                                const coding::SegmentId& seg) const {
-  const Peer& b = peers_[slot];
-  if (b.buffer.full()) return false;
-  const coding::SegmentBuffer* sb = b.buffer.find(seg);
-  return sb == nullptr || !sb->full_rank();
-}
-
 std::size_t Network::pick_gossip_target(std::size_t source,
                                         const coding::SegmentId& seg) {
-  const std::size_t deg = topology_.degree(source);
-  if (deg == 0) return kNoTarget;
-  // Fast path: rejection sampling keeps selection uniform over eligible
-  // neighbors while costing O(1) when most neighbors are eligible.
-  for (int attempt = 0; attempt < kTargetSampleTries; ++attempt) {
-    const std::size_t cand = topology_.random_neighbor(source, rng_);
-    if (eligible_receiver(cand, seg)) return cand;
-  }
-  // Slow path (rare): enumerate eligible neighbors and pick u.a.r.
-  std::vector<std::size_t> eligible;
-  eligible.reserve(deg);
-  for (std::size_t i = 0; i < deg; ++i) {
-    const std::size_t cand = topology_.neighbor(source, i);
-    if (eligible_receiver(cand, seg)) eligible.push_back(cand);
-  }
-  if (eligible.empty()) return kNoTarget;
-  return eligible[rng_.uniform_index(eligible.size())];
+  // Sender-side filtering: the simulator's global view applies the
+  // receiver's storage rule (proto::PeerCore::can_accept) before
+  // sending, so every gossiped block lands.
+  const auto eligible = [this, &seg](std::size_t cand) {
+    return peers_[cand].core.can_accept(seg);
+  };
+  return proto::uniform_over_eligible(
+      rng_, topology_.degree(source), kTargetSampleTries,
+      [this, source](std::size_t i) { return topology_.neighbor(source, i); },
+      proto::EligibleRef{eligible});
 }
 
 void Network::do_gossip(std::size_t slot) {
   const obs::ProfScope prof{prof_gossip_};
   Peer& a = peers_[slot];
-  if (a.buffer.empty()) {
+  if (!a.core.has_blocks()) {
     ++metrics_.gossip_idle;
     return;
   }
-  coding::SegmentId seg;
-  switch (cfg_.gossip_policy) {
-    case GossipPolicy::kUniformSegment:
-      seg = a.buffer.random_segment(rng_);
-      break;
-    case GossipPolicy::kNewestFirst:
-      seg = a.buffer.newest_segment();
-      break;
-    case GossipPolicy::kRarestFirst:
-      seg = a.buffer.rarest_segment();
-      break;
-  }
+  const coding::SegmentId seg = a.core.choose_gossip_segment();
   const std::size_t target = pick_gossip_target(slot, seg);
-  if (target == kNoTarget) {
+  if (target == proto::kNoSelection) {
     ++metrics_.gossip_no_target;
     return;
   }
@@ -243,9 +230,7 @@ void Network::do_gossip(std::size_t slot) {
     emit(TraceEventKind::kGossipLost, slot, seg, target);
     return;
   }
-  const coding::SegmentBuffer* sb = a.buffer.find(seg);
-  ICOLLECT_ENSURES(sb != nullptr && !sb->empty());
-  deliver(target, sb->recode(rng_));
+  peers_[target].core.store(a.core.recode(seg));
   ++metrics_.gossip_sent;
   emit(TraceEventKind::kGossipSent, slot, seg, target);
 }
@@ -257,45 +242,44 @@ void Network::do_server_pull() {
   if (cfg_.pull_policy == PullPolicy::kUniformAll) {
     // Blind probing: the pull is spent even if the probed peer has
     // nothing to offer.
-    slot = rng_.uniform_index(peers_.size());
-    if (peers_[slot].buffer.empty()) {
+    slot = pull_policy_->pick(rng_, peers_.size());
+    if (!peers_[slot].core.has_blocks()) {
       ++metrics_.server_empty_probes;
       return;
     }
   } else {
     if (non_empty_slots_.empty()) return;
-    slot = non_empty_slots_[rng_.uniform_index(non_empty_slots_.size())];
+    slot =
+        non_empty_slots_[pull_policy_->pick(rng_, non_empty_slots_.size())];
   }
   Peer& d = peers_[slot];
-  ICOLLECT_ENSURES(!d.buffer.empty());
-  const coding::SegmentId seg = d.buffer.random_segment(rng_);
-  const coding::SegmentBuffer* sb = d.buffer.find(seg);
+  const coding::SegmentId seg = d.core.choose_pull_segment();
   metrics_.server_pulls_window.record();
-  ServerBank::PullResult result;
+  proto::ServerBank::PullResult result;
   {
     // The GF(2^8) decode path: re-coding the pulled block and reducing
     // it through the server-side progressive decoder.
     const obs::ProfScope decode_prof{prof_decode_};
     if (cfg_.fidelity == CollectionFidelity::kStateCounter) {
-      result = servers_.offer_counted(seg, sb->segment_size(), sim_.now());
+      result = server_core_.on_pull_counted(seg, cfg_.segment_size);
     } else {
       // Recode into a long-lived scratch block so the steady-state pull
       // path performs no heap allocation.
-      sb->recode_into(pull_scratch_, rng_);
-      result = servers_.offer(pull_scratch_, sim_.now());
+      d.core.recode_into(seg, pull_scratch_);
+      result = server_core_.on_pull_block(pull_scratch_);
     }
   }
-  if (result == ServerBank::PullResult::kInnovative) {
+  if (result == proto::ServerBank::PullResult::kInnovative) {
     metrics_.innovative_pulls_window.record();
     const auto rit = registry_.find(seg);
     ICOLLECT_ENSURES(rit != registry_.end());
     ++rit->second.collected;
   }
   emit(TraceEventKind::kServerPull, slot, seg,
-       result == ServerBank::PullResult::kInnovative ? 1 : 0);
+       result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
 }
 
-void Network::on_segment_decoded(const ServerBank::DecodeEvent& event) {
+void Network::on_segment_decoded(const proto::ServerBank::DecodeEvent& event) {
   const auto it = registry_.find(event.id);
   ICOLLECT_ENSURES(it != registry_.end());
   SegmentInfo& info = it->second;
@@ -319,35 +303,13 @@ void Network::on_segment_decoded(const ServerBank::DecodeEvent& event) {
   }
 }
 
-void Network::deliver(std::size_t slot, coding::CodedBlock block) {
-  Peer& p = peers_[slot];
-  ICOLLECT_EXPECTS(!p.buffer.full());
-  const std::size_t before = p.buffer.size();
-  const coding::SegmentId seg = block.segment;
-  const coding::BlockHandle handle = next_handle_++;
-  p.buffer.insert(handle, std::move(block));
-
-  auto rit = registry_.find(seg);
-  ICOLLECT_ENSURES(rit != registry_.end());
-  ++rit->second.degree;
-
-  metrics_.total_blocks.add(sim_.now(), 1.0);
-  update_occupancy(slot, before);
-
-  const std::uint64_t incarnation = p.incarnation;
-  sim_.schedule_after(rng_.exponential(cfg_.gamma),
-                      [this, slot, incarnation, handle] {
-                        do_ttl_expire(slot, incarnation, handle);
-                      });
-}
-
 void Network::do_ttl_expire(std::size_t slot, std::uint64_t incarnation,
                             coding::BlockHandle handle) {
   const obs::ProfScope prof{prof_ttl_};
   Peer& p = peers_[slot];
   if (p.incarnation != incarnation) return;  // occupant changed (churn)
-  const std::size_t before = p.buffer.size();
-  const auto seg = p.buffer.erase(handle);
+  const std::size_t before = p.buffer().size();
+  const auto seg = p.core.on_ttl_expired(handle);
   if (!seg) return;  // already removed
   ++metrics_.ttl_expirations;
   metrics_.total_blocks.add(sim_.now(), -1.0);
@@ -360,12 +322,12 @@ void Network::do_depart(std::size_t slot) {
   const obs::ProfScope prof{prof_depart_};
   Peer& p = peers_[slot];
   // Account every buffered block's disappearance in the registry.
-  for (const auto& seg_id : p.buffer.segments()) {
-    const coding::SegmentBuffer* sb = p.buffer.find(seg_id);
+  for (const auto& seg_id : p.buffer().segments()) {
+    const coding::SegmentBuffer* sb = p.buffer().find(seg_id);
     note_degree_drop(seg_id, sb->block_count());
   }
-  const std::size_t before = p.buffer.size();
-  const std::size_t lost = p.buffer.clear();
+  const std::size_t before = p.buffer().size();
+  const std::size_t lost = p.core.clear_all();
   ++metrics_.peers_departed;
   metrics_.blocks_lost_to_churn += lost;
   metrics_.total_blocks.add(sim_.now(), -static_cast<double>(lost));
@@ -373,10 +335,9 @@ void Network::do_depart(std::size_t slot) {
   update_occupancy(slot, before);
 
   // Replacement model: a fresh peer joins the same slot immediately.
-  departed_origins_.emplace(p.origin, sim_.now());
+  departed_origins_.emplace(p.origin(), sim_.now());
   ++p.incarnation;
-  p.origin = next_origin_++;
-  p.next_segment_seq = 0;
+  p.core.rebirth(next_origin_++);
 
   sim_.schedule_after(sample_lifetime(cfg_.churn, rng_),
                       [this, slot] { do_depart(slot); });
@@ -398,7 +359,7 @@ void Network::note_degree_drop(const coding::SegmentId& id,
 
 void Network::update_occupancy(std::size_t slot, std::size_t before_size) {
   const Peer& p = peers_[slot];
-  const std::size_t after = p.buffer.size();
+  const std::size_t after = p.buffer().size();
   if (before_size == after) return;
   const bool was_empty = before_size == 0;
   const bool is_empty = after == 0;
@@ -486,7 +447,7 @@ std::vector<std::uint64_t> Network::peer_degree_counts(
     std::size_t max_degree) const {
   std::vector<std::uint64_t> counts(max_degree + 1, 0);
   for (const auto& p : peers_) {
-    const std::size_t d = std::min(p.buffer.size(), max_degree);
+    const std::size_t d = std::min(p.buffer().size(), max_degree);
     ++counts[d];
   }
   return counts;
@@ -499,8 +460,8 @@ SavedDataCensus Network::saved_data_census() const {
   // blocks) gathering plus small eliminations — fine at census frequency.
   std::unordered_map<coding::SegmentId, coding::Decoder> rank_probe;
   for (const auto& p : peers_) {
-    for (const auto& seg_id : p.buffer.segments()) {
-      const coding::SegmentBuffer* sb = p.buffer.find(seg_id);
+    for (const auto& seg_id : p.buffer().segments()) {
+      const coding::SegmentBuffer* sb = p.buffer().find(seg_id);
       auto it = rank_probe.find(seg_id);
       if (it == rank_probe.end()) {
         it = rank_probe
@@ -536,7 +497,7 @@ SavedDataCensus Network::saved_data_census() const {
       ++out.decodable_by_rank;
       out.saved_original_blocks_rank += s;
     }
-    const std::size_t server_state = servers_.state(id);
+    const std::size_t server_state = server_core_.bank().state(id);
     if (net_rank > server_state) {
       out.pending_innovative_blocks +=
           static_cast<double>(net_rank - server_state);

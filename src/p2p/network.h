@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file network.h
-/// The indirect-collection protocol engine: an event-driven realization
-/// of every process in Sec. 2 of the paper.
+/// The indirect-collection simulation driver: an event-driven
+/// realization of every process in Sec. 2 of the paper, built around the
+/// transport-agnostic protocol cores in src/proto/.
 ///
 ///  - Segment injection: each peer injects a fresh segment of s blocks
 ///    at rate λ/s, provided its buffer has room for s blocks ("degree no
@@ -17,8 +18,13 @@
 ///    in that peer's buffer (coupon-collector pull).
 ///  - Churn (optional): exponential peer lifetimes with replacement.
 ///
-/// All transfers carry real GF(2^8) coefficient vectors; innovation,
-/// decodability and redundancy are computed, never assumed.
+/// Every Sec. 2 *decision* (what to inject, which segment to gossip or
+/// serve, whether a receiver may store, when a block expires) lives in
+/// proto::PeerCore / proto::ServerCore; this driver owns what only a
+/// global simulation can know — the event queue, the topology, churn,
+/// the segment registry and the measurement plane. All transfers carry
+/// real GF(2^8) coefficient vectors; innovation, decodability and
+/// redundancy are computed, never assumed.
 
 #include <cstdint>
 #include <functional>
@@ -29,19 +35,49 @@
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
+#include "obs/clock.h"
 #include "obs/profiler.h"
 #include "p2p/config.h"
 #include "p2p/metrics.h"
-#include "p2p/peer.h"
-#include "p2p/server.h"
 #include "p2p/topology.h"
-#include "p2p/trace.h"
+#include "proto/peer_core.h"
+#include "proto/pull_policy.h"
+#include "proto/server_core.h"
+#include "proto/trace.h"
 #include "sim/poisson_process.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 
 namespace icollect::p2p {
+
+// The trace vocabulary is shared protocol surface (proto/trace.h); the
+// re-exports keep the simulator driver's API self-contained.
+using proto::TraceEvent;
+using proto::TraceEventKind;
+using proto::TraceSink;
+
+/// A peer slot in the network: the protocol core plus the slot identity
+/// that survives churn replacements. Under the replacement churn model
+/// the slot persists while its occupant changes; `incarnation`
+/// disambiguates delayed events (TTL expiries) that reference a previous
+/// occupant.
+struct Peer {
+  std::size_t slot = 0;           ///< index in the topology
+  std::uint64_t incarnation = 0;  ///< bumped on each replacement
+  proto::PeerCore core;           ///< the Sec. 2 peer state machine
+
+  Peer(std::size_t slot_idx, const proto::PeerCore::Params& params,
+       coding::OriginId origin_id, common::Rng& rng)
+      : slot{slot_idx}, core{params, origin_id, rng} {}
+
+  [[nodiscard]] coding::OriginId origin() const noexcept {
+    return core.origin();
+  }
+  [[nodiscard]] const proto::PeerBuffer& buffer() const noexcept {
+    return core.buffer();
+  }
+};
 
 /// Global bookkeeping for one injected segment.
 struct SegmentInfo {
@@ -91,6 +127,14 @@ class Network {
   /// Replace the payload source (call before running).
   void set_payload_source(PayloadSource source);
 
+  /// Replace the server peer-selection strategy (call before running).
+  /// The default proto::UniformPullPolicy reproduces the paper's uniform
+  /// pull; the policy draws from the shared simulation RNG stream.
+  void set_server_pull_policy(std::unique_ptr<proto::PullPolicy> policy) {
+    ICOLLECT_EXPECTS(policy != nullptr);
+    pull_policy_ = std::move(policy);
+  }
+
   /// Install (or clear, with nullptr) a protocol event trace sink. All
   /// events are delivered in virtual-time order. No cost when unset.
   /// The standard sink is an obs::TraceBuffer (ring + filtered JSONL);
@@ -129,7 +173,9 @@ class Network {
   [[nodiscard]] const NetworkMetrics& metrics() const noexcept {
     return metrics_;
   }
-  [[nodiscard]] const ServerBank& servers() const noexcept { return servers_; }
+  [[nodiscard]] const proto::ServerBank& servers() const noexcept {
+    return server_core_.bank();
+  }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const Peer& peer(std::size_t slot) const {
     ICOLLECT_EXPECTS(slot < peers_.size());
@@ -203,33 +249,33 @@ class Network {
                      coding::BlockHandle handle);
   void do_depart(std::size_t slot);
 
-  /// Store `block` at peer `slot` with a fresh handle + TTL event, and
-  /// maintain every derived structure (registry degree, occupancy lists,
-  /// time-weighted metrics). Precondition: the peer has room.
-  void deliver(std::size_t slot, coding::CodedBlock block);
+  /// Wire one slot's core to the driver: the stored hook maintains the
+  /// registry degree, occupancy lists and time-weighted metrics; arm_ttl
+  /// schedules the core-drawn Exp(γ) expiry on the event queue, stamped
+  /// with the occupant's incarnation.
+  void wire_core(std::size_t slot);
 
   /// Pick an eligible gossip destination for (source, segment) or
-  /// SIZE_MAX if none exists.
+  /// proto::kNoSelection if none exists (uniform over the eligible
+  /// neighbors; see proto/selection.h).
   [[nodiscard]] std::size_t pick_gossip_target(std::size_t source,
                                                const coding::SegmentId& seg);
-  [[nodiscard]] bool eligible_receiver(std::size_t slot,
-                                       const coding::SegmentId& seg) const;
 
-  void on_segment_decoded(const ServerBank::DecodeEvent& event);
+  void on_segment_decoded(const proto::ServerBank::DecodeEvent& event);
   void note_degree_drop(const coding::SegmentId& id, std::size_t count);
   void update_occupancy(std::size_t slot, std::size_t before_size);
   void mark_non_empty(std::size_t slot);
   void mark_empty(std::size_t slot);
-
-  [[nodiscard]] std::vector<std::vector<std::uint8_t>> make_payloads(
-      const Peer& origin, coding::SegmentId id);
 
   ProtocolConfig cfg_;
   sim::Simulator sim_;
   sim::Rng rng_;
   Topology topology_;
   std::vector<Peer> peers_;
-  ServerBank servers_;
+  /// The server half of the protocol, on the simulator's virtual clock.
+  obs::CallbackClock sim_clock_;
+  proto::ServerCore server_core_;
+  std::unique_ptr<proto::PullPolicy> pull_policy_;
   NetworkMetrics metrics_;
   std::unordered_map<coding::SegmentId, SegmentInfo> registry_;
   PayloadSource payload_source_;
@@ -267,7 +313,6 @@ class Network {
   DepartedDataStats compacted_departed_;
   std::size_t empty_count_ = 0;
   std::size_t full_count_ = 0;
-  coding::BlockHandle next_handle_ = 1;
   coding::OriginId next_origin_ = 0;
   bool injection_stopped_ = false;
 };

@@ -17,7 +17,7 @@ void count_gauge(obs::MetricsRegistry& reg, const char* name, Fn fn) {
 
 void register_network_metrics(obs::MetricsRegistry& reg, const Network& net) {
   const NetworkMetrics& m = net.metrics();
-  const ServerBank& srv = net.servers();
+  const proto::ServerBank& srv = net.servers();
 
   // Lifetime counters (the measurement plane of Theorems 1-4).
   count_gauge(reg, "net.segments_injected", [&m] { return m.segments_injected; });

@@ -1,8 +1,8 @@
-#include "p2p/peer.h"
+#include "proto/peer_buffer.h"
 
 #include <utility>
 
-namespace icollect::p2p {
+namespace icollect::proto {
 
 void PeerBuffer::insert(coding::BlockHandle handle,
                         coding::CodedBlock block) {
@@ -119,4 +119,4 @@ void PeerBuffer::drop_segment_entry(const coding::SegmentId& id) {
   segment_pos_.erase(pit);
 }
 
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -1,12 +1,13 @@
 #pragma once
 
-/// \file peer.h
-/// Peer-side state: a bounded buffer of coded blocks organized by
-/// segment, plus the peer's identity across churn replacements.
+/// \file peer_buffer.h
+/// A peer's bounded buffer of coded blocks organized by segment — the
+/// storage half of the protocol core, shared verbatim by the simulator
+/// and the live runtime.
 ///
 /// The buffer realizes the paper's storage rules (Sec. 2): capacity cap
 /// of B blocks ("if a peer's buffer is full, it will not accept blocks
-/// from its neighbors"), per-block TTL handled by the engine through
+/// from its neighbors"), per-block TTL handled by the driver through
 /// stable BlockHandles, and uniform random segment selection for both
 /// gossip ("chooses a segment r u.a.r. from among all the segments of
 /// which it has at least one (coded) block") and server pulls.
@@ -20,9 +21,9 @@
 #include "coding/segment_buffer.h"
 #include "coding/segment_id.h"
 #include "common/assert.h"
-#include "sim/random.h"
+#include "common/rng.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 
 class PeerBuffer {
  public:
@@ -58,7 +59,8 @@ class PeerBuffer {
   [[nodiscard]] coding::SegmentBuffer* find(const coding::SegmentId& id);
 
   /// Uniformly random buffered segment. Precondition: !empty().
-  [[nodiscard]] const coding::SegmentId& random_segment(sim::Rng& rng) const {
+  [[nodiscard]] const coding::SegmentId& random_segment(
+      common::Rng& rng) const {
     ICOLLECT_EXPECTS(!segment_list_.empty());
     return segment_list_[rng.uniform_index(segment_list_.size())];
   }
@@ -100,19 +102,4 @@ class PeerBuffer {
   std::uint64_t next_arrival_seq_ = 0;
 };
 
-/// A peer slot in the network. Under the replacement churn model the slot
-/// persists while its occupant changes; `incarnation` disambiguates
-/// delayed events (TTL expiries) that reference a previous occupant.
-struct Peer {
-  std::size_t slot = 0;               ///< index in the topology
-  std::uint64_t incarnation = 0;      ///< bumped on each replacement
-  coding::OriginId origin = 0;        ///< unique origin id of the occupant
-  std::uint32_t next_segment_seq = 0; ///< per-origin segment numbering
-  PeerBuffer buffer;
-
-  Peer(std::size_t slot_idx, coding::OriginId origin_id,
-       std::size_t buffer_cap)
-      : slot{slot_idx}, origin{origin_id}, buffer{buffer_cap} {}
-};
-
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -1,0 +1,197 @@
+#include "proto/peer_core.h"
+
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace icollect::proto {
+
+PeerCore::PeerCore(const Params& params, coding::OriginId origin,
+                   common::Rng& rng)
+    : params_{params}, origin_{origin}, rng_{rng},
+      buffer_{params.buffer_cap} {
+  ICOLLECT_EXPECTS(params.segment_size > 0);
+  ICOLLECT_EXPECTS(params.buffer_cap >= params.segment_size);
+  ICOLLECT_EXPECTS(params.gamma > 0.0);
+}
+
+PeerCore::Injected PeerCore::inject() {
+  ICOLLECT_EXPECTS(can_inject());
+  ICOLLECT_EXPECTS(arm_ttl_ != nullptr);
+  const std::size_t s = params_.segment_size;
+  const coding::SegmentId id{origin_, next_seq_++};
+  own_segments_.insert(id);
+
+  // Draw every original payload before any block is stored: both
+  // drivers always produced payloads first, TTL draws second, so the
+  // shared stream order is payloads, then s lifetimes.
+  std::vector<std::vector<std::uint8_t>> originals;
+  std::vector<std::uint32_t> crcs;
+  if (params_.payload_bytes > 0) {
+    if (payload_source_) {
+      originals = payload_source_(id, s, params_.payload_bytes);
+      ICOLLECT_ENSURES(originals.size() == s);
+      for (const auto& b : originals) {
+        ICOLLECT_ENSURES(b.size() == params_.payload_bytes);
+      }
+    } else {
+      originals.resize(s);
+      for (auto& b : originals) {
+        b.resize(params_.payload_bytes);
+        for (auto& byte : b) {
+          byte = static_cast<std::uint8_t>(rng_.gf_element());
+        }
+      }
+    }
+    crcs.reserve(s);
+    for (const auto& b : originals) crcs.push_back(common::crc32(b));
+  } else {
+    originals.assign(s, {});
+  }
+  if (params_.record_own_crcs && !crcs.empty()) own_crcs_.emplace(id, crcs);
+
+  // The source seeds its own buffer with the s systematic blocks —
+  // "s new edges are added to each peer ... together with a new segment
+  // incident to these s edges" (Sec. 3).
+  if (params_.retain_own_until_acked) {
+    const auto [it, inserted] = own_encoders_.emplace(
+        id, coding::SegmentEncoder{id, std::move(originals)});
+    ICOLLECT_ENSURES(inserted);
+    for (std::size_t k = 0; k < s; ++k) {
+      store(it->second.systematic_block(k));
+    }
+  } else {
+    for (std::size_t k = 0; k < s; ++k) {
+      store(coding::CodedBlock::systematic(id, s, k,
+                                           std::move(originals[k])));
+    }
+  }
+  return Injected{id, std::move(crcs)};
+}
+
+const coding::SegmentId& PeerCore::choose_gossip_segment() {
+  ICOLLECT_EXPECTS(!buffer_.empty());
+  switch (params_.gossip_policy) {
+    case GossipPolicy::kUniformSegment:
+      return buffer_.random_segment(rng_);
+    case GossipPolicy::kNewestFirst:
+      return buffer_.newest_segment();
+    case GossipPolicy::kRarestFirst:
+      return buffer_.rarest_segment();
+  }
+  return buffer_.random_segment(rng_);  // unreachable
+}
+
+coding::CodedBlock PeerCore::recode(const coding::SegmentId& seg) {
+  const coding::SegmentBuffer* sb = buffer_.find(seg);
+  ICOLLECT_EXPECTS(sb != nullptr && !sb->empty());
+  return sb->recode(rng_);
+}
+
+void PeerCore::recode_into(const coding::SegmentId& seg,
+                           coding::CodedBlock& out) {
+  const coding::SegmentBuffer* sb = buffer_.find(seg);
+  ICOLLECT_EXPECTS(sb != nullptr && !sb->empty());
+  sb->recode_into(out, rng_);
+}
+
+PeerCore::AcceptResult PeerCore::accept(coding::CodedBlock&& block) {
+  if (block.segment_size() != params_.segment_size ||
+      block.is_degenerate()) {
+    // Shape mismatch slipped past the handshake, or a degenerate block
+    // an honest encoder never emits — junk either way.
+    return AcceptResult::kShapeMismatch;
+  }
+  if (params_.drop_on_ack && acked_.contains(block.segment)) {
+    return AcceptResult::kAckedSegment;
+  }
+  if (buffer_.full()) return AcceptResult::kBufferFull;
+  if (const coding::SegmentBuffer* sb = buffer_.find(block.segment);
+      sb != nullptr && sb->full_rank()) {
+    return AcceptResult::kSegmentFullRank;
+  }
+  store(std::move(block));
+  return AcceptResult::kStored;
+}
+
+coding::BlockHandle PeerCore::store(coding::CodedBlock block) {
+  ICOLLECT_EXPECTS(arm_ttl_ != nullptr);
+  const coding::BlockHandle handle = next_handle_++;
+  const std::size_t before = buffer_.size();
+  const coding::SegmentId seg = block.segment;
+  buffer_.insert(handle, std::move(block));
+  if (stored_) stored_(seg, before);
+  arm_ttl_(handle, rng_.exponential(params_.gamma));
+  return handle;
+}
+
+bool PeerCore::answer_pull(coding::CodedBlock& out) {
+  if (buffer_.empty()) return false;
+  recode_into(choose_pull_segment(), out);
+  return true;
+}
+
+std::optional<coding::SegmentId> PeerCore::on_ttl_expired(
+    coding::BlockHandle handle) {
+  return buffer_.erase(handle);
+}
+
+void PeerCore::reseed_own(const coding::SegmentId& id) {
+  if (!params_.retain_own_until_acked) return;
+  const auto it = own_encoders_.find(id);
+  if (it == own_encoders_.end()) return;  // not ours, or already ACKed
+  const std::size_t s = params_.segment_size;
+  // Top the segment's local rank back up to s with fresh coded blocks,
+  // evicting relayed (other-segment) blocks if the buffer is full. The
+  // loop is bounded: a fresh coded block fails to raise rank only on a
+  // 256^-rank coefficient collision, so 4·s attempts is ample.
+  for (std::size_t attempts = 0; attempts < 4 * s; ++attempts) {
+    const coding::SegmentBuffer* sb = buffer_.find(id);
+    if (sb != nullptr && sb->rank() >= s) return;
+    if (!buffer_.has_room(1)) {
+      bool evicted = false;
+      for (const coding::SegmentId& other : buffer_.segments()) {
+        if (other == id) continue;
+        coding::SegmentBuffer* osb = buffer_.find(other);
+        if (osb == nullptr || osb->empty()) continue;
+        buffer_.erase(osb->handles().front());
+        ++reseed_evictions_;
+        evicted = true;
+        break;
+      }
+      if (!evicted) return;  // buffer full of this segment alone
+    }
+    store(it->second.encode(rng_));
+    ++reseeds_;
+  }
+}
+
+PeerCore::AckResult PeerCore::on_ack(const coding::SegmentId& id) {
+  if (!acked_.insert(id).second) return AckResult::kDuplicate;
+  const bool own = own_segments_.contains(id);
+  own_encoders_.erase(id);  // delivery guaranteed; release the originals
+  if (params_.drop_on_ack) {
+    if (coding::SegmentBuffer* sb = buffer_.find(id); sb != nullptr) {
+      for (const coding::BlockHandle h : sb->handles()) buffer_.erase(h);
+    }
+  }
+  return own ? AckResult::kOwnSegment : AckResult::kOtherSegment;
+}
+
+void PeerCore::rebirth(coding::OriginId new_origin) {
+  origin_ = new_origin;
+  next_seq_ = 0;
+  // The fresh occupant shares nothing with its predecessor.
+  own_segments_.clear();
+  acked_.clear();
+  own_crcs_.clear();
+  own_encoders_.clear();
+}
+
+const std::vector<std::uint32_t>* PeerCore::original_crcs(
+    const coding::SegmentId& id) const {
+  const auto it = own_crcs_.find(id);
+  return it == own_crcs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace icollect::proto

@@ -1,0 +1,228 @@
+#pragma once
+
+/// \file peer_core.h
+/// The peer half of the Sec. 2 protocol as a pure, driver-agnostic state
+/// machine. One implementation serves both drivers: the discrete-event
+/// simulator (p2p::Network) feeds it from the event queue, the live
+/// runtime (node::PeerNode) from wire frames — the core never touches a
+/// transport, a timer wheel, or a clock.
+///
+/// Inputs are typed method calls (inject fired, gossip fired, block
+/// arrived, pull asked, timer expired, ACK seen); outputs are return
+/// values plus two injected sinks: `arm_ttl` (schedule this block's
+/// Exp(γ) expiry — the only timing the core ever requests, expressed as
+/// a delay so it is clock-agnostic) and an optional `stored` hook for
+/// per-block driver bookkeeping (the simulator's registry degree,
+/// occupancy lists and time-weighted metrics).
+///
+/// Determinism contract: all randomness flows through the injected
+/// common::Rng in a fixed draw order — segment choice, coding
+/// coefficients, payload bytes, TTL lifetimes. The simulator shares one
+/// stream across every core; the live runtime gives each node its own.
+/// Seeded outputs of both drivers are byte-identical to the
+/// pre-extraction implementations (tests/golden/, proto-differential).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/coded_block.h"
+#include "coding/encoder.h"
+#include "coding/segment_buffer.h"
+#include "coding/segment_id.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "proto/peer_buffer.h"
+#include "proto/policy.h"
+
+namespace icollect::proto {
+
+class PeerCore {
+ public:
+  struct Params {
+    std::size_t segment_size = 4;   ///< s blocks per segment
+    std::size_t buffer_cap = 32;    ///< B, max blocks buffered
+    double gamma = 1.0;             ///< per-block TTL expiry rate γ
+    std::size_t payload_bytes = 0;  ///< real payload per block (0 = none)
+    GossipPolicy gossip_policy = GossipPolicy::kUniformSegment;
+    /// Drop/refuse blocks of segments a server already ACKed decoded
+    /// (live-runtime option; the simulator has no peer-visible ACKs).
+    bool drop_on_ack = false;
+    /// Keep source-side encoders for own segments until first ACK so
+    /// TTL-thinned segments can be re-seeded (live-runtime option).
+    bool retain_own_until_acked = false;
+    /// Record per-block CRC-32s of own injected payloads for end-to-end
+    /// verification (live tests); the simulator keeps them in its
+    /// registry instead and leaves this off.
+    bool record_own_crcs = false;
+  };
+
+  /// Required sink: schedule the Exp(γ) expiry of a stored block after
+  /// `delay` seconds; the driver must call on_ttl_expired(handle) then.
+  using ArmTtlFn = std::function<void(coding::BlockHandle, double delay)>;
+  /// Optional sink: a block of `segment` entered the buffer, which held
+  /// `blocks_before` blocks. Fires after insertion, before the TTL draw.
+  using StoredFn =
+      std::function<void(const coding::SegmentId&, std::size_t blocks_before)>;
+  /// Optional override for the s original payload blocks of a new
+  /// segment (workload generators). Default: deterministic
+  /// pseudo-random bytes from the core's RNG stream.
+  using PayloadSourceFn =
+      std::function<std::vector<std::vector<std::uint8_t>>(
+          const coding::SegmentId& id, std::size_t segment_size,
+          std::size_t payload_bytes)>;
+
+  /// The core draws from — but does not own — `rng`, so a driver can
+  /// share one stream across many cores (simulator) or dedicate one per
+  /// node (live runtime). Both must outlive the core.
+  PeerCore(const Params& params, coding::OriginId origin, common::Rng& rng);
+
+  void set_arm_ttl(ArmTtlFn fn) { arm_ttl_ = std::move(fn); }
+  void set_stored_hook(StoredFn fn) { stored_ = std::move(fn); }
+  void set_payload_source(PayloadSourceFn fn) {
+    payload_source_ = std::move(fn);
+  }
+
+  // --- injection ----------------------------------------------------------
+  /// Room for a whole segment ("degree no more than B − s", Sec. 2)?
+  [[nodiscard]] bool can_inject() const {
+    return buffer_.has_room(params_.segment_size);
+  }
+  /// The id inject() will assign next (for drivers that must register
+  /// the segment before the per-block stored hooks fire).
+  [[nodiscard]] coding::SegmentId next_segment_id() const {
+    return coding::SegmentId{origin_, next_seq_};
+  }
+
+  struct Injected {
+    coding::SegmentId id;
+    /// CRC-32 per original block; empty when payload_bytes == 0.
+    std::vector<std::uint32_t> crcs;
+  };
+  /// Inject one fresh segment: draw payloads, seed the buffer with its s
+  /// systematic blocks (arming one TTL each). Precondition: can_inject().
+  Injected inject();
+
+  // --- gossip -------------------------------------------------------------
+  [[nodiscard]] bool has_blocks() const { return !buffer_.empty(); }
+  /// The segment this gossip firing re-codes, per the configured policy
+  /// (uniform draws once; newest/rarest draw nothing).
+  /// Precondition: has_blocks().
+  [[nodiscard]] const coding::SegmentId& choose_gossip_segment();
+  /// Fresh random GF(2^8) recombination of the buffered blocks of `seg`.
+  /// Precondition: the segment is buffered and non-empty.
+  [[nodiscard]] coding::CodedBlock recode(const coding::SegmentId& seg);
+  /// recode() into a caller-owned block (allocation-free steady state).
+  void recode_into(const coding::SegmentId& seg, coding::CodedBlock& out);
+
+  // --- receiving ----------------------------------------------------------
+  enum class AcceptResult : std::uint8_t {
+    kStored,           ///< accepted and buffered (TTL armed)
+    kShapeMismatch,    ///< wrong segment size / degenerate block — junk
+    kAckedSegment,     ///< drop_on_ack and the segment is already ACKed
+    kBufferFull,       ///< "if a peer's buffer is full, it will not accept"
+    kSegmentFullRank,  ///< peer already holds s independent blocks
+  };
+  /// Receiver-side acceptance rule (live runtime: the sender picks
+  /// blindly and the receiver filters).
+  AcceptResult accept(coding::CodedBlock&& block);
+  /// Sender-side eligibility rule (simulator: the global view filters
+  /// receivers before sending) — the storage-related half of accept().
+  [[nodiscard]] bool can_accept(const coding::SegmentId& seg) const {
+    if (buffer_.full()) return false;
+    const coding::SegmentBuffer* sb = buffer_.find(seg);
+    return sb == nullptr || !sb->full_rank();
+  }
+  /// Store a block unconditionally (simulator delivery after sender-side
+  /// filtering). Precondition: the buffer has room.
+  coding::BlockHandle store(coding::CodedBlock block);
+
+  // --- server pulls -------------------------------------------------------
+  /// The segment a pull is answered from: uniform over buffered
+  /// segments ("a (re-coded) block of a random segment", Sec. 2).
+  /// Precondition: has_blocks().
+  [[nodiscard]] const coding::SegmentId& choose_pull_segment() {
+    ICOLLECT_EXPECTS(!buffer_.empty());
+    return buffer_.random_segment(rng_);
+  }
+  /// Answer a pull request: false (and `out` untouched) when the buffer
+  /// is empty, else a re-coded block of a random buffered segment.
+  bool answer_pull(coding::CodedBlock& out);
+
+  // --- TTL ----------------------------------------------------------------
+  /// The armed expiry for `handle` fired. Returns the segment the block
+  /// belonged to, or nullopt if it was already gone (drop_on_ack,
+  /// reseed eviction). Callers needing re-seeding invoke reseed_own()
+  /// afterwards (kept separate so drivers can trace in between).
+  std::optional<coding::SegmentId> on_ttl_expired(coding::BlockHandle handle);
+  /// Source-side retention: top an own un-ACKed segment's local rank
+  /// back up to s with fresh coded blocks, evicting relayed blocks if
+  /// needed. No-op unless retain_own_until_acked.
+  void reseed_own(const coding::SegmentId& id);
+
+  // --- ACKs ---------------------------------------------------------------
+  enum class AckResult : std::uint8_t {
+    kDuplicate,     ///< already ACKed (multi-server)
+    kOwnSegment,    ///< first ACK of a segment this peer injected
+    kOtherSegment,  ///< first ACK of a relayed segment
+  };
+  /// A server announced the segment decoded: release retained encoders
+  /// and (under drop_on_ack) evict its buffered blocks.
+  AckResult on_ack(const coding::SegmentId& id);
+
+  // --- churn (simulator's replacement model) ------------------------------
+  /// The occupant departs: drop every buffered block. Returns the number
+  /// of blocks lost. Armed TTLs for them become stale no-ops.
+  std::size_t clear_all() { return buffer_.clear(); }
+  /// A fresh peer takes the slot under a new origin id.
+  void rebirth(coding::OriginId new_origin);
+
+  // --- observers ----------------------------------------------------------
+  [[nodiscard]] const PeerBuffer& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] PeerBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] coding::OriginId origin() const noexcept { return origin_; }
+  [[nodiscard]] bool is_acked(const coding::SegmentId& id) const {
+    return acked_.contains(id);
+  }
+  [[nodiscard]] bool is_own(const coding::SegmentId& id) const {
+    return own_segments_.contains(id);
+  }
+  /// CRC-32 of each original block of an own injected segment (only
+  /// when record_own_crcs and payload_bytes > 0).
+  [[nodiscard]] const std::vector<std::uint32_t>* original_crcs(
+      const coding::SegmentId& id) const;
+  [[nodiscard]] std::uint64_t reseeds() const noexcept { return reseeds_; }
+  [[nodiscard]] std::uint64_t reseed_evictions() const noexcept {
+    return reseed_evictions_;
+  }
+
+ private:
+  Params params_;
+  coding::OriginId origin_;
+  common::Rng& rng_;
+  PeerBuffer buffer_;
+  std::uint32_t next_seq_ = 0;
+  coding::BlockHandle next_handle_ = 1;
+
+  ArmTtlFn arm_ttl_;
+  StoredFn stored_;
+  PayloadSourceFn payload_source_;
+
+  std::unordered_set<coding::SegmentId> own_segments_;
+  std::unordered_set<coding::SegmentId> acked_;
+  std::unordered_map<coding::SegmentId, std::vector<std::uint32_t>>
+      own_crcs_;
+  /// Source-side encoders for own unACKed segments (only populated when
+  /// retain_own_until_acked; released on ACK).
+  std::unordered_map<coding::SegmentId, coding::SegmentEncoder>
+      own_encoders_;
+
+  std::uint64_t reseeds_ = 0;
+  std::uint64_t reseed_evictions_ = 0;
+};
+
+}  // namespace icollect::proto

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file policy.h
+/// Protocol-level policy knobs shared by both drivers.
+///
+/// These used to live in p2p/config.h; they moved here with the protocol
+/// core so a policy is defined — and implemented — exactly once for the
+/// simulator and the live runtime. p2p/config.h re-exports the names for
+/// its existing call sites.
+
+namespace icollect::proto {
+
+/// How a gossiping peer picks which buffered segment to re-code and send.
+///
+/// The paper's rule is uniform over the segments it holds (Sec. 2) —
+/// the assumption behind the degree-proportional growth term of system
+/// (8). The alternatives are scheduling extensions this library adds:
+/// newest-first pushes a peer's most recent data out fastest (which is
+/// exactly what improves "last words" survival under churn), and
+/// rarest-first mimics BitTorrent-style availability balancing using
+/// the peer's local view.
+enum class GossipPolicy {
+  kUniformSegment,  ///< the paper's rule; matches the ODE analysis
+  kNewestFirst,     ///< most recently first-seen segment
+  kRarestFirst,     ///< fewest locally-held blocks (ties: newest)
+};
+
+[[nodiscard]] constexpr const char* to_string(GossipPolicy p) noexcept {
+  switch (p) {
+    case GossipPolicy::kUniformSegment: return "uniform";
+    case GossipPolicy::kNewestFirst: return "newest-first";
+    case GossipPolicy::kRarestFirst: return "rarest-first";
+  }
+  return "?";
+}
+
+}  // namespace icollect::proto

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file pull_policy.h
+/// Strategy seam for the server-side pull-target choice.
+///
+/// The paper's rule (Sec. 2) is uniform over "all the peers with
+/// non-null buffers"; UniformPullPolicy realizes it and is the default
+/// in both drivers. The seam exists so smarter policies (rarest-first
+/// by server-side rank deficit, deficit-weighted sampling — see
+/// ROADMAP.md) can be written once and dropped into the simulator and
+/// the live ServerNode alike.
+///
+/// Two entry points, matching the two ways a driver knows eligibility:
+///  - pick(): the candidate set is already filtered (the simulator's
+///    exact non-empty-slot list) — one uniform draw.
+///  - pick_filtered(): eligibility is only testable per candidate (the
+///    live server's occupancy heuristic) — probe-then-scan selection
+///    via proto::uniform_over_eligible.
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "proto/selection.h"
+
+namespace icollect::proto {
+
+class PullPolicy {
+ public:
+  virtual ~PullPolicy() = default;
+
+  /// Pick among n candidates all known to be eligible. Precondition:
+  /// n > 0. Draws exactly once for the uniform default.
+  [[nodiscard]] virtual std::size_t pick(common::Rng& rng,
+                                         std::size_t n) const {
+    return rng.uniform_index(n);
+  }
+
+  /// Pick among n candidates when eligibility must be tested per index:
+  /// `probes` rejection samples, then one exhaustive scan. Returns
+  /// kNoSelection when no candidate is eligible.
+  [[nodiscard]] virtual std::size_t pick_filtered(
+      common::Rng& rng, std::size_t n, int probes,
+      EligibleRef eligible) const {
+    return uniform_over_eligible(rng, n, probes, eligible);
+  }
+};
+
+/// The paper's rule: uniform at random over eligible peers.
+class UniformPullPolicy final : public PullPolicy {};
+
+}  // namespace icollect::proto

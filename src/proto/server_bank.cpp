@@ -1,9 +1,9 @@
-#include "p2p/server.h"
+#include "proto/server_bank.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 
 ServerBank::PullResult ServerBank::offer(const coding::CodedBlock& block,
-                                         sim::Time now) {
+                                         double now) {
   ++pulls_;
   const coding::SegmentId id = block.segment;
   if (decoded_.contains(id)) {
@@ -39,7 +39,7 @@ ServerBank::PullResult ServerBank::offer(const coding::CodedBlock& block,
 }
 
 ServerBank::PullResult ServerBank::offer_counted(
-    const coding::SegmentId& id, std::size_t segment_size, sim::Time now) {
+    const coding::SegmentId& id, std::size_t segment_size, double now) {
   ICOLLECT_EXPECTS(segment_size > 0);
   ++pulls_;
   if (decoded_.contains(id)) {
@@ -75,4 +75,4 @@ const std::vector<std::vector<std::uint8_t>>* ServerBank::originals(
   return it == payloads_.end() ? nullptr : &it->second;
 }
 
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -1,6 +1,6 @@
 #pragma once
 
-/// \file server.h
+/// \file server_bank.h
 /// The collaborating logging servers' collection state.
 ///
 /// The paper's N_s servers share the goal of reconstructing every
@@ -11,20 +11,22 @@
 /// j ∈ {0..s} of Sec. 3; a pull that does not raise any rank is counted
 /// as redundant. Decoded segments release their decoder and keep a
 /// lightweight completion record.
+///
+/// Times are plain doubles in the driver's time base (virtual seconds in
+/// the simulator, wheel seconds in the live runtime) — the bank never
+/// reads a clock itself.
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "coding/coded_block.h"
 #include "coding/decoder.h"
 #include "coding/segment_id.h"
 #include "common/assert.h"
-#include "sim/event_queue.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 
 class ServerBank {
  public:
@@ -45,7 +47,7 @@ class ServerBank {
   struct DecodeEvent {
     coding::SegmentId id;
     std::size_t segment_size = 0;
-    sim::Time when = 0.0;
+    double when = 0.0;
     const coding::Decoder* decoder = nullptr;
   };
   using DecodeCallback = std::function<void(const DecodeEvent&)>;
@@ -53,13 +55,13 @@ class ServerBank {
 
   /// Offer one pulled coded block at time `now` (real-coding fidelity:
   /// true Gaussian elimination decides innovation).
-  PullResult offer(const coding::CodedBlock& block, sim::Time now);
+  PullResult offer(const coding::CodedBlock& block, double now);
 
   /// Register one pull of `id` at time `now` under the paper's idealized
   /// collection-state process (state-counter fidelity): the state
   /// advances on every pull until it reaches `segment_size`.
   PullResult offer_counted(const coding::SegmentId& id,
-                           std::size_t segment_size, sim::Time now);
+                           std::size_t segment_size, double now);
 
   /// Collection state j of a segment (0 if never seen; s once decoded).
   [[nodiscard]] std::size_t state(const coding::SegmentId& id) const;
@@ -108,4 +110,4 @@ class ServerBank {
   std::uint64_t original_blocks_ = 0;
 };
 
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file server_core.h
+/// The server half of the Sec. 2 protocol as a driver-agnostic state
+/// machine: a ServerBank plus the decisions around it — how an incoming
+/// block is accounted (demanded pull vs. sibling forward) and whether a
+/// pulled block is worth forwarding to the other servers.
+///
+/// Time is injected as an obs::ClockSource so decode events carry the
+/// driver's time base without the core knowing whether "now" is the
+/// simulator's virtual clock, a loopback hub, or the wall clock. The
+/// *choice* of which peer to pull from stays with the driver (it owns
+/// the candidate set — exact non-empty slots in the simulator, an
+/// occupancy heuristic over the live roster) but flows through the
+/// shared proto::PullPolicy seam.
+
+#include <cstddef>
+#include <utility>
+
+#include "coding/coded_block.h"
+#include "coding/segment_id.h"
+#include "common/assert.h"
+#include "obs/clock.h"
+#include "proto/server_bank.h"
+
+namespace icollect::proto {
+
+class ServerCore {
+ public:
+  /// `clock` must outlive the core; `keep_payloads` as in ServerBank.
+  ServerCore(bool keep_payloads, const obs::ClockSource& clock)
+      : bank_{keep_payloads}, clock_{&clock} {}
+
+  /// Fired when a segment's collection completes; the event is stamped
+  /// with the injected clock's now().
+  void set_decode_callback(ServerBank::DecodeCallback cb) {
+    bank_.set_decode_callback(std::move(cb));
+  }
+
+  /// A demanded pull returned this block (real-coding fidelity).
+  ServerBank::PullResult on_pull_block(const coding::CodedBlock& block) {
+    return bank_.offer(block, clock_->now());
+  }
+
+  /// A demanded pull of `id` under the paper's idealized collection-
+  /// state process (state-counter fidelity).
+  ServerBank::PullResult on_pull_counted(const coding::SegmentId& id,
+                                         std::size_t segment_size) {
+    return bank_.offer_counted(id, segment_size, clock_->now());
+  }
+
+  /// A sibling server forwarded a block it pulled (pooled-state rule):
+  /// absorb it into the bank without pull accounting at this layer.
+  ServerBank::PullResult on_forwarded_block(const coding::CodedBlock& block) {
+    return bank_.offer(block, clock_->now());
+  }
+
+  /// Pooled-state forwarding rule: a pulled block is re-sent to the
+  /// other servers exactly when it was innovative for this bank.
+  [[nodiscard]] static bool should_forward(
+      ServerBank::PullResult result) noexcept {
+    return result == ServerBank::PullResult::kInnovative;
+  }
+
+  [[nodiscard]] const ServerBank& bank() const noexcept { return bank_; }
+  [[nodiscard]] ServerBank& bank() noexcept { return bank_; }
+  [[nodiscard]] const obs::ClockSource& clock() const noexcept {
+    return *clock_;
+  }
+
+ private:
+  ServerBank bank_;
+  const obs::ClockSource* clock_;
+};
+
+}  // namespace icollect::proto

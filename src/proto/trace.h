@@ -2,9 +2,15 @@
 
 /// \file trace.h
 /// Protocol event tracing: an optional observer stream of everything the
-/// engine does, for debugging, visualization, and post-hoc analysis
+/// protocol does, for debugging, visualization, and post-hoc analysis
 /// (e.g. reconstructing a segment's full lifecycle). Zero cost when no
 /// sink is installed.
+///
+/// Lives in proto/ because both drivers — the discrete-event simulator
+/// and the live node runtime — emit the same event stream; one
+/// obs::TraceBuffer / analysis script serves both worlds. `at` is in the
+/// driver's time base (virtual seconds in the simulator and the loopback
+/// cluster, wall seconds over TCP).
 
 #include <cstdint>
 #include <cstdio>
@@ -12,9 +18,8 @@
 #include <string>
 
 #include "coding/segment_id.h"
-#include "sim/event_queue.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 
 enum class TraceEventKind : std::uint8_t {
   kSegmentInjected,  ///< slot = origin peer; aux = segment size
@@ -46,7 +51,7 @@ inline constexpr std::size_t kTraceEventKindCount = 8;
 
 struct TraceEvent {
   TraceEventKind kind{};
-  sim::Time at = 0.0;
+  double at = 0.0;
   std::size_t slot = 0;
   coding::SegmentId segment{};
   std::uint64_t aux = 0;
@@ -57,7 +62,7 @@ struct TraceEvent {
     char buf[160];
     const int n = std::snprintf(
         buf, sizeof(buf), "%s t=%f slot=%zu seg=%u:%u aux=%llu",
-        p2p::to_string(kind), at, slot,
+        proto::to_string(kind), at, slot,
         static_cast<unsigned>(segment.origin),
         static_cast<unsigned>(segment.seq),
         static_cast<unsigned long long>(aux));
@@ -69,7 +74,7 @@ struct TraceEvent {
   }
 };
 
-/// Receives every protocol event in virtual-time order.
+/// Receives every protocol event in time order.
 using TraceSink = std::function<void(const TraceEvent&)>;
 
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "common/assert.h"
-#include "workload/crc32.h"
+#include "common/crc32.h"
 
 namespace icollect::workload {
 
@@ -44,7 +44,7 @@ std::vector<std::uint8_t> StatsRecord::serialize() const {
   put(out, channel_id);
   // Body so far: 4 + 8 + 6*4 + 2*2 = 40 bytes; pad to 44 before CRC.
   put(out, std::uint32_t{0});  // reserved padding
-  const std::uint32_t crc = crc32({out.data(), out.size()});
+  const std::uint32_t crc = common::crc32({out.data(), out.size()});
   put(out, crc);
   ICOLLECT_ENSURES(out.size() == kSerializedSize);
   return out;
@@ -55,7 +55,7 @@ bool StatsRecord::crc_ok(std::span<const std::uint8_t> bytes) {
   std::size_t at = kSerializedSize - 4;
   std::uint32_t stored = 0;
   std::memcpy(&stored, bytes.data() + at, 4);
-  return stored == crc32(bytes.first(kSerializedSize - 4));
+  return stored == common::crc32(bytes.first(kSerializedSize - 4));
 }
 
 StatsRecord StatsRecord::deserialize(std::span<const std::uint8_t> bytes) {

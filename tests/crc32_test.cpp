@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "common/crc32.h"
-#include "workload/crc32.h"
 
 namespace icollect {
 namespace {
@@ -53,11 +52,6 @@ TEST(Crc32, SingleBitChangesCrc) {
   const std::uint32_t base = common::crc32(data);
   data[17] ^= 0x01U;
   EXPECT_NE(common::crc32(data), base);
-}
-
-TEST(Crc32, WorkloadForwardingAliasAgrees) {
-  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
-  EXPECT_EQ(workload::crc32(data), common::crc32(data));
 }
 
 }  // namespace

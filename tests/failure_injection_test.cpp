@@ -43,7 +43,7 @@ TEST(GossipLoss, ConservationHoldsWithDrops) {
   EXPECT_GT(m.gossip_lost_in_transit, 0u);
   std::size_t in_network = 0;
   for (std::size_t slot = 0; slot < net.config().num_peers; ++slot) {
-    in_network += net.peer(slot).buffer.size();
+    in_network += net.peer(slot).buffer().size();
   }
   // Dropped blocks never entered the network, so the ledger is unchanged.
   EXPECT_EQ(m.blocks_injected + m.gossip_sent,

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include "p2p/network.h"
-#include "p2p/peer.h"
+#include "proto/peer_buffer.h"
 
 namespace icollect::p2p {
 namespace {
+
+using proto::PeerBuffer;
 
 coding::CodedBlock block_of(coding::SegmentId id, std::size_t s,
                             sim::Rng& rng) {
@@ -102,7 +104,7 @@ TEST(GossipPolicyEndToEnd, AllPoliciesKeepInvariants) {
     const auto& m = net.metrics();
     std::size_t in_network = 0;
     for (std::size_t slot = 0; slot < cfg.num_peers; ++slot) {
-      in_network += net.peer(slot).buffer.size();
+      in_network += net.peer(slot).buffer().size();
     }
     EXPECT_EQ(m.blocks_injected + m.gossip_sent,
               m.ttl_expirations + m.blocks_lost_to_churn + in_network)

@@ -69,10 +69,10 @@ TEST_P(NetworkPropertyTest, InvariantsHoldOnRandomConfigs) {
   std::size_t blocks_in_network = 0;
   for (std::size_t slot = 0; slot < cfg.num_peers; ++slot) {
     const Peer& p = net.peer(slot);
-    ASSERT_LE(p.buffer.size(), cfg.buffer_cap);
-    blocks_in_network += p.buffer.size();
-    for (const auto& seg : p.buffer.segments()) {
-      const auto* sb = p.buffer.find(seg);
+    ASSERT_LE(p.buffer().size(), cfg.buffer_cap);
+    blocks_in_network += p.buffer().size();
+    for (const auto& seg : p.buffer().segments()) {
+      const auto* sb = p.buffer().find(seg);
       ASSERT_NE(sb, nullptr);
       ASSERT_FALSE(sb->empty());
       degrees[seg] += sb->block_count();

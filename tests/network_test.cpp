@@ -34,10 +34,10 @@ void check_structural_invariants(const Network& net) {
   std::size_t total_blocks = 0;
   for (std::size_t slot = 0; slot < cfg.num_peers; ++slot) {
     const Peer& p = net.peer(slot);
-    ASSERT_LE(p.buffer.size(), cfg.buffer_cap);
-    total_blocks += p.buffer.size();
-    for (const auto& seg : p.buffer.segments()) {
-      const auto* sb = p.buffer.find(seg);
+    ASSERT_LE(p.buffer().size(), cfg.buffer_cap);
+    total_blocks += p.buffer().size();
+    for (const auto& seg : p.buffer().segments()) {
+      const auto* sb = p.buffer().find(seg);
       ASSERT_NE(sb, nullptr);
       ASSERT_GT(sb->block_count(), 0u);
       ASSERT_LE(sb->rank(), sb->segment_size());
@@ -68,11 +68,23 @@ void check_block_conservation(const Network& net) {
   const auto& m = net.metrics();
   std::size_t in_network = 0;
   for (std::size_t slot = 0; slot < net.config().num_peers; ++slot) {
-    in_network += net.peer(slot).buffer.size();
+    in_network += net.peer(slot).buffer().size();
   }
   const std::uint64_t created = m.blocks_injected + m.gossip_sent;
   const std::uint64_t gone = m.ttl_expirations + m.blocks_lost_to_churn;
   EXPECT_EQ(created, gone + in_network);
+}
+
+TEST(PeerStruct, IdentityFields) {
+  common::Rng rng{1};
+  proto::PeerCore::Params params;
+  params.segment_size = 4;
+  params.buffer_cap = 16;
+  const Peer p{3, params, 42, rng};
+  EXPECT_EQ(p.slot, 3u);
+  EXPECT_EQ(p.origin(), 42u);
+  EXPECT_EQ(p.incarnation, 0u);
+  EXPECT_EQ(p.buffer().capacity(), 16u);
 }
 
 TEST(Network, StructuralInvariantsAfterRun) {
@@ -210,7 +222,7 @@ TEST(Network, StopInjectionWithoutGossipDrainsByTtl) {
   EXPECT_EQ(net.metrics().segments_injected, injected);
   EXPECT_EQ(net.live_segment_count(), 0u);
   for (std::size_t slot = 0; slot < cfg.num_peers; ++slot) {
-    EXPECT_TRUE(net.peer(slot).buffer.empty());
+    EXPECT_TRUE(net.peer(slot).buffer().empty());
   }
 }
 

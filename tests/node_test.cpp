@@ -16,7 +16,7 @@
 #include "net/loopback.h"
 #include "node/cluster.h"
 #include "obs/metrics_registry.h"
-#include "p2p/trace.h"
+#include "proto/trace.h"
 #include "node/node_config.h"
 #include "node/peer_node.h"
 #include "node/server_node.h"
@@ -197,12 +197,12 @@ TEST(NodeCluster, TelemetryDoesNotPerturbDeterminism) {
   // bit of the run: all instrumentation is pull-based or passive.
   const auto run = [](bool instrumented) {
     obs::MetricsRegistry reg;
-    std::vector<p2p::TraceEvent> events;
+    std::vector<proto::TraceEvent> events;
     LoopbackCluster cluster{small_cluster_config(),
                             instrumented ? &reg : nullptr};
     if (instrumented) {
       cluster.set_trace_sink(
-          [&events](const p2p::TraceEvent& e) { events.push_back(e); });
+          [&events](const proto::TraceEvent& e) { events.push_back(e); });
     }
     cluster.run_for(25.0);
     return std::array<std::uint64_t, 5>{
@@ -269,10 +269,10 @@ TEST(NodeCluster, HandshakeAndWireErrorCountersExported) {
 
 TEST(NodeCluster, TraceSinkSeesProtocolLifecycle) {
   obs::MetricsRegistry reg;
-  std::vector<p2p::TraceEvent> events;
+  std::vector<proto::TraceEvent> events;
   LoopbackCluster cluster{small_cluster_config(), &reg};
   cluster.set_trace_sink(
-      [&events](const p2p::TraceEvent& e) { events.push_back(e); });
+      [&events](const proto::TraceEvent& e) { events.push_back(e); });
   ASSERT_TRUE(cluster.run_to_completion(300.0));
 
   std::uint64_t injects = 0;
@@ -285,10 +285,10 @@ TEST(NodeCluster, TraceSinkSeesProtocolLifecycle) {
     EXPECT_GE(e.at, prev);  // single virtual clock: nondecreasing
     prev = e.at;
     switch (e.kind) {
-      case p2p::TraceEventKind::kSegmentInjected: ++injects; break;
-      case p2p::TraceEventKind::kSegmentDecoded: ++decodes; break;
-      case p2p::TraceEventKind::kGossipSent: ++gossips; break;
-      case p2p::TraceEventKind::kServerPull:
+      case proto::TraceEventKind::kSegmentInjected: ++injects; break;
+      case proto::TraceEventKind::kSegmentDecoded: ++decodes; break;
+      case proto::TraceEventKind::kGossipSent: ++gossips; break;
+      case proto::TraceEventKind::kServerPull:
         ++pulls;
         innovative += e.aux;
         break;

@@ -98,7 +98,7 @@ TEST(Telemetry, FullBundleFromCollectionSystemRun) {
   EXPECT_NE(summary.find("\"normalized_throughput\":"), std::string::npos);
 
   // Trace: the filter admits only pull/decode events.
-  using icollect::p2p::TraceEventKind;
+  using icollect::proto::TraceEventKind;
   EXPECT_GT(telemetry.trace().accepted(), 0U);
   EXPECT_GT(telemetry.trace().filtered_out(), 0U);
   EXPECT_EQ(telemetry.trace().count(TraceEventKind::kGossipSent), 0U);

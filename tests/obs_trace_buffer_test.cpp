@@ -18,8 +18,8 @@ using icollect::obs::kind_bit;
 using icollect::obs::parse_trace_filter;
 using icollect::obs::trace_event_json;
 using icollect::obs::TraceBuffer;
-using icollect::p2p::TraceEvent;
-using icollect::p2p::TraceEventKind;
+using icollect::proto::TraceEvent;
+using icollect::proto::TraceEventKind;
 
 TraceEvent make_event(TraceEventKind kind, double at, std::uint64_t aux = 0) {
   TraceEvent ev;
@@ -127,7 +127,7 @@ TEST(TraceEventJson, FormatsAllFields) {
 
 TEST(TraceBuffer, SinkAdapterRecords) {
   TraceBuffer buf{4};
-  const icollect::p2p::TraceSink sink = buf.sink();
+  const icollect::proto::TraceSink sink = buf.sink();
   sink(make_event(TraceEventKind::kPeerDeparted, 3.0));
   EXPECT_EQ(buf.accepted(), 1U);
   EXPECT_EQ(buf.count(TraceEventKind::kPeerDeparted), 1U);

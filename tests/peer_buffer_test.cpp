@@ -5,13 +5,13 @@
 #include <map>
 
 #include "coding/encoder.h"
-#include "p2p/peer.h"
+#include "proto/peer_buffer.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 namespace {
 
 coding::CodedBlock block_of(coding::SegmentId id, std::size_t s,
-                            sim::Rng& rng) {
+                            common::Rng& rng) {
   coding::CodedBlock b;
   b.segment = id;
   b.coefficients.resize(s);
@@ -36,7 +36,7 @@ TEST(PeerBuffer, ZeroCapacityViolatesContract) {
 }
 
 TEST(PeerBuffer, InsertAndFindBySegment) {
-  sim::Rng rng{71};
+  common::Rng rng{71};
   PeerBuffer pb{10};
   const coding::SegmentId s1{1, 0};
   const coding::SegmentId s2{2, 0};
@@ -53,7 +53,7 @@ TEST(PeerBuffer, InsertAndFindBySegment) {
 }
 
 TEST(PeerBuffer, FullBufferRejectsInsert) {
-  sim::Rng rng{72};
+  common::Rng rng{72};
   PeerBuffer pb{2};
   pb.insert(1, block_of({1, 0}, 2, rng));
   pb.insert(2, block_of({1, 0}, 2, rng));
@@ -63,7 +63,7 @@ TEST(PeerBuffer, FullBufferRejectsInsert) {
 }
 
 TEST(PeerBuffer, DuplicateHandleViolatesContract) {
-  sim::Rng rng{73};
+  common::Rng rng{73};
   PeerBuffer pb{4};
   pb.insert(7, block_of({1, 0}, 2, rng));
   EXPECT_THROW(pb.insert(7, block_of({1, 0}, 2, rng)),
@@ -71,7 +71,7 @@ TEST(PeerBuffer, DuplicateHandleViolatesContract) {
 }
 
 TEST(PeerBuffer, EraseReturnsSegmentAndPrunes) {
-  sim::Rng rng{74};
+  common::Rng rng{74};
   PeerBuffer pb{10};
   const coding::SegmentId s1{1, 0};
   pb.insert(1, block_of(s1, 4, rng));
@@ -90,7 +90,7 @@ TEST(PeerBuffer, EraseReturnsSegmentAndPrunes) {
 }
 
 TEST(PeerBuffer, RandomSegmentIsUniformOverSegments) {
-  sim::Rng rng{75};
+  common::Rng rng{75};
   PeerBuffer pb{100};
   // Segment A holds 9 blocks, B holds 1 — selection must be uniform over
   // *segments* (paper: "chooses a segment r u.a.r. from among all the
@@ -106,13 +106,13 @@ TEST(PeerBuffer, RandomSegmentIsUniformOverSegments) {
 }
 
 TEST(PeerBuffer, RandomSegmentOnEmptyViolatesContract) {
-  sim::Rng rng{76};
+  common::Rng rng{76};
   const PeerBuffer pb{4};
   EXPECT_THROW((void)pb.random_segment(rng), icollect::ContractViolation);
 }
 
 TEST(PeerBuffer, AllHandlesAndClear) {
-  sim::Rng rng{77};
+  common::Rng rng{77};
   PeerBuffer pb{10};
   pb.insert(5, block_of({1, 0}, 2, rng));
   pb.insert(9, block_of({2, 0}, 2, rng));
@@ -126,7 +126,7 @@ TEST(PeerBuffer, AllHandlesAndClear) {
 }
 
 TEST(PeerBuffer, SegmentListTracksMembership) {
-  sim::Rng rng{78};
+  common::Rng rng{78};
   PeerBuffer pb{10};
   for (std::uint32_t k = 0; k < 5; ++k) {
     pb.insert(k + 1, block_of({k, 0}, 2, rng));
@@ -140,13 +140,5 @@ TEST(PeerBuffer, SegmentListTracksMembership) {
   }
 }
 
-TEST(PeerStruct, IdentityFields) {
-  const Peer p{3, 42, 16};
-  EXPECT_EQ(p.slot, 3u);
-  EXPECT_EQ(p.origin, 42u);
-  EXPECT_EQ(p.incarnation, 0u);
-  EXPECT_EQ(p.buffer.capacity(), 16u);
-}
-
 }  // namespace
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -3,15 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "coding/encoder.h"
-#include "p2p/server.h"
-#include "sim/random.h"
+#include "proto/server_bank.h"
+#include "common/rng.h"
 
-namespace icollect::p2p {
+namespace icollect::proto {
 namespace {
 
 std::vector<std::vector<std::uint8_t>> originals(std::size_t s,
                                                  std::size_t bytes,
-                                                 sim::Rng& rng) {
+                                                 common::Rng& rng) {
   std::vector<std::vector<std::uint8_t>> v(s);
   for (auto& b : v) {
     b.resize(bytes);
@@ -21,7 +21,7 @@ std::vector<std::vector<std::uint8_t>> originals(std::size_t s,
 }
 
 TEST(ServerBank, RealCodingDecodesSegment) {
-  sim::Rng rng{81};
+  common::Rng rng{81};
   const coding::SegmentId id{1, 0};
   const auto orig = originals(4, 8, rng);
   const coding::SegmentEncoder enc{id, orig};
@@ -47,7 +47,7 @@ TEST(ServerBank, RealCodingDecodesSegment) {
 }
 
 TEST(ServerBank, RedundantAfterDecode) {
-  sim::Rng rng{82};
+  common::Rng rng{82};
   const coding::SegmentId id{1, 0};
   const coding::SegmentEncoder enc{id, originals(2, 4, rng)};
   ServerBank bank;
@@ -58,7 +58,7 @@ TEST(ServerBank, RedundantAfterDecode) {
 }
 
 TEST(ServerBank, DependentBlockIsRedundant) {
-  sim::Rng rng{83};
+  common::Rng rng{83};
   const coding::SegmentId id{2, 0};
   const coding::SegmentEncoder enc{id, originals(5, 4, rng)};
   ServerBank bank;
@@ -103,7 +103,7 @@ TEST(ServerBank, CounterModeSegmentSizeOneDecodesImmediately) {
 }
 
 TEST(ServerBank, TracksManySegmentsIndependently) {
-  sim::Rng rng{84};
+  common::Rng rng{84};
   ServerBank bank;
   for (std::uint32_t k = 0; k < 10; ++k) {
     (void)bank.offer_counted({k, 0}, 5, 0.0);
@@ -116,7 +116,7 @@ TEST(ServerBank, TracksManySegmentsIndependently) {
 }
 
 TEST(ServerBank, DiscardPayloadsMode) {
-  sim::Rng rng{85};
+  common::Rng rng{85};
   const coding::SegmentId id{5, 0};
   const coding::SegmentEncoder enc{id, originals(2, 4, rng)};
   ServerBank bank{/*keep_payloads=*/false};
@@ -131,4 +131,4 @@ TEST(ServerBank, CounterModeZeroSizeViolatesContract) {
 }
 
 }  // namespace
-}  // namespace icollect::p2p
+}  // namespace icollect::proto

@@ -4,7 +4,7 @@
 
 #include <stdexcept>
 
-#include "workload/crc32.h"
+#include "common/crc32.h"
 #include "workload/stats_record.h"
 
 namespace icollect::workload {
@@ -28,11 +28,11 @@ StatsRecord sample_record() {
 TEST(Crc32, KnownVector) {
   // CRC-32("123456789") = 0xCBF43926 (the canonical check value).
   const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
-  EXPECT_EQ(crc32({digits, 9}), 0xCBF43926U);
+  EXPECT_EQ(common::crc32({digits, 9}), 0xCBF43926U);
 }
 
 TEST(Crc32, EmptyIsZero) {
-  EXPECT_EQ(crc32({}), 0x00000000U);
+  EXPECT_EQ(common::crc32({}), 0x00000000U);
 }
 
 TEST(StatsRecordTest, SerializedSizeIsFixed) {

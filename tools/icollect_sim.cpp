@@ -148,10 +148,10 @@ int main(int argc, char** argv) {
         {"t", "event", "slot", "segment_origin", "segment_seq", "aux"});
     // The legacy CSV trace chains in front of the telemetry ring so both
     // sinks see every event.
-    system.network().set_trace_sink([&](const p2p::TraceEvent& ev) {
+    system.network().set_trace_sink([&](const proto::TraceEvent& ev) {
       trace_csv->row()
           .add(ev.at)
-          .add(p2p::to_string(ev.kind))
+          .add(proto::to_string(ev.kind))
           .add(ev.slot)
           .add(static_cast<std::uint64_t>(ev.segment.origin))
           .add(static_cast<std::uint64_t>(ev.segment.seq))
