@@ -45,6 +45,53 @@ void LoopbackNet::sever(NodeId a, NodeId b) {
 
 void LoopbackNet::disconnect(NodeId a, NodeId b) { sever(a, b); }
 
+namespace {
+constexpr std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32U) | to;
+}
+}  // namespace
+
+void LoopbackNet::block_link(NodeId from, NodeId to) {
+  ICOLLECT_EXPECTS(from < endpoints_.size() && to < endpoints_.size());
+  blocked_links_.insert(link_key(from, to));
+}
+
+void LoopbackNet::unblock_link(NodeId from, NodeId to) {
+  blocked_links_.erase(link_key(from, to));
+}
+
+bool LoopbackNet::link_blocked(NodeId from, NodeId to) const {
+  if (endpoints_[from]->isolated_ || endpoints_[to]->isolated_) return true;
+  return !blocked_links_.empty() &&
+         blocked_links_.count(link_key(from, to)) != 0;
+}
+
+void LoopbackNet::set_isolated(NodeId id, bool isolated) {
+  endpoint(id).isolated_ = isolated;
+}
+
+void LoopbackNet::schedule_partition(double at, double heal_at,
+                                     std::vector<NodeId> ids) {
+  ICOLLECT_EXPECTS(at >= now());
+  ICOLLECT_EXPECTS(heal_at > at);
+  for (const NodeId id : ids) {
+    ICOLLECT_EXPECTS(id < endpoints_.size());
+  }
+  wheel_.schedule_after(at - now(), [this, ids] {
+    for (const NodeId id : ids) set_isolated(id, true);
+  });
+  wheel_.schedule_after(heal_at - now(), [this, ids = std::move(ids)] {
+    for (const NodeId id : ids) set_isolated(id, false);
+  });
+}
+
+void LoopbackNet::set_drain_rate(NodeId id, double bytes_per_second) {
+  ICOLLECT_EXPECTS(bytes_per_second >= 0.0);
+  Endpoint& ep = endpoint(id);
+  ep.drain_rate_ = bytes_per_second;
+  if (bytes_per_second == 0.0) ep.drain_next_free_ = 0.0;
+}
+
 bool LoopbackNet::Endpoint::send(NodeId peer,
                                  std::span<const std::uint8_t> bytes) {
   return hub_->do_send(*this, peer, bytes);
@@ -63,6 +110,13 @@ bool LoopbackNet::do_send(Endpoint& from, NodeId to,
   }
   ++sends_;
   bytes_sent_ += bytes.size();
+  if (link_blocked(from.id_, to)) {
+    // Injected blackhole: the sender cannot observe the fault (true),
+    // the bytes vanish, and no session teardown fires — unlike a
+    // severed link, which both sides notice immediately.
+    ++fault_drops_;
+    return true;
+  }
   if (opts_.drop_probability > 0.0 &&
       rng_.bernoulli(opts_.drop_probability)) {
     // The link ate it: the sender believes it sent (true), nothing
@@ -79,6 +133,18 @@ bool LoopbackNet::do_send(Endpoint& from, NodeId to,
   if (opts_.latency_jitter > 0.0) {
     delay += rng_.uniform(0.0, opts_.latency_jitter);
   }
+  Endpoint& dst = endpoint(to);
+  if (dst.drain_rate_ > 0.0) {
+    // Slow reader: deliveries serialize through the receiver's drain.
+    // The sender's in-flight bytes stay charged until absorption, so a
+    // fast sender runs into its send-queue cap — the slowloris fault.
+    const double arrival = wheel_.now() + delay;
+    const double ready =
+        std::max(arrival, dst.drain_next_free_) +
+        static_cast<double>(bytes.size()) / dst.drain_rate_;
+    dst.drain_next_free_ = ready;
+    delay = ready - wheel_.now();
+  }
   const NodeId from_id = from.id_;
   wheel_.schedule_after(delay, [this, from_id, to, data = std::move(data)] {
     deliver(from_id, to, data);
@@ -94,6 +160,11 @@ void LoopbackNet::deliver(NodeId from, NodeId to,
   Endpoint& dst = endpoint(to);
   // The link may have been severed while the bytes were in flight.
   if (dst.links_[from] == 0 || dst.handler_ == nullptr) return;
+  // A partition that started mid-flight eats the bytes too.
+  if (link_blocked(from, to)) {
+    ++fault_drops_;
+    return;
+  }
   bytes_delivered_ += data->size();
   ++deliveries_;
   if (opts_.chunk_bytes == 0 || data->size() <= opts_.chunk_bytes) {
@@ -119,6 +190,7 @@ void LoopbackNet::attach_metrics(obs::MetricsRegistry& registry,
   };
   count("sends", &sends_);
   count("drops", &drops_);
+  count("fault_drops", &fault_drops_);
   count("queue_drops", &refusals_);
   count("bytes_out", &bytes_sent_);
   count("bytes_in", &bytes_delivered_);

@@ -19,11 +19,25 @@
 ///  - Per-endpoint in-flight backpressure: when more than
 ///    `send_queue_cap_bytes` are queued from one endpoint, send()
 ///    refuses — mirroring the TCP transport's send-queue cap.
+///
+/// Fault injection (scenario pack):
+///  - block_link(from, to) blackholes one *direction* of a link: the
+///    sender's send() still succeeds (it cannot observe the fault, just
+///    like a NAT-ed or firewalled path), nothing arrives, and neither
+///    side sees on_peer_down. unblock_link() heals it.
+///  - set_isolated(id) blackholes every path touching one endpoint —
+///    the building block of network partitions; schedule_partition()
+///    arms an isolate-then-heal window on the virtual clock.
+///  - set_drain_rate(id, bytes_per_sec) turns an endpoint into a slow
+///    reader: deliveries to it serialize through a token-bucket-style
+///    drain, so a fast sender's in-flight bytes pile up against the
+///    send-queue cap — the slowloris scenario.
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "net/timer_wheel.h"
@@ -71,6 +85,9 @@ class LoopbackNet {
     TransportHandler* handler_ = nullptr;
     std::vector<std::uint8_t> links_;     ///< links_[peer] != 0 iff connected
     std::size_t in_flight_bytes_ = 0;
+    bool isolated_ = false;               ///< partitioned away (blackhole)
+    double drain_rate_ = 0.0;             ///< bytes/sec a slow reader absorbs
+    double drain_next_free_ = 0.0;        ///< when its drain queue empties
   };
 
   /// Create a new endpoint; its NodeId is the creation index.
@@ -89,6 +106,35 @@ class LoopbackNet {
   /// Tear a link down (symmetric); fires on_peer_down on both sides.
   void disconnect(NodeId a, NodeId b);
 
+  // --- fault injection ----------------------------------------------------
+  /// Blackhole the `from`→`to` direction only: sends succeed from the
+  /// sender's point of view, the bytes vanish (counted in
+  /// fault_drops()), and no on_peer_down fires — a NAT-like one-way
+  /// reachability failure. The reverse direction is unaffected.
+  void block_link(NodeId from, NodeId to);
+  void unblock_link(NodeId from, NodeId to);
+  [[nodiscard]] bool link_blocked(NodeId from, NodeId to) const;
+
+  /// Blackhole every path to and from `id` (both directions). Bytes
+  /// already in flight toward an endpoint isolated before delivery are
+  /// eaten too — partitions don't wait for the pipe to empty.
+  void set_isolated(NodeId id, bool isolated);
+  [[nodiscard]] bool is_isolated(NodeId id) const {
+    return endpoints_.at(id)->isolated_;
+  }
+
+  /// Arm a partition window on the virtual clock: every id in `ids`
+  /// becomes isolated at time `at` and heals at `heal_at`.
+  /// Preconditions: now() <= at < heal_at.
+  void schedule_partition(double at, double heal_at,
+                          std::vector<NodeId> ids);
+
+  /// Make `id` a slow reader absorbing at most `bytes_per_second`
+  /// (0 restores unlimited drain). Deliveries to it serialize through
+  /// the drain, holding each sender's in-flight bytes until absorbed —
+  /// so a slow reader pushes fast senders into send-queue refusals.
+  void set_drain_rate(NodeId id, double bytes_per_second);
+
   [[nodiscard]] TimerWheel& timers() noexcept { return wheel_; }
   [[nodiscard]] double now() const noexcept { return wheel_.now(); }
 
@@ -99,6 +145,11 @@ class LoopbackNet {
   // --- fault/traffic accounting -----------------------------------------
   [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  /// Sends eaten by injected faults (blocked links / isolation), as
+  /// opposed to the random `drop_probability` losses in drops().
+  [[nodiscard]] std::uint64_t fault_drops() const noexcept {
+    return fault_drops_;
+  }
   [[nodiscard]] std::uint64_t backpressure_refusals() const noexcept {
     return refusals_;
   }
@@ -137,8 +188,11 @@ class LoopbackNet {
   TimerWheel wheel_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// One-way blocked directions, keyed (from << 32) | to.
+  std::unordered_set<std::uint64_t> blocked_links_;
   std::uint64_t sends_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t fault_drops_ = 0;
   std::uint64_t refusals_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t bytes_sent_ = 0;

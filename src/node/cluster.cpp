@@ -20,6 +20,23 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
     : cfg_{cfg}, net_{cfg.net} {
   ICOLLECT_EXPECTS(cfg.num_peers >= 2);
   ICOLLECT_EXPECTS(cfg.num_servers >= 1);
+  ICOLLECT_EXPECTS(cfg.dishonest_fraction >= 0.0 &&
+                   cfg.dishonest_fraction <= 1.0);
+  // Integrity checks are over payload bytes; with none they are vacuous.
+  ICOLLECT_EXPECTS(cfg.integrity_checks == 0 || cfg.payload_bytes > 0);
+
+  dishonest_count_ = static_cast<std::size_t>(
+      static_cast<double>(cfg.num_peers) * cfg.dishonest_fraction);
+  if (cfg.integrity_checks > 0) {
+    // One shared authority per run — the trusted in-process analogue of
+    // a verification key distributed out of band. The key derivation
+    // matches p2p::Network's so a sim run and a cluster run at the same
+    // seed agree on the check vectors.
+    integrity_ =
+        std::make_unique<proto::IntegrityAuthority>(proto::IntegrityParams{
+            sim::splitmix64(cfg.seed ^ 0x1A76E9D2B4C05A31ULL),
+            cfg.integrity_checks});
+  }
 
   // Endpoints first (ids 0..N-1 peers, N..N+M-1 servers), then nodes
   // (each registers itself as its endpoint's handler), then wiring —
@@ -40,10 +57,16 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
     nc.max_segments = cfg.segments_per_peer;
     nc.drop_on_ack = cfg.drop_on_ack;
     nc.retain_own_until_acked = cfg.retain_own_until_acked;
+    nc.byzantine = i < dishonest_count_;
+    nc.corruption = cfg.corruption;
     nc.seed = sim::splitmix64(cfg.seed + 0x1000 + i);
     peers_.push_back(std::make_unique<PeerNode>(
         nc, net_.endpoint(static_cast<net::NodeId>(i)), net_.timers(),
         metrics, "peer" + std::to_string(i + 1) + "."));
+    if (integrity_ != nullptr) peers_.back()->set_integrity(integrity_.get());
+    if (cfg.arrival != nullptr) {
+      peers_.back()->set_arrival_profile(cfg.arrival);
+    }
   }
   for (std::size_t i = 0; i < cfg.num_servers; ++i) {
     NodeConfig nc;
@@ -58,6 +81,9 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
         nc,
         net_.endpoint(static_cast<net::NodeId>(cfg.num_peers + i)),
         net_.timers(), metrics, "server" + std::to_string(i) + "."));
+    if (integrity_ != nullptr) {
+      servers_.back()->set_integrity(integrity_.get());
+    }
     servers_.back()->set_decode_hook(
         [this](const coding::SegmentId& id, double) { on_decode(id); });
   }
@@ -147,13 +173,31 @@ bool LoopbackCluster::complete() const {
   return true;
 }
 
+bool LoopbackCluster::honest_complete() const {
+  if (cfg_.segments_per_peer == 0) return false;
+  bool any = false;
+  for (std::size_t i = dishonest_count_; i < peers_.size(); ++i) {
+    if (!peers_[i]->injection_done()) return false;
+    if (!peers_[i]->all_injected_acked()) return false;
+    any = true;
+  }
+  return any;
+}
+
 bool LoopbackCluster::run_to_completion(double max_virtual_time) {
   ICOLLECT_EXPECTS(cfg_.segments_per_peer > 0);
+  // Byzantine peers corrupt all their egress, so their own segments can
+  // never decode: the finish line for adversarial runs is the honest
+  // population's.
+  const bool adversarial = dishonest_count_ > 0;
+  const auto done = [&] {
+    return adversarial ? honest_complete() : complete();
+  };
   const double step = 0.25;
-  while (!complete() && now() < max_virtual_time) {
+  while (!done() && now() < max_virtual_time) {
     net_.run_for(step);
   }
-  return complete();
+  return done();
 }
 
 std::uint64_t LoopbackCluster::segments_injected() const {
@@ -183,6 +227,32 @@ std::uint64_t LoopbackCluster::gossip_sent() const {
 std::uint64_t LoopbackCluster::total_buffered_blocks() const {
   std::uint64_t n = 0;
   for (const auto& p : peers_) n += p->buffer().size();
+  return n;
+}
+
+std::uint64_t LoopbackCluster::honest_segments_injected() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = dishonest_count_; i < peers_.size(); ++i) {
+    n += peers_[i]->segments_injected();
+  }
+  return n;
+}
+
+std::uint64_t LoopbackCluster::blocks_corrupted() const {
+  std::uint64_t n = 0;
+  for (const auto& p : peers_) n += p->blocks_corrupted();
+  return n;
+}
+
+std::uint64_t LoopbackCluster::blocks_quarantined() const {
+  std::uint64_t n = 0;
+  for (const auto& p : peers_) n += p->blocks_quarantined();
+  return n;
+}
+
+std::uint64_t LoopbackCluster::polluted_pulls() const {
+  std::uint64_t n = 0;
+  for (const auto& s : servers_) n += s->polluted_pulls();
   return n;
 }
 

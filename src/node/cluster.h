@@ -27,6 +27,9 @@
 #include "node/peer_node.h"
 #include "node/server_node.h"
 #include "obs/metrics_registry.h"
+#include "proto/adversary.h"
+#include "proto/integrity.h"
+#include "workload/generators.h"
 
 namespace icollect::node {
 
@@ -49,6 +52,24 @@ struct ClusterConfig {
   /// Leave off for simulator-fidelity runs (node_vs_sim_test); turn on
   /// for finite collections that must reach 100% recovery.
   bool retain_own_until_acked = false;
+
+  // --- adversary (scenario pack) ------------------------------------------
+  /// Fraction of peers that are byzantine (the first ⌊N·fraction⌋ by
+  /// slot — deterministic under a fixed seed). They corrupt every block
+  /// they emit per `corruption`.
+  double dishonest_fraction = 0.0;
+  proto::CorruptionStrategy corruption =
+      proto::CorruptionStrategy::kRandomPayload;
+  /// Homomorphic integrity checks per block (0 = verification off;
+  /// requires payload_bytes > 0 when enabled). The cluster owns one
+  /// shared authority — the trusted in-process analogue of a key
+  /// distributed out of band.
+  std::size_t integrity_checks = 0;
+
+  /// Optional time-varying injection shape (block rate λ(t), replacing
+  /// the constant `lambda`). Not owned; must outlive the cluster.
+  const workload::ArrivalProfile* arrival = nullptr;
+
   std::uint64_t seed = 1;
   net::LoopbackNet::Options net{};
   /// Virtual-time interval of the occupancy sampler feeding
@@ -95,6 +116,24 @@ class LoopbackCluster {
   /// injected segment is decoded at every server.
   [[nodiscard]] bool complete() const;
 
+  /// The byzantine-run finish line: every *honest* peer has spent its
+  /// budget and had every injected segment ACKed decoded. Byzantine
+  /// peers corrupt all their egress, so their own segments can never
+  /// complete — complete() is unreachable at dishonest_fraction > 0.
+  [[nodiscard]] bool honest_complete() const;
+
+  /// True for the first ⌊N·dishonest_fraction⌋ slots.
+  [[nodiscard]] bool is_byzantine(std::size_t i) const noexcept {
+    return i < dishonest_count_;
+  }
+  [[nodiscard]] std::size_t dishonest_count() const noexcept {
+    return dishonest_count_;
+  }
+  /// The shared per-run authority (nullptr when integrity_checks == 0).
+  [[nodiscard]] const proto::IntegrityAuthority* integrity() const noexcept {
+    return integrity_.get();
+  }
+
   // --- cluster-wide aggregates --------------------------------------------
   [[nodiscard]] std::uint64_t segments_injected() const;
   /// Segments decoded by at least one server (the union view).
@@ -106,6 +145,14 @@ class LoopbackCluster {
   [[nodiscard]] std::uint64_t pulls_sent() const;
   [[nodiscard]] std::uint64_t gossip_sent() const;
   [[nodiscard]] std::uint64_t total_buffered_blocks() const;
+  /// Segments injected by honest peers only.
+  [[nodiscard]] std::uint64_t honest_segments_injected() const;
+  /// Blocks corrupted by byzantine peers, summed.
+  [[nodiscard]] std::uint64_t blocks_corrupted() const;
+  /// Polluted gossip quarantined at peers, summed.
+  [[nodiscard]] std::uint64_t blocks_quarantined() const;
+  /// Polluted pulls quarantined at servers, summed.
+  [[nodiscard]] std::uint64_t polluted_pulls() const;
 
   // --- measurement window -------------------------------------------------
   /// Re-anchor measurement at the current virtual time (post-warm-up).
@@ -124,6 +171,8 @@ class LoopbackCluster {
 
   ClusterConfig cfg_;
   net::LoopbackNet net_;
+  std::unique_ptr<proto::IntegrityAuthority> integrity_;
+  std::size_t dishonest_count_ = 0;
   std::vector<std::unique_ptr<PeerNode>> peers_;
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::unordered_set<coding::SegmentId> decoded_union_;

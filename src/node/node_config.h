@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "proto/adversary.h"
+
 namespace icollect::node {
 
 struct NodeConfig {
@@ -52,6 +54,14 @@ struct NodeConfig {
   /// guarantee rather than a race against γ.
   bool retain_own_until_acked = false;
 
+  /// Byzantine adversary (scenario pack): when true this peer corrupts
+  /// every block it emits — gossip and pull replies alike — per
+  /// `corruption`. Receivers with an attached proto::IntegrityAuthority
+  /// quarantine what verification catches.
+  bool byzantine = false;
+  proto::CorruptionStrategy corruption =
+      proto::CorruptionStrategy::kRandomPayload;
+
   std::uint64_t seed = 1;
 
   void validate() const {
@@ -69,6 +79,12 @@ struct NodeConfig {
     if (gamma <= 0.0) fail("gamma must be > 0");
     if (pull_rate < 0.0) fail("pull rate must be >= 0");
     if (listen_backlog < 0) fail("listen backlog must be >= 0");
+    if (byzantine && payload_bytes == 0 &&
+        corruption == proto::CorruptionStrategy::kRandomPayload) {
+      fail(
+          "random-payload corruption needs payload_bytes > 0 (there is "
+          "no payload to corrupt)");
+    }
   }
 };
 

@@ -48,6 +48,8 @@ PeerNode::PeerNode(const NodeConfig& cfg, net::Transport& transport,
     gauge("pull_empty_replies", &pull_empty_replies_);
     gauge("acks_received", &acks_received_);
     gauge("own_segments_acked", &own_acked_);
+    gauge("blocks_quarantined", &blocks_quarantined_);
+    gauge("blocks_corrupted", &blocks_corrupted_);
     metrics_->gauge(metric_prefix_ + "reseeds", [this] {
       return static_cast<double>(core_.reseeds());
     });
@@ -64,7 +66,7 @@ PeerNode::PeerNode(const NodeConfig& cfg, net::Transport& transport,
 }
 
 void PeerNode::start() {
-  if (config().lambda > 0.0) schedule_inject();
+  if (config().lambda > 0.0 || arrival_ != nullptr) schedule_inject();
   if (config().mu > 0.0) schedule_gossip();
 }
 
@@ -78,10 +80,23 @@ bool PeerNode::injection_done() const noexcept {
 
 void PeerNode::schedule_inject() {
   // Segment arrivals at rate λ/s — the paper's block process thinned to
-  // whole segments, matching p2p::Network's injector exactly.
-  const double rate =
-      config().lambda / static_cast<double>(config().segment_size);
-  wheel_.schedule_after(rng_.exponential(rate), [this] {
+  // whole segments, matching p2p::Network's injector exactly. With an
+  // arrival profile attached (trace replay) the process is
+  // nonhomogeneous instead: the next event comes from Lewis-Shedler
+  // thinning at λ(t)/s.
+  double delay;
+  if (arrival_ != nullptr) {
+    const workload::ScaledProfile segments{
+        *arrival_, 1.0 / static_cast<double>(config().segment_size)};
+    if (segments.max_rate() <= 0.0) return;  // flat-zero profile
+    const double now = wheel_.now();
+    delay = workload::next_arrival(segments, now, rng_) - now;
+  } else {
+    const double rate =
+        config().lambda / static_cast<double>(config().segment_size);
+    delay = rng_.exponential(rate);
+  }
+  wheel_.schedule_after(delay, [this] {
     if (!injection_done()) {
       do_inject();
       schedule_inject();
@@ -128,20 +143,63 @@ void PeerNode::do_gossip() {
   const coding::SegmentId seg = core_.choose_gossip_segment();
   const net::NodeId target =
       peer_conns()[rng_.uniform_index(peer_conns().size())];
-  if (send_message(target,
-                   wire::Message{wire::GossipBlock{core_.recode(seg)}})) {
+  coding::CodedBlock block = core_.recode(seg);
+  if (config().byzantine) corrupt_outgoing(block);
+  // Trace the segment actually on the wire: a replaying adversary may
+  // substitute a cached block of a different segment.
+  const coding::SegmentId sent = block.segment;
+  if (send_message(target, wire::Message{wire::GossipBlock{std::move(block)}})) {
     ++gossip_sent_;
-    trace(proto::TraceEventKind::kGossipSent, config().node_id, seg, target);
+    trace(proto::TraceEventKind::kGossipSent, config().node_id, sent, target);
   }
 }
 
-void PeerNode::accept_block(coding::CodedBlock&& block) {
+void PeerNode::corrupt_outgoing(coding::CodedBlock& block) {
+  ++blocks_corrupted_;
+  switch (config().corruption) {
+    case proto::CorruptionStrategy::kRandomPayload:
+      // Honest coding vector, scrambled data — caught by payload-aware
+      // verification w.p. 1 - 256^-checks.
+      for (auto& byte : block.payload) {
+        byte = static_cast<std::uint8_t>(rng_.gf_element());
+      }
+      break;
+    case proto::CorruptionStrategy::kGarbageCoefficients:
+      // Honest payload, scrambled header: wire CRCs all pass; only the
+      // coupled (c, p) relation exposes it. Kept non-degenerate so the
+      // junk filter honest receivers already run cannot catch it.
+      rng_.fill_gf(block.coefficients);
+      if (block.is_degenerate()) {
+        block.coefficients.front() = rng_.gf_nonzero();
+      }
+      break;
+    case proto::CorruptionStrategy::kReplay:
+      // Resend the first genuine block this peer produced: valid by
+      // construction, so it passes every per-block check and is
+      // measured as redundancy instead.
+      if (replay_cache_.has_value()) {
+        block = *replay_cache_;
+      } else {
+        replay_cache_ = block;
+      }
+      break;
+  }
+}
+
+void PeerNode::accept_block(coding::CodedBlock&& block, net::NodeId from) {
   ++blocks_received_;
+  // Copy the id before the move: the quarantine trace needs it.
+  const coding::SegmentId seg = block.segment;
   switch (core_.accept(std::move(block))) {
     case proto::PeerCore::AcceptResult::kStored:
       break;
     case proto::PeerCore::AcceptResult::kShapeMismatch:
       break;  // junk a conforming peer never sends; dropped silently
+    case proto::PeerCore::AcceptResult::kPolluted:
+      ++blocks_quarantined_;
+      trace(proto::TraceEventKind::kBlockQuarantined, config().node_id, seg,
+            from);
+      break;
     case proto::PeerCore::AcceptResult::kAckedSegment:
       ++blocks_dropped_acked_;
       break;
@@ -160,6 +218,7 @@ void PeerNode::handle_pull_request(Session& session,
   reply.token = req.token;
   reply.occupancy = static_cast<std::uint32_t>(core_.buffer().size());
   reply.has_block = core_.answer_pull(reply.block);
+  if (reply.has_block && config().byzantine) corrupt_outgoing(reply.block);
   if (reply.has_block) {
     ++pull_replies_;
   } else {
@@ -183,7 +242,7 @@ void PeerNode::handle_ack(const coding::SegmentId& id) {
 
 void PeerNode::handle_message(Session& session, wire::Message&& message) {
   if (auto* gossip = std::get_if<wire::GossipBlock>(&message)) {
-    accept_block(std::move(gossip->block));
+    accept_block(std::move(gossip->block), session.conn);
   } else if (const auto* req = std::get_if<wire::PullRequest>(&message)) {
     handle_pull_request(session, *req);
   } else if (const auto* ack =

@@ -22,13 +22,16 @@
 /// confidence interval.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
 #include "common/rng.h"
 #include "node/node_base.h"
+#include "proto/integrity.h"
 #include "proto/peer_core.h"
+#include "workload/generators.h"
 
 namespace icollect::node {
 
@@ -43,6 +46,29 @@ class PeerNode final : public NodeBase {
 
   /// Stop injecting new segments (gossip and TTL keep running).
   void stop_injection();
+
+  /// Attach the shared per-run integrity authority (scenario pack).
+  /// Call before start(): own injected segments register their tags
+  /// with it and incoming gossip is verified against it, quarantining
+  /// polluted blocks before they reach the buffer. Pass nullptr (the
+  /// default) and the peer behaves exactly as before — no extra RNG
+  /// draws, bit-identical runs.
+  void set_integrity(proto::IntegrityAuthority* authority) {
+    core_.set_integrity(authority);
+    integrity_ = authority;
+  }
+
+  /// Shape injection by a time-varying block rate λ(t) instead of the
+  /// constant `lambda` (scenario pack: trace replay). Segments then
+  /// arrive as a nonhomogeneous Poisson process at rate λ(t)/s, sampled
+  /// by Lewis-Shedler thinning against the profile's max_rate(). Call
+  /// before start(); the profile is not owned and must outlive the
+  /// node. nullptr (the default) keeps the constant-rate process — and
+  /// its exact RNG draw sequence, so existing seeded runs are
+  /// bit-identical.
+  void set_arrival_profile(const workload::ArrivalProfile* profile) {
+    arrival_ = profile;
+  }
 
   [[nodiscard]] const proto::PeerBuffer& buffer() const noexcept {
     return core_.buffer();
@@ -110,6 +136,14 @@ class PeerNode final : public NodeBase {
   [[nodiscard]] std::uint64_t acks_received() const noexcept {
     return acks_received_;
   }
+  /// Incoming gossip rejected by integrity verification.
+  [[nodiscard]] std::uint64_t blocks_quarantined() const noexcept {
+    return blocks_quarantined_;
+  }
+  /// Outgoing blocks this (byzantine) peer corrupted before sending.
+  [[nodiscard]] std::uint64_t blocks_corrupted() const noexcept {
+    return blocks_corrupted_;
+  }
   [[nodiscard]] std::uint64_t reseeds() const noexcept {
     return core_.reseeds();
   }
@@ -131,13 +165,19 @@ class PeerNode final : public NodeBase {
   void schedule_gossip();
   void do_inject();
   void do_gossip();
-  void accept_block(coding::CodedBlock&& block);
+  void accept_block(coding::CodedBlock&& block, net::NodeId from);
+  void corrupt_outgoing(coding::CodedBlock& block);
   void on_ttl_expire(coding::BlockHandle handle);
   void handle_pull_request(Session& session, const wire::PullRequest& req);
   void handle_ack(const coding::SegmentId& id);
 
   common::Rng rng_;
   proto::PeerCore core_;
+  proto::IntegrityAuthority* integrity_ = nullptr;
+  const workload::ArrivalProfile* arrival_ = nullptr;
+  /// kReplay corruption: the first genuine block this peer would have
+  /// sent, replayed verbatim forever after.
+  std::optional<coding::CodedBlock> replay_cache_;
   bool injection_stopped_ = false;
 
   std::uint64_t segments_injected_ = 0;
@@ -154,6 +194,8 @@ class PeerNode final : public NodeBase {
   std::uint64_t pull_replies_ = 0;
   std::uint64_t pull_empty_replies_ = 0;
   std::uint64_t acks_received_ = 0;
+  std::uint64_t blocks_quarantined_ = 0;
+  std::uint64_t blocks_corrupted_ = 0;
 };
 
 }  // namespace icollect::node

@@ -34,7 +34,11 @@ ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
     gauge("forwarded_out", &forwarded_out_);
     gauge("forwarded_in", &forwarded_in_);
     gauge("acks_sent", &acks_sent_);
+    gauge("polluted_pulls", &polluted_pulls_);
     gauge("segments_decoded", &segments_decoded_metric_);
+    metrics_->gauge(metric_prefix_ + "polluted_blocks", [this] {
+      return static_cast<double>(core_.polluted_blocks());
+    });
     metrics_->gauge(metric_prefix_ + "bank_in_progress", [this] {
       return static_cast<double>(core_.bank().segments_in_progress());
     });
@@ -147,6 +151,16 @@ void ServerNode::offer_to_bank(const coding::CodedBlock& block,
   }
   const auto result =
       from_pull ? core_.on_pull_block(block) : core_.on_forwarded_block(block);
+  if (result == proto::ServerBank::PullResult::kPolluted) {
+    // Quarantined before Gaussian elimination; the pull is spent. The
+    // core counts forwarded pollution too (polluted_blocks()).
+    if (from_pull) {
+      ++polluted_pulls_;
+      trace(proto::TraceEventKind::kBlockQuarantined, config().node_id,
+            block.segment, from_conn);
+    }
+    return;
+  }
   if (!from_pull) return;  // forwarded blocks don't count as pulls
   trace(proto::TraceEventKind::kServerPull, from_conn, block.segment,
         result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
@@ -160,6 +174,8 @@ void ServerNode::offer_to_bank(const coding::CodedBlock& block,
     case proto::ServerBank::PullResult::kAlreadyDecoded:
       ++stale_pulls_;
       break;
+    case proto::ServerBank::PullResult::kPolluted:
+      break;  // handled above
   }
   if (proto::ServerCore::should_forward(result)) {
     // Pooled-state forwarding: let the other servers' banks absorb

@@ -50,6 +50,14 @@ class ServerNode final : public NodeBase {
   /// Arm the pull process. Call once, after wiring.
   void start();
 
+  /// Attach the shared per-run integrity authority (scenario pack).
+  /// Call before start(): every pulled or forwarded block is verified
+  /// and polluted ones are quarantined before Gaussian elimination.
+  /// nullptr (the default) disables verification entirely.
+  void set_integrity(const proto::IntegrityAuthority* authority) {
+    core_.set_integrity(authority);
+  }
+
   /// Invoked when this server's bank completes a segment.
   using DecodeHook =
       std::function<void(const coding::SegmentId&, double when)>;
@@ -98,6 +106,15 @@ class ServerNode final : public NodeBase {
   }
   [[nodiscard]] std::uint64_t acks_sent() const noexcept {
     return acks_sent_;
+  }
+  /// Pulled blocks rejected by integrity verification (quarantined
+  /// before they could reach the decoder bank).
+  [[nodiscard]] std::uint64_t polluted_pulls() const noexcept {
+    return polluted_pulls_;
+  }
+  /// All blocks (pulled + forwarded) the core quarantined.
+  [[nodiscard]] std::uint64_t polluted_blocks() const noexcept {
+    return core_.polluted_blocks();
   }
   [[nodiscard]] std::uint64_t segments_decoded() const noexcept {
     return core_.bank().segments_decoded();
@@ -188,6 +205,7 @@ class ServerNode final : public NodeBase {
   std::uint64_t forwarded_out_ = 0;
   std::uint64_t forwarded_in_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t polluted_pulls_ = 0;
   std::uint64_t segments_decoded_metric_ = 0;
 };
 

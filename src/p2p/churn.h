@@ -40,6 +40,25 @@ namespace icollect::p2p {
       } while (u <= 0.0);  // guard the open interval
       return x_m * std::pow(u, -1.0 / alpha);
     }
+    case LifetimeDistribution::kLogNormal: {
+      // LogNormal(μ, σ) has mean exp(μ + σ²/2); derive μ so the
+      // configured mean is preserved. Box-Muller from two uniforms —
+      // exactly two draws per lifetime, keeping the shared stream's
+      // draw count deterministic (common::Rng has no normal()).
+      const double sigma = cfg.lognormal_sigma;
+      ICOLLECT_EXPECTS(sigma > 0.0);
+      const double mu_log =
+          std::log(cfg.mean_lifetime) - 0.5 * sigma * sigma;
+      double u1;
+      do {
+        u1 = rng.uniform();
+      } while (u1 <= 0.0);  // log(0) guard
+      const double u2 = rng.uniform();
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+      return std::exp(mu_log + sigma * z);
+    }
   }
   ICOLLECT_EXPECTS(false);  // unreachable
   return cfg.mean_lifetime;

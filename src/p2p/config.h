@@ -4,10 +4,12 @@
 /// Configuration of the indirect-collection protocol simulation: every
 /// symbol of the paper's model (Sec. 2) in one validated aggregate.
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 
+#include "proto/adversary.h"
 #include "proto/policy.h"
 
 namespace icollect::p2p {
@@ -83,12 +85,14 @@ using proto::to_string;
 enum class LifetimeDistribution {
   kExponential,  ///< the paper's memoryless model (Sec. 4)
   kPareto,       ///< heavy-tailed, as measured in real P2P systems [7]
+  kLogNormal,    ///< the eDonkey measurement study's session-length fit
 };
 
 [[nodiscard]] constexpr const char* to_string(LifetimeDistribution d) noexcept {
   switch (d) {
     case LifetimeDistribution::kExponential: return "exponential";
     case LifetimeDistribution::kPareto: return "pareto";
+    case LifetimeDistribution::kLogNormal: return "log-normal";
   }
   return "?";
 }
@@ -102,6 +106,27 @@ struct ChurnConfig {
   double mean_lifetime = 0.0;  ///< mean L of the lifetime distribution
   LifetimeDistribution distribution = LifetimeDistribution::kExponential;
   double pareto_shape = 2.0;  ///< α > 1 (only for kPareto); 2 = very heavy
+  /// σ of the underlying normal (only for kLogNormal); the location is
+  /// derived so the configured mean is preserved. σ≈1.5–2 matches the
+  /// eDonkey study's spread between minute-scale and day-scale sessions.
+  double lognormal_sigma = 1.5;
+};
+
+/// Byzantine-peer adversary (scenario pack): a fixed fraction of the
+/// population corrupts every block it emits — gossip and pull replies
+/// alike — per the configured strategy, and per-block integrity
+/// verification quarantines what it can (proto/integrity.h).
+struct AdversaryConfig {
+  /// Fraction of peers that are dishonest, in [0, 1]. The first
+  /// ⌊N·fraction⌋ slots are chosen — deterministic under a fixed seed,
+  /// and unbiased under the complete topology where slots are
+  /// exchangeable.
+  double dishonest_fraction = 0.0;
+  proto::CorruptionStrategy strategy =
+      proto::CorruptionStrategy::kRandomPayload;
+  /// Homomorphic integrity checks per block (0 = verification off).
+  /// Escape probability for a forged block is 256^-checks.
+  std::size_t integrity_checks = 0;
 };
 
 struct ProtocolConfig {
@@ -142,6 +167,7 @@ struct ProtocolConfig {
   TopologyKind topology = TopologyKind::kComplete;
   std::size_t mean_degree = 20;  ///< for Erdős–Rényi / random-regular
   ChurnConfig churn{};
+  AdversaryConfig adversary{};
   std::uint64_t seed = 1;
 
   /// Normalized server capacity c = c_s * N_s / N (the paper's key knob).
@@ -183,6 +209,32 @@ struct ProtocolConfig {
         churn.distribution == LifetimeDistribution::kPareto &&
         churn.pareto_shape <= 1.0) {
       fail("Pareto lifetime shape must be > 1 (finite mean)");
+    }
+    if (churn.enabled &&
+        churn.distribution == LifetimeDistribution::kLogNormal &&
+        churn.lognormal_sigma <= 0.0) {
+      fail("log-normal lifetime sigma must be > 0");
+    }
+    if (adversary.dishonest_fraction < 0.0 ||
+        adversary.dishonest_fraction > 1.0) {
+      fail("dishonest fraction must be in [0, 1]");
+    }
+    if (adversary.integrity_checks > 0 && payload_bytes == 0) {
+      fail(
+          "integrity checks need real payloads (payload_bytes > 0); "
+          "checks over empty payloads are vacuous");
+    }
+    if (adversary.dishonest_fraction > 0.0 &&
+        fidelity == CollectionFidelity::kStateCounter) {
+      fail(
+          "byzantine peers need real-coding fidelity (state-counter "
+          "pulls carry no blocks to corrupt)");
+    }
+    if (adversary.dishonest_fraction > 0.0 && payload_bytes == 0 &&
+        adversary.strategy == proto::CorruptionStrategy::kRandomPayload) {
+      fail(
+          "random-payload corruption needs payload_bytes > 0 (there is "
+          "no payload to corrupt)");
     }
     if (gossip_loss < 0.0 || gossip_loss >= 1.0) {
       fail("gossip loss probability must be in [0, 1)");

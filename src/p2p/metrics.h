@@ -44,6 +44,13 @@ struct NetworkMetrics {
   std::uint64_t segments_lost = 0;        ///< vanished undecoded (degree→0)
   std::uint64_t payload_crc_failures = 0; ///< end-to-end integrity errors
 
+  // --- adversarial / fault-injection counters (scenario pack) -------------
+  std::uint64_t blocks_corrupted = 0;     ///< byzantine egress corruptions
+  std::uint64_t blocks_quarantined = 0;   ///< gossip rejected by integrity
+  std::uint64_t polluted_pulls = 0;       ///< pulled blocks rejected by integrity
+  std::uint64_t gossip_blocked_isolated = 0;  ///< sender partitioned away
+  std::uint64_t pulls_blocked_isolated = 0;   ///< pulled peer partitioned away
+
   // --- windowed counters (reset at end of warm-up) ------------------------
   stats::RateEstimator decoded_original_blocks; ///< throughput numerator
   stats::RateEstimator injected_blocks_window;

@@ -35,6 +35,28 @@ Network::Network(ProtocolConfig cfg)
     peers_.emplace_back(slot, core_params, next_origin_++, rng_);
     wire_core(slot);
   }
+  // Adversary wiring (inert at the defaults: no authority, no dishonest
+  // slots, nobody isolated — and none of it draws from the RNG stream).
+  dishonest_.assign(cfg_.num_peers, 0);
+  isolated_.assign(cfg_.num_peers, 0);
+  if (cfg_.adversary.integrity_checks > 0) {
+    // The PRF key is seed-derived but domain-separated from every seed
+    // used for an RNG stream.
+    integrity_ = std::make_unique<proto::IntegrityAuthority>(
+        proto::IntegrityParams{
+            common::splitmix64(cfg_.seed ^ 0x1A76E9D2B4C05A31ULL),
+            cfg_.adversary.integrity_checks});
+    server_core_.set_integrity(integrity_.get());
+    for (auto& p : peers_) p.core.set_integrity(integrity_.get());
+  }
+  dishonest_count_ = static_cast<std::size_t>(
+      static_cast<double>(cfg_.num_peers) *
+      cfg_.adversary.dishonest_fraction);
+  for (std::size_t slot = 0; slot < dishonest_count_; ++slot) {
+    dishonest_[slot] = 1;
+  }
+  if (dishonest_count_ > 0) replay_cache_.resize(cfg_.num_peers);
+
   non_empty_pos_.assign(cfg_.num_peers, 0);
   empty_count_ = cfg_.num_peers;
   metrics_.empty_peers.update(0.0, static_cast<double>(empty_count_));
@@ -162,6 +184,20 @@ void Network::schedule_profile_injection(std::size_t slot) {
   });
 }
 
+void Network::set_isolation_window(double fraction, double at,
+                                   double heal_at) {
+  ICOLLECT_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  ICOLLECT_EXPECTS(heal_at > at);
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(cfg_.num_peers) * fraction);
+  sim_.schedule_at(at, [this, count] {
+    for (std::size_t slot = 0; slot < count; ++slot) isolated_[slot] = 1;
+  });
+  sim_.schedule_at(heal_at, [this, count] {
+    for (std::size_t slot = 0; slot < count; ++slot) isolated_[slot] = 0;
+  });
+}
+
 void Network::run_until(sim::Time t) { sim_.run_until(t); }
 
 void Network::warm_up(sim::Time t) {
@@ -204,7 +240,7 @@ std::size_t Network::pick_gossip_target(std::size_t source,
   // receiver's storage rule (proto::PeerCore::can_accept) before
   // sending, so every gossiped block lands.
   const auto eligible = [this, &seg](std::size_t cand) {
-    return peers_[cand].core.can_accept(seg);
+    return isolated_[cand] == 0 && peers_[cand].core.can_accept(seg);
   };
   return proto::uniform_over_eligible(
       rng_, topology_.degree(source), kTargetSampleTries,
@@ -215,6 +251,10 @@ std::size_t Network::pick_gossip_target(std::size_t source,
 void Network::do_gossip(std::size_t slot) {
   const obs::ProfScope prof{prof_gossip_};
   Peer& a = peers_[slot];
+  if (isolated_[slot] != 0) {
+    ++metrics_.gossip_blocked_isolated;  // μ spent, partitioned away
+    return;
+  }
   if (!a.core.has_blocks()) {
     ++metrics_.gossip_idle;
     return;
@@ -230,7 +270,19 @@ void Network::do_gossip(std::size_t slot) {
     emit(TraceEventKind::kGossipLost, slot, seg, target);
     return;
   }
-  peers_[target].core.store(a.core.recode(seg));
+  coding::CodedBlock block = a.core.recode(seg);
+  if (dishonest_[slot] != 0) corrupt_block(slot, block);
+  // The receiver's integrity check runs at delivery. The simulator's
+  // sender-side can_accept filtering already guaranteed storage room;
+  // this is the one acceptance rule a global view cannot pre-apply,
+  // because it depends on the block's actual bytes.
+  if (integrity_ != nullptr &&
+      integrity_->verify(block) != proto::VerifyResult::kOk) {
+    ++metrics_.blocks_quarantined;
+    emit(TraceEventKind::kBlockQuarantined, target, block.segment, slot);
+    return;
+  }
+  peers_[target].core.store(std::move(block));
   ++metrics_.gossip_sent;
   emit(TraceEventKind::kGossipSent, slot, seg, target);
 }
@@ -253,6 +305,11 @@ void Network::do_server_pull() {
         non_empty_slots_[pull_policy_->pick(rng_, non_empty_slots_.size())];
   }
   Peer& d = peers_[slot];
+  if (isolated_[slot] != 0) {
+    // The pulled peer is unreachable: the pull is spent, nothing returns.
+    ++metrics_.pulls_blocked_isolated;
+    return;
+  }
   const coding::SegmentId seg = d.core.choose_pull_segment();
   metrics_.server_pulls_window.record();
   proto::ServerBank::PullResult result;
@@ -266,16 +323,30 @@ void Network::do_server_pull() {
       // Recode into a long-lived scratch block so the steady-state pull
       // path performs no heap allocation.
       d.core.recode_into(seg, pull_scratch_);
+      if (dishonest_[slot] != 0) corrupt_block(slot, pull_scratch_);
       result = server_core_.on_pull_block(pull_scratch_);
     }
   }
+  if (result == proto::ServerBank::PullResult::kPolluted) {
+    // Quarantined before Gaussian elimination; the pull is spent.
+    ++metrics_.polluted_pulls;
+    emit(TraceEventKind::kBlockQuarantined, slot, pull_scratch_.segment,
+         slot);
+    return;
+  }
+  // Attribute by the block actually offered: a replaying adversary may
+  // answer the pull with a cached block of a *different* segment.
+  const coding::SegmentId& offered =
+      cfg_.fidelity == CollectionFidelity::kStateCounter
+          ? seg
+          : pull_scratch_.segment;
   if (result == proto::ServerBank::PullResult::kInnovative) {
     metrics_.innovative_pulls_window.record();
-    const auto rit = registry_.find(seg);
+    const auto rit = registry_.find(offered);
     ICOLLECT_ENSURES(rit != registry_.end());
     ++rit->second.collected;
   }
-  emit(TraceEventKind::kServerPull, slot, seg,
+  emit(TraceEventKind::kServerPull, slot, offered,
        result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
 }
 
@@ -338,9 +409,46 @@ void Network::do_depart(std::size_t slot) {
   departed_origins_.emplace(p.origin(), sim_.now());
   ++p.incarnation;
   p.core.rebirth(next_origin_++);
+  // The fresh occupant has sent nothing yet; a stale replay of the
+  // predecessor's block would reference the departed origin.
+  if (!replay_cache_.empty()) replay_cache_[slot].reset();
 
   sim_.schedule_after(sample_lifetime(cfg_.churn, rng_),
                       [this, slot] { do_depart(slot); });
+}
+
+void Network::corrupt_block(std::size_t slot, coding::CodedBlock& block) {
+  ++metrics_.blocks_corrupted;
+  switch (cfg_.adversary.strategy) {
+    case proto::CorruptionStrategy::kRandomPayload:
+      // Honest coding vector, scrambled data: the classic pollution
+      // attack. Undetectable without a payload-aware check; with one,
+      // caught w.p. 1 - 256^-checks.
+      for (auto& byte : block.payload) {
+        byte = static_cast<std::uint8_t>(rng_.gf_element());
+      }
+      break;
+    case proto::CorruptionStrategy::kGarbageCoefficients:
+      // Honest payload, scrambled header: frames and transport CRCs all
+      // pass; only the coupled (c, p) relation exposes it. Kept
+      // non-degenerate so the junk filter honest peers already run
+      // cannot catch it trivially.
+      rng_.fill_gf(block.coefficients);
+      if (block.is_degenerate()) {
+        block.coefficients.front() = rng_.gf_nonzero();
+      }
+      break;
+    case proto::CorruptionStrategy::kReplay:
+      // Resend the first block this occupant genuinely produced: valid
+      // by construction, so it passes every per-block check and is
+      // measured as redundancy instead.
+      if (replay_cache_[slot].has_value()) {
+        block = *replay_cache_[slot];
+      } else {
+        replay_cache_[slot] = block;
+      }
+      break;
+  }
 }
 
 void Network::note_degree_drop(const coding::SegmentId& id,

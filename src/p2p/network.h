@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "p2p/config.h"
 #include "p2p/metrics.h"
 #include "p2p/topology.h"
+#include "proto/integrity.h"
 #include "proto/peer_core.h"
 #include "proto/pull_policy.h"
 #include "proto/server_core.h"
@@ -156,6 +158,13 @@ class Network {
   /// constant-rate process.
   void set_arrival_profile(const workload::ArrivalProfile* profile);
 
+  /// Fault injection: partition the first ⌊N·fraction⌋ peer slots away
+  /// from the rest of the network on [at, heal_at). An isolated peer's
+  /// gossip firings are blocked (μ spent, nothing arrives), it is never
+  /// chosen as a gossip target, and server pulls that land on it are
+  /// wasted. The simulator analogue of LoopbackNet::schedule_partition.
+  void set_isolation_window(double fraction, double at, double heal_at);
+
   /// Advance virtual time to `t` (absolute).
   void run_until(sim::Time t);
 
@@ -184,6 +193,23 @@ class Network {
   [[nodiscard]] const std::unordered_map<coding::SegmentId, SegmentInfo>&
   segment_registry() const noexcept {
     return registry_;
+  }
+  /// Adversary wiring (configured via cfg.adversary): whether a slot is
+  /// one of the dishonest ⌊N·fraction⌋, and the shared tag oracle
+  /// (nullptr when integrity_checks == 0).
+  [[nodiscard]] bool is_dishonest(std::size_t slot) const {
+    ICOLLECT_EXPECTS(slot < dishonest_.size());
+    return dishonest_[slot] != 0;
+  }
+  [[nodiscard]] std::size_t dishonest_count() const noexcept {
+    return dishonest_count_;
+  }
+  [[nodiscard]] const proto::IntegrityAuthority* integrity() const noexcept {
+    return integrity_.get();
+  }
+  [[nodiscard]] bool is_isolated(std::size_t slot) const {
+    ICOLLECT_EXPECTS(slot < isolated_.size());
+    return isolated_[slot] != 0;
   }
 
   // --- steady-state estimates over the current measurement window ---------
@@ -261,6 +287,10 @@ class Network {
   [[nodiscard]] std::size_t pick_gossip_target(std::size_t source,
                                                const coding::SegmentId& seg);
 
+  /// Apply the configured corruption strategy to an egress block of a
+  /// dishonest slot (counts metrics_.blocks_corrupted).
+  void corrupt_block(std::size_t slot, coding::CodedBlock& block);
+
   void on_segment_decoded(const proto::ServerBank::DecodeEvent& event);
   void note_degree_drop(const coding::SegmentId& id, std::size_t count);
   void update_occupancy(std::size_t slot, std::size_t before_size);
@@ -307,6 +337,17 @@ class Network {
   // Reused by do_server_pull's recode so steady-state pulls are
   // allocation-free (buffers grow once, then stay).
   coding::CodedBlock pull_scratch_;
+
+  // --- adversary / fault-injection state (all inert by default) -----------
+  /// Shared tag oracle (cfg.adversary.integrity_checks > 0); peers
+  /// register injected segments, delivery paths verify against it.
+  std::unique_ptr<proto::IntegrityAuthority> integrity_;
+  std::vector<std::uint8_t> dishonest_;  ///< 1 = slot corrupts its egress
+  std::size_t dishonest_count_ = 0;
+  /// Per-dishonest-slot cache of the first genuinely sent block, for the
+  /// replay strategy; cleared when the occupant departs.
+  std::vector<std::optional<coding::CodedBlock>> replay_cache_;
+  std::vector<std::uint8_t> isolated_;   ///< 1 = currently partitioned away
 
   std::unordered_map<coding::OriginId, sim::Time> departed_origins_;
   // Contribution of compacted registry entries to the departed totals.

@@ -1,0 +1,86 @@
+#include "proto/integrity.h"
+
+#include "common/rng.h"
+
+namespace icollect::proto {
+
+namespace {
+
+/// Domain-separation constant for the check-vector PRF (distinct from
+/// every seed-derivation constant elsewhere in the tree).
+constexpr std::uint64_t kCheckDomain = 0xC0EFF1C1E47A65ULL;
+
+/// Counter-mode PRF state for the check vector of (key, id, j).
+[[nodiscard]] std::uint64_t check_state(std::uint64_t key,
+                                        const coding::SegmentId& id,
+                                        std::size_t j) noexcept {
+  const std::uint64_t seg =
+      (static_cast<std::uint64_t>(id.origin) << 32U) | id.seq;
+  std::uint64_t x = common::splitmix64(key ^ kCheckDomain);
+  x = common::splitmix64(x ^ seg);
+  return common::splitmix64(x ^ (static_cast<std::uint64_t>(j) + 1));
+}
+
+}  // namespace
+
+gf::Element IntegrityAuthority::check_dot(
+    const coding::SegmentId& id, std::size_t j,
+    std::span<const std::uint8_t> v) const {
+  const std::uint64_t state = check_state(params_.key, id, j);
+  gf::Element acc = 0;
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i % 8 == 0) word = common::splitmix64(state + i / 8);
+    const auto r = static_cast<gf::Element>(word & 0xFFU);
+    word >>= 8U;
+    acc = gf::GF256::add(acc, gf::GF256::mul(r, v[i]));
+  }
+  return acc;
+}
+
+void IntegrityAuthority::register_segment(
+    const coding::SegmentId& id,
+    std::span<const std::vector<std::uint8_t>> originals) {
+  ICOLLECT_EXPECTS(!originals.empty());
+  const std::size_t len = originals.front().size();
+  ICOLLECT_EXPECTS(len > 0);
+  for (const auto& b : originals) ICOLLECT_EXPECTS(b.size() == len);
+
+  SegmentTags t;
+  t.segment_size = originals.size();
+  t.payload_len = len;
+  t.rows.resize(params_.checks * t.segment_size);
+  for (std::size_t j = 0; j < params_.checks; ++j) {
+    for (std::size_t k = 0; k < t.segment_size; ++k) {
+      t.rows[j * t.segment_size + k] = check_dot(id, j, originals[k]);
+    }
+  }
+  const auto [it, inserted] = tags_.insert_or_assign(id, std::move(t));
+  (void)it;
+  // Churn re-uses peer slots under fresh origin ids, so a live id never
+  // repeats; seeing one again means the caller re-injected a segment
+  // without forgetting it first.
+  ICOLLECT_ENSURES(inserted);
+}
+
+VerifyResult IntegrityAuthority::verify(
+    const coding::CodedBlock& block) const {
+  const auto it = tags_.find(block.segment);
+  if (it == tags_.end()) return VerifyResult::kUnknownSegment;
+  const SegmentTags& t = it->second;
+  if (block.segment_size() != t.segment_size ||
+      block.payload.size() != t.payload_len) {
+    return VerifyResult::kShapeMismatch;
+  }
+  for (std::size_t j = 0; j < params_.checks; ++j) {
+    const gf::Element lhs = check_dot(block.segment, j, block.payload);
+    const std::span<const gf::Element> row{
+        t.rows.data() + j * t.segment_size, t.segment_size};
+    const gf::Element rhs =
+        gf::dot(std::span<const gf::Element>{block.coefficients}, row);
+    if (lhs != rhs) return VerifyResult::kCheckFailed;
+  }
+  return VerifyResult::kOk;
+}
+
+}  // namespace icollect::proto

@@ -49,6 +49,10 @@ PeerCore::Injected PeerCore::inject() {
     originals.assign(s, {});
   }
   if (params_.record_own_crcs && !crcs.empty()) own_crcs_.emplace(id, crcs);
+  // Tags must exist before any block of the segment circulates — the
+  // systematic self-stores below already fire driver hooks that may
+  // gossip. (Registration requires payloads; set_integrity enforces it.)
+  if (integrity_ != nullptr) integrity_->register_segment(id, originals);
 
   // The source seeds its own buffer with the s systematic blocks —
   // "s new edges are added to each peer ... together with a new segment
@@ -101,6 +105,12 @@ PeerCore::AcceptResult PeerCore::accept(coding::CodedBlock&& block) {
     // Shape mismatch slipped past the handshake, or a degenerate block
     // an honest encoder never emits — junk either way.
     return AcceptResult::kShapeMismatch;
+  }
+  if (integrity_ != nullptr &&
+      integrity_->verify(block) != VerifyResult::kOk) {
+    // Quarantine BEFORE any storage decision: a polluted block must
+    // never enter the buffer where re-coding would spread it.
+    return AcceptResult::kPolluted;
   }
   if (params_.drop_on_ack && acked_.contains(block.segment)) {
     return AcceptResult::kAckedSegment;

@@ -35,6 +35,7 @@
 #include "coding/segment_id.h"
 #include "common/assert.h"
 #include "common/rng.h"
+#include "proto/integrity.h"
 #include "proto/peer_buffer.h"
 #include "proto/policy.h"
 
@@ -85,6 +86,16 @@ class PeerCore {
   void set_payload_source(PayloadSourceFn fn) {
     payload_source_ = std::move(fn);
   }
+  /// Attach the run's shared tag oracle (proto/integrity.h). The core
+  /// then registers every segment it injects and quarantines received
+  /// blocks that fail verification. nullptr (the default) disables both,
+  /// preserving pre-integrity behavior bit for bit. Requires
+  /// payload_bytes > 0 — checks over empty payloads are vacuous. The
+  /// authority must outlive the core.
+  void set_integrity(IntegrityAuthority* authority) {
+    ICOLLECT_EXPECTS(authority == nullptr || params_.payload_bytes > 0);
+    integrity_ = authority;
+  }
 
   // --- injection ----------------------------------------------------------
   /// Room for a whole segment ("degree no more than B − s", Sec. 2)?
@@ -122,6 +133,7 @@ class PeerCore {
   enum class AcceptResult : std::uint8_t {
     kStored,           ///< accepted and buffered (TTL armed)
     kShapeMismatch,    ///< wrong segment size / degenerate block — junk
+    kPolluted,         ///< failed the integrity check — quarantined
     kAckedSegment,     ///< drop_on_ack and the segment is already ACKed
     kBufferFull,       ///< "if a peer's buffer is full, it will not accept"
     kSegmentFullRank,  ///< peer already holds s independent blocks
@@ -211,6 +223,7 @@ class PeerCore {
   ArmTtlFn arm_ttl_;
   StoredFn stored_;
   PayloadSourceFn payload_source_;
+  IntegrityAuthority* integrity_ = nullptr;
 
   std::unordered_set<coding::SegmentId> own_segments_;
   std::unordered_set<coding::SegmentId> acked_;

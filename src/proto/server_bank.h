@@ -34,6 +34,11 @@ class ServerBank {
     kInnovative,     ///< raised the segment's collection state
     kRedundant,      ///< linearly dependent on already-collected blocks
     kAlreadyDecoded, ///< segment was already in state s (pure waste)
+    /// Failed the per-block integrity check and was quarantined before
+    /// touching any decoder. The bank itself never returns this — it is
+    /// ServerCore's verdict (proto/integrity.h), sharing the enum so
+    /// every driver switches over one result type.
+    kPolluted,
   };
 
   /// `keep_payloads` false discards recovered payloads after invoking the

@@ -13,14 +13,21 @@
 /// the candidate set — exact non-empty slots in the simulator, an
 /// occupancy heuristic over the live roster) but flows through the
 /// shared proto::PullPolicy seam.
+///
+/// When an IntegrityAuthority is attached, every incoming block is
+/// verified BEFORE it reaches the bank's Gaussian elimination: a
+/// polluted block is quarantined (PullResult::kPolluted) and leaves the
+/// decoders untouched, so pollution can never poison a decoded segment.
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
 #include "common/assert.h"
 #include "obs/clock.h"
+#include "proto/integrity.h"
 #include "proto/server_bank.h"
 
 namespace icollect::proto {
@@ -37,8 +44,16 @@ class ServerCore {
     bank_.set_decode_callback(std::move(cb));
   }
 
+  /// Attach the shared tag oracle (nullptr disables verification — the
+  /// default, preserving pre-integrity behavior bit for bit). The
+  /// authority must outlive the core.
+  void set_integrity(const IntegrityAuthority* authority) {
+    integrity_ = authority;
+  }
+
   /// A demanded pull returned this block (real-coding fidelity).
   ServerBank::PullResult on_pull_block(const coding::CodedBlock& block) {
+    if (!verified(block)) return ServerBank::PullResult::kPolluted;
     return bank_.offer(block, clock_->now());
   }
 
@@ -51,7 +66,9 @@ class ServerCore {
 
   /// A sibling server forwarded a block it pulled (pooled-state rule):
   /// absorb it into the bank without pull accounting at this layer.
+  /// Verified anyway — forwarding servers may themselves be compromised.
   ServerBank::PullResult on_forwarded_block(const coding::CodedBlock& block) {
+    if (!verified(block)) return ServerBank::PullResult::kPolluted;
     return bank_.offer(block, clock_->now());
   }
 
@@ -62,6 +79,12 @@ class ServerCore {
     return result == ServerBank::PullResult::kInnovative;
   }
 
+  /// Blocks quarantined by the integrity check (never offered to the
+  /// bank, so they appear in no pull/redundancy counter).
+  [[nodiscard]] std::uint64_t polluted_blocks() const noexcept {
+    return polluted_;
+  }
+
   [[nodiscard]] const ServerBank& bank() const noexcept { return bank_; }
   [[nodiscard]] ServerBank& bank() noexcept { return bank_; }
   [[nodiscard]] const obs::ClockSource& clock() const noexcept {
@@ -69,8 +92,17 @@ class ServerCore {
   }
 
  private:
+  [[nodiscard]] bool verified(const coding::CodedBlock& block) {
+    if (integrity_ == nullptr) return true;
+    if (integrity_->verify(block) == VerifyResult::kOk) return true;
+    ++polluted_;
+    return false;
+  }
+
   ServerBank bank_;
   const obs::ClockSource* clock_;
+  const IntegrityAuthority* integrity_ = nullptr;
+  std::uint64_t polluted_ = 0;
 };
 
 }  // namespace icollect::proto

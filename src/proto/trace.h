@@ -30,10 +30,11 @@ enum class TraceEventKind : std::uint8_t {
   kSegmentLost,      ///< slot unused;        aux = collected so far
   kPeerDeparted,     ///< slot = departing;   aux = blocks lost
   kGossipLost,       ///< slot = sender;      aux = intended receiver slot
+  kBlockQuarantined, ///< slot = detector;    aux = offending sender slot
 };
 
 /// Number of TraceEventKind enumerators (for per-kind tables/bitmasks).
-inline constexpr std::size_t kTraceEventKindCount = 8;
+inline constexpr std::size_t kTraceEventKindCount = 9;
 
 [[nodiscard]] constexpr const char* to_string(TraceEventKind k) noexcept {
   switch (k) {
@@ -45,6 +46,7 @@ inline constexpr std::size_t kTraceEventKindCount = 8;
     case TraceEventKind::kSegmentLost: return "lost";
     case TraceEventKind::kPeerDeparted: return "depart";
     case TraceEventKind::kGossipLost: return "gossip-lost";
+    case TraceEventKind::kBlockQuarantined: return "quarantine";
   }
   return "?";
 }

@@ -117,6 +117,27 @@ class DiurnalProfile final : public ArrivalProfile {
   double period_;
 };
 
+/// Multiply another profile's rate by a constant factor — e.g. 1/s to
+/// turn a block-rate profile into the matching segment-rate process.
+/// Holds a reference; the base profile must outlive the adapter.
+class ScaledProfile final : public ArrivalProfile {
+ public:
+  ScaledProfile(const ArrivalProfile& base, double factor)
+      : base_{base}, factor_{factor} {
+    ICOLLECT_EXPECTS(factor >= 0.0);
+  }
+  [[nodiscard]] double rate(double t) const override {
+    return factor_ * base_.rate(t);
+  }
+  [[nodiscard]] double max_rate() const override {
+    return factor_ * base_.max_rate();
+  }
+
+ private:
+  const ArrivalProfile& base_;
+  double factor_;
+};
+
 /// Sample the next event time of a nonhomogeneous Poisson process with
 /// rate profile `profile`, starting from `now`, by Lewis-Shedler thinning.
 [[nodiscard]] double next_arrival(const ArrivalProfile& profile, double now,

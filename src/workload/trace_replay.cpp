@@ -1,0 +1,239 @@
+#include "workload/trace_replay.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace icollect::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+TraceReplayProfile::TraceReplayProfile(double base, double amplitude,
+                                       double period,
+                                       std::vector<BurstWindow> bursts)
+    : base_{base},
+      amplitude_{amplitude},
+      period_{period},
+      bursts_{std::move(bursts)} {
+  ICOLLECT_EXPECTS(base >= 0.0);
+  ICOLLECT_EXPECTS(amplitude >= 0.0 && amplitude < 1.0);
+  ICOLLECT_EXPECTS(period > 0.0);
+  // Thinning bound: peak diurnal swing times every burst compounded.
+  // Loose when bursts don't overlap, but a loose bound only costs extra
+  // thinning rejections, never correctness.
+  double burst_peak = 1.0;
+  for (const BurstWindow& b : bursts_) {
+    ICOLLECT_EXPECTS(b.end > b.start);
+    ICOLLECT_EXPECTS(b.multiplier >= 1.0);
+    burst_peak *= b.multiplier;
+  }
+  max_rate_ = base_ * (1.0 + amplitude_) * burst_peak;
+}
+
+double TraceReplayProfile::rate(double t) const {
+  double r = base_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+  for (const BurstWindow& b : bursts_) {
+    if (t >= b.start && t < b.end) r *= b.multiplier;
+  }
+  return r;
+}
+
+namespace {
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(std::string{value}, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: bad number for '" +
+                                std::string{key} + "': '" +
+                                std::string{value} + "'");
+  }
+}
+
+std::size_t parse_count(std::string_view key, std::string_view value) {
+  const double v = parse_double(key, value);
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::invalid_argument("scenario: '" + std::string{key} +
+                                "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+[[noreturn]] void unknown_key(const char* cls, std::string_view key) {
+  throw std::invalid_argument("scenario: unknown key '" + std::string{key} +
+                              "' for class '" + cls + "'");
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text) {
+  ScenarioSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string_view cls =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  if (cls == "byzantine") {
+    spec.kind = Kind::kByzantine;
+  } else if (cls == "faults") {
+    spec.kind = Kind::kFaults;
+  } else if (cls == "trace") {
+    spec.kind = Kind::kTrace;
+  } else {
+    throw std::invalid_argument("scenario: unknown class '" +
+                                std::string{cls} +
+                                "' (choices: byzantine|faults|trace)");
+  }
+
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} :
+                                        text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("scenario: expected key=value, got '" +
+                                  std::string{pair} + "'");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    switch (spec.kind) {
+      case Kind::kByzantine:
+        if (key == "fraction") {
+          spec.dishonest_fraction = parse_double(key, value);
+        } else if (key == "strategy") {
+          spec.strategy = proto::parse_corruption_strategy(value);
+        } else if (key == "checks") {
+          spec.integrity_checks = parse_count(key, value);
+        } else {
+          unknown_key("byzantine", key);
+        }
+        break;
+      case Kind::kFaults:
+        if (key == "fraction") {
+          spec.partition_fraction = parse_double(key, value);
+        } else if (key == "at") {
+          spec.partition_at = parse_double(key, value);
+        } else if (key == "heal") {
+          spec.heal_at = parse_double(key, value);
+        } else if (key == "drain") {
+          spec.drain_bytes_per_sec = parse_double(key, value);
+        } else {
+          unknown_key("faults", key);
+        }
+        break;
+      case Kind::kTrace:
+        if (key == "amplitude") {
+          spec.diurnal_amplitude = parse_double(key, value);
+        } else if (key == "period") {
+          spec.diurnal_period = parse_double(key, value);
+        } else if (key == "burst") {
+          spec.burst_multiplier = parse_double(key, value);
+        } else if (key == "burst-at") {
+          spec.burst_at = parse_double(key, value);
+        } else if (key == "burst-len") {
+          spec.burst_len = parse_double(key, value);
+        } else if (key == "sigma") {
+          spec.lognormal_sigma = parse_double(key, value);
+        } else if (key == "lifetime") {
+          spec.mean_lifetime = parse_double(key, value);
+        } else {
+          unknown_key("trace", key);
+        }
+        break;
+    }
+  }
+
+  // Range checks after all keys land, so order never matters.
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("scenario: " + what);
+  };
+  switch (spec.kind) {
+    case Kind::kByzantine:
+      if (spec.dishonest_fraction < 0.0 || spec.dishonest_fraction > 1.0) {
+        fail("fraction must be in [0, 1]");
+      }
+      break;
+    case Kind::kFaults:
+      if (spec.partition_fraction < 0.0 || spec.partition_fraction > 1.0) {
+        fail("fraction must be in [0, 1]");
+      }
+      if (spec.partition_at < 0.0) fail("at must be >= 0");
+      if (spec.heal_at <= spec.partition_at) fail("heal must be > at");
+      if (spec.drain_bytes_per_sec < 0.0) fail("drain must be >= 0");
+      break;
+    case Kind::kTrace:
+      if (spec.diurnal_amplitude < 0.0 || spec.diurnal_amplitude >= 1.0) {
+        fail("amplitude must be in [0, 1)");
+      }
+      if (spec.diurnal_period <= 0.0) fail("period must be > 0");
+      if (spec.burst_multiplier < 1.0) fail("burst must be >= 1");
+      if (spec.burst_len <= 0.0) fail("burst-len must be > 0");
+      if (spec.lognormal_sigma <= 0.0) fail("sigma must be > 0");
+      if (spec.mean_lifetime < 0.0) fail("lifetime must be >= 0");
+      break;
+  }
+  return spec;
+}
+
+const char* ScenarioSpec::kind_name() const noexcept {
+  switch (kind) {
+    case Kind::kByzantine: return "byzantine";
+    case Kind::kFaults: return "faults";
+    case Kind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::string ScenarioSpec::to_json() const {
+  char buf[512];
+  switch (kind) {
+    case Kind::kByzantine:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"scenario\":\"byzantine\",\"fraction\":%g,"
+                    "\"strategy\":\"%s\",\"checks\":%zu}",
+                    dishonest_fraction, proto::to_string(strategy),
+                    integrity_checks);
+      break;
+    case Kind::kFaults:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"scenario\":\"faults\",\"fraction\":%g,\"at\":%g,"
+                    "\"heal\":%g,\"drain\":%g}",
+                    partition_fraction, partition_at, heal_at,
+                    drain_bytes_per_sec);
+      break;
+    case Kind::kTrace:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"scenario\":\"trace\",\"amplitude\":%g,"
+                    "\"period\":%g,\"burst\":%g,\"burst_at\":%g,"
+                    "\"burst_len\":%g,\"sigma\":%g,\"lifetime\":%g}",
+                    diurnal_amplitude, diurnal_period, burst_multiplier,
+                    burst_at, burst_len, lognormal_sigma, mean_lifetime);
+      break;
+  }
+  return std::string{buf};
+}
+
+std::unique_ptr<ArrivalProfile> ScenarioSpec::make_arrival_profile(
+    double base_lambda) const {
+  ICOLLECT_EXPECTS(kind == Kind::kTrace);
+  std::vector<BurstWindow> bursts;
+  if (burst_multiplier > 1.0) {
+    bursts.push_back(
+        BurstWindow{burst_at, burst_at + burst_len, burst_multiplier});
+  }
+  return std::make_unique<TraceReplayProfile>(
+      base_lambda, diurnal_amplitude, diurnal_period, std::move(bursts));
+}
+
+}  // namespace icollect::workload

@@ -1,0 +1,215 @@
+/// Tests for LoopbackNet fault injection (scenario pack): one-way
+/// blackholed links, endpoint isolation with scheduled heal windows,
+/// bytes in flight eaten by a partition that starts mid-flight, and the
+/// slow-reader drain that pushes fast senders into send-queue refusals.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/loopback.h"
+#include "net/transport.h"
+#include "obs/metrics_registry.h"
+
+namespace icollect::net {
+namespace {
+
+class RecordingHandler final : public TransportHandler {
+ public:
+  void on_peer_up(NodeId peer) override { ups.push_back(peer); }
+  void on_peer_down(NodeId peer) override { downs.push_back(peer); }
+  void on_bytes(NodeId peer, std::span<const std::uint8_t> bytes) override {
+    auto& stream = received[peer];
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+
+  std::vector<NodeId> ups;
+  std::vector<NodeId> downs;
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> received;
+};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(LoopbackFaults, BlockedLinkIsOneWayBlackhole) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler ha;
+  RecordingHandler hb;
+  a.set_handler(&ha);
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+
+  net.block_link(a.id(), b.id());
+  EXPECT_TRUE(net.link_blocked(a.id(), b.id()));
+  EXPECT_FALSE(net.link_blocked(b.id(), a.id()));
+
+  // The sender cannot observe the fault: send() succeeds, the bytes
+  // vanish, and neither side sees on_peer_down (unlike disconnect()).
+  EXPECT_TRUE(a.send(b.id(), bytes_of("lost")));
+  net.run_for(0.01);
+  EXPECT_TRUE(hb.received[a.id()].empty());
+  EXPECT_EQ(net.fault_drops(), 1U);
+  EXPECT_TRUE(ha.downs.empty());
+  EXPECT_TRUE(hb.downs.empty());
+
+  // The reverse direction is unaffected — NAT-like asymmetry.
+  EXPECT_TRUE(b.send(a.id(), bytes_of("back")));
+  net.run_for(0.01);
+  EXPECT_EQ(ha.received[b.id()], bytes_of("back"));
+
+  net.unblock_link(a.id(), b.id());
+  EXPECT_FALSE(net.link_blocked(a.id(), b.id()));
+  EXPECT_TRUE(a.send(b.id(), bytes_of("healed")));
+  net.run_for(0.01);
+  EXPECT_EQ(hb.received[a.id()], bytes_of("healed"));
+}
+
+TEST(LoopbackFaults, IsolationBlackholesBothDirections) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler ha;
+  RecordingHandler hb;
+  a.set_handler(&ha);
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+
+  net.set_isolated(b.id(), true);
+  EXPECT_TRUE(net.is_isolated(b.id()));
+  EXPECT_TRUE(a.send(b.id(), bytes_of("in")));
+  EXPECT_TRUE(b.send(a.id(), bytes_of("out")));
+  net.run_for(0.01);
+  EXPECT_TRUE(hb.received[a.id()].empty());
+  EXPECT_TRUE(ha.received[b.id()].empty());
+  EXPECT_EQ(net.fault_drops(), 2U);
+
+  net.set_isolated(b.id(), false);
+  EXPECT_TRUE(a.send(b.id(), bytes_of("again")));
+  net.run_for(0.01);
+  EXPECT_EQ(hb.received[a.id()], bytes_of("again"));
+}
+
+TEST(LoopbackFaults, InFlightBytesEatenByMidFlightPartition) {
+  LoopbackNet::Options opts;
+  opts.latency = 0.05;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+
+  ASSERT_TRUE(a.send(b.id(), bytes_of("midair")));
+  EXPECT_EQ(net.in_flight_bytes(), 6U);
+  net.run_for(0.01);            // bytes are in flight...
+  net.set_isolated(b.id(), true);  // ...when the partition lands
+  net.run_for(0.1);
+  // Partitions don't wait for the pipe to empty: nothing arrives, the
+  // fault is counted, and the sender's in-flight budget is released.
+  EXPECT_TRUE(hb.received[a.id()].empty());
+  EXPECT_EQ(net.fault_drops(), 1U);
+  EXPECT_EQ(net.in_flight_bytes(), 0U);
+}
+
+TEST(LoopbackFaults, SchedulePartitionIsolatesThenHeals) {
+  LoopbackNet net{LoopbackNet::Options{}};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  net.schedule_partition(0.1, 0.2, {b.id()});
+
+  // Before the window: normal delivery.
+  EXPECT_TRUE(a.send(b.id(), bytes_of("1")));
+  net.run_for(0.05);
+  EXPECT_EQ(hb.received[a.id()].size(), 1U);
+  EXPECT_FALSE(net.is_isolated(b.id()));
+
+  // Inside the window: blackholed.
+  net.run_until(0.15);
+  EXPECT_TRUE(net.is_isolated(b.id()));
+  EXPECT_TRUE(a.send(b.id(), bytes_of("2")));
+  net.run_until(0.19);
+  EXPECT_EQ(hb.received[a.id()].size(), 1U);
+  EXPECT_EQ(net.fault_drops(), 1U);
+
+  // After the heal: delivery resumes without any reconnect.
+  net.run_until(0.25);
+  EXPECT_FALSE(net.is_isolated(b.id()));
+  EXPECT_TRUE(a.send(b.id(), bytes_of("3")));
+  net.run_for(0.05);
+  EXPECT_EQ(hb.received[a.id()].size(), 2U);
+}
+
+TEST(LoopbackFaults, SlowReaderBackpressuresSenderIntoRefusals) {
+  LoopbackNet::Options opts;
+  opts.send_queue_cap_bytes = 100;
+  LoopbackNet net{opts};
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  net.set_drain_rate(b.id(), 100.0);  // 100 bytes/sec: 0.4s per message
+
+  const std::vector<std::uint8_t> msg(40, 0x5A);
+  // Two 40-byte messages fit the 100-byte in-flight cap; the third is
+  // refused because the slow reader still holds the first two.
+  EXPECT_TRUE(a.send(b.id(), msg));
+  EXPECT_TRUE(a.send(b.id(), msg));
+  EXPECT_FALSE(a.send(b.id(), msg));
+  EXPECT_EQ(net.backpressure_refusals(), 1U);
+  EXPECT_EQ(net.in_flight_bytes(), 80U);
+
+  // The drain serializes deliveries (~0.4s apart) instead of the
+  // sub-millisecond link latency.
+  net.run_for(0.2);
+  EXPECT_TRUE(hb.received[a.id()].empty());
+  net.run_for(0.3);
+  EXPECT_EQ(hb.received[a.id()].size(), 40U);
+  net.run_for(0.4);
+  EXPECT_EQ(hb.received[a.id()].size(), 80U);
+  EXPECT_EQ(net.in_flight_bytes(), 0U);
+
+  // Once drained, the sender's budget is free again.
+  EXPECT_TRUE(a.send(b.id(), msg));
+
+  // Restoring unlimited drain returns to latency-bound delivery.
+  net.set_drain_rate(b.id(), 0.0);
+  net.run_for(0.5);
+  const std::size_t before = hb.received[a.id()].size();
+  EXPECT_TRUE(a.send(b.id(), msg));
+  net.run_for(0.01);
+  EXPECT_EQ(hb.received[a.id()].size(), before + 40U);
+}
+
+TEST(LoopbackFaults, FaultDropsAreDistinctFromRandomDrops) {
+  LoopbackNet net{LoopbackNet::Options{}};  // drop_probability = 0
+  auto& a = net.create_endpoint();
+  auto& b = net.create_endpoint();
+  RecordingHandler hb;
+  b.set_handler(&hb);
+  net.connect(a.id(), b.id());
+  net.block_link(a.id(), b.id());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(a.send(b.id(), bytes_of("x")));
+  }
+  net.run_for(0.01);
+  EXPECT_EQ(net.fault_drops(), 10U);
+  EXPECT_EQ(net.drops(), 0U);
+
+  obs::MetricsRegistry reg;
+  net.attach_metrics(reg);
+  ASSERT_NE(reg.find_gauge("loopback.fault_drops"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("loopback.fault_drops")->value(), 10.0);
+}
+
+}  // namespace
+}  // namespace icollect::net

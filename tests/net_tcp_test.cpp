@@ -295,6 +295,76 @@ TEST(Tcp, TransferSurvivesSignalStorm) {
   ASSERT_EQ(sigaction(SIGALRM, &old_sa, nullptr), 0);
 }
 
+TEST(Tcp, SlowReaderHitsQueueCapThenIdleReapStaysReconnectSafe) {
+  // A scripted slow-reader peer: the server transport accepts the TCP
+  // handshake in the kernel but is never polled, so it never reads.
+  // The writer must (1) absorb backpressure into its bounded send
+  // queue, (2) refuse sends — not balloon — once the cap is hit while
+  // compacting the consumed outq prefix, and (3) reap the silent
+  // connection via the idle timeout in a way that leaves the transport
+  // reusable for a fresh connect.
+  TcpTransport::Options opts;
+  opts.send_queue_cap_bytes = 32U * 1024U;
+  opts.so_sndbuf = 4096;    // tiny kernel buffer: backpressure hits fast
+  opts.idle_timeout = 2.0;  // no reads for 2s => reap (after the cap hits)
+  TcpTransport client{opts};
+  TcpTransport server;  // deliberately never polled at first
+  RecordingHandler hs;
+  RecordingHandler hc;
+  server.set_handler(&hs);
+  client.set_handler(&hc);
+  const std::uint16_t port = server.listen("127.0.0.1", 0);
+  const NodeId conn = client.connect("127.0.0.1", port);
+  {
+    const double t0 = client.now();
+    while (client.now() - t0 < 10.0 && hc.ups.empty()) {
+      client.poll_once(0.01);  // kernel completes the handshake alone
+    }
+  }
+  ASSERT_EQ(hc.ups.size(), 1U);
+
+  // Pump frames at the unread connection until the cap refuses one.
+  const std::vector<std::uint8_t> chunk(4096, 0xAB);
+  const double t0 = client.now();
+  while (client.now() - t0 < 10.0 && hc.downs.empty() &&
+         client.backpressure_refusals() == 0) {
+    (void)client.send(conn, chunk);
+    client.poll_once(0.001);
+  }
+  ASSERT_GT(client.backpressure_refusals(), 0U);
+  // The queue is bounded by the cap, and partial socket drains were
+  // compacted rather than accumulated.
+  EXPECT_LE(client.send_queue_bytes(), opts.send_queue_cap_bytes);
+  EXPECT_LE(client.send_queue_high_watermark(), opts.send_queue_cap_bytes);
+  EXPECT_GT(client.partial_drains(), 0U);
+
+  // The peer never speaks: the idle timer reaps the connection.
+  {
+    const double t1 = client.now();
+    while (client.now() - t1 < 10.0 && hc.downs.empty()) {
+      client.poll_once(0.01);
+    }
+  }
+  ASSERT_EQ(hc.downs.size(), 1U);
+  EXPECT_EQ(hc.downs[0], conn);
+  EXPECT_GE(client.idle_reaps(), 1U);
+  EXPECT_EQ(client.open_connections(), 0U);
+  EXPECT_EQ(client.send_queue_bytes(), 0U);  // reap released the queue
+  EXPECT_FALSE(client.send(conn, chunk));    // dead handle refuses
+
+  // Reconnect-safe: the same transport can dial again, and with the
+  // server now polling, traffic flows and the idle timer stays quiet.
+  const NodeId conn2 = client.connect("127.0.0.1", port);
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hc.ups.size() >= 2 && !hs.ups.empty();
+  }));
+  ASSERT_TRUE(client.send(conn2, bytes_of("alive")));
+  ASSERT_TRUE(pump(server, client, [&] {
+    return hs.received[hs.ups.back()].size() >= 5;
+  }));
+  EXPECT_EQ(hs.received[hs.ups.back()], bytes_of("alive"));
+}
+
 TEST(Tcp, ConnectRetriesAreCounted) {
   std::uint16_t dead_port = 0;
   {

@@ -82,6 +82,7 @@ const char* accept_name(PeerCore::AcceptResult r) {
   switch (r) {
     case PeerCore::AcceptResult::kStored: return "stored";
     case PeerCore::AcceptResult::kShapeMismatch: return "shape";
+    case PeerCore::AcceptResult::kPolluted: return "polluted";
     case PeerCore::AcceptResult::kAckedSegment: return "acked";
     case PeerCore::AcceptResult::kBufferFull: return "full";
     case PeerCore::AcceptResult::kSegmentFullRank: return "rank";
@@ -94,6 +95,7 @@ const char* pull_name(ServerBank::PullResult r) {
     case ServerBank::PullResult::kInnovative: return "innovative";
     case ServerBank::PullResult::kRedundant: return "redundant";
     case ServerBank::PullResult::kAlreadyDecoded: return "stale";
+    case ServerBank::PullResult::kPolluted: return "polluted";
   }
   return "?";
 }

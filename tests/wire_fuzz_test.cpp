@@ -11,8 +11,12 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <variant>
 #include <vector>
 
+#include "common/crc32.h"
+#include "gf/gf256.h"
+#include "proto/integrity.h"
 #include "sim/random.h"
 #include "wire/frame.h"
 #include "wire/message.h"
@@ -187,6 +191,119 @@ TEST(WireFuzz, HostileLengthPrefixesStayBounded) {
     }
   }
   (void)rng;
+}
+
+TEST(WireFuzz, BodyMutationsNeverSlipPollutedBlocks) {
+  // The adversary this corpus models recomputes the frame CRC after
+  // tampering (a CRC is framing, not security), so every mutated frame
+  // reaches body parsing. The contract under test: a byte flipped
+  // anywhere inside an otherwise-valid GOSSIP_BLOCK body either fails
+  // decoding with a typed latched error, or decodes into a block that
+  // the integrity check rejects with a typed verdict — never into a
+  // block that verifies clean.
+  sim::Rng rng{0xF0223};
+  proto::IntegrityAuthority auth{proto::IntegrityParams{0xB10C5ULL, 4}};
+  const coding::SegmentId id{7, 3};
+  constexpr std::size_t kS = 4;
+  constexpr std::size_t kLen = 24;
+  std::vector<std::vector<std::uint8_t>> originals(kS);
+  for (auto& b : originals) {
+    b.resize(kLen);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.gf_element());
+  }
+  auth.register_segment(id, originals);
+
+  coding::CodedBlock block;
+  block.segment = id;
+  block.coefficients.resize(kS);
+  do {
+    rng.fill_gf(block.coefficients);
+  } while (block.is_degenerate());
+  block.payload.assign(kLen, 0);
+  for (std::size_t k = 0; k < kS; ++k) {
+    for (std::size_t i = 0; i < kLen; ++i) {
+      block.payload[i] = gf::GF256::add(
+          block.payload[i],
+          gf::GF256::mul(block.coefficients[k], originals[k][i]));
+    }
+  }
+  const std::vector<std::uint8_t> frame =
+      encoded_frame(Message{GossipBlock{block}});
+
+  const auto patch_crc = [](std::vector<std::uint8_t>& f) {
+    const std::uint32_t crc = common::crc32(
+        {f.data() + kFrameHeaderBytes, f.size() - kFrameHeaderBytes});
+    f[12] = static_cast<std::uint8_t>(crc);
+    f[13] = static_cast<std::uint8_t>(crc >> 8U);
+    f[14] = static_cast<std::uint8_t>(crc >> 16U);
+    f[15] = static_cast<std::uint8_t>(crc >> 24U);
+  };
+
+  std::uint64_t decode_rejected = 0;
+  std::uint64_t unknown_segment = 0;
+  std::uint64_t shape_mismatch = 0;
+  std::uint64_t check_failed = 0;
+  std::uint64_t escapes = 0;
+  const auto probe = [&](std::vector<std::uint8_t> f) {
+    patch_crc(f);
+    FrameDecoder dec;
+    dec.feed(f);
+    const auto res = dec.next();
+    if (res.status != DecodeStatus::kFrame) {
+      EXPECT_TRUE(is_error(res.status)) << to_string(res.status);
+      EXPECT_EQ(dec.next().status, res.status);  // errors latch
+      ++decode_rejected;
+      return;
+    }
+    // Body flips cannot change the message type (it lives in the
+    // header, which this corpus leaves alone).
+    ASSERT_TRUE(std::holds_alternative<GossipBlock>(res.message));
+    switch (auth.verify(std::get<GossipBlock>(res.message).block)) {
+      case proto::VerifyResult::kOk: ++escapes; break;
+      case proto::VerifyResult::kUnknownSegment: ++unknown_segment; break;
+      case proto::VerifyResult::kShapeMismatch: ++shape_mismatch; break;
+      case proto::VerifyResult::kCheckFailed: ++check_failed; break;
+    }
+  };
+
+  // Sanity: the unmutated frame decodes and verifies clean.
+  {
+    std::vector<std::uint8_t> clean = frame;
+    FrameDecoder dec;
+    dec.feed(clean);
+    const auto res = dec.next();
+    ASSERT_EQ(res.status, DecodeStatus::kFrame);
+    ASSERT_EQ(auth.verify(std::get<GossipBlock>(res.message).block),
+              proto::VerifyResult::kOk);
+  }
+
+  // Exhaustive single-bit flips over every body byte: segment id flips
+  // land in kUnknownSegment, length-field flips die in body parsing,
+  // coefficient/payload flips land in kCheckFailed.
+  for (std::size_t i = kFrameHeaderBytes; i < frame.size(); ++i) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> f = frame;
+      f[i] ^= static_cast<std::uint8_t>(1U << bit);
+      probe(f);
+    }
+  }
+  // Random multi-byte mutations for corpus breadth (1–4 flips).
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::uint8_t> f = frame;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t k = 0; k < flips; ++k) {
+      const std::size_t at =
+          kFrameHeaderBytes + rng.uniform_index(f.size() - kFrameHeaderBytes);
+      f[at] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    }
+    probe(f);
+  }
+
+  EXPECT_EQ(escapes, 0U) << "a mutated block verified clean";
+  // The corpus exercised every rejection tier.
+  EXPECT_GT(decode_rejected, 0U);
+  EXPECT_GT(unknown_segment, 0U);
+  EXPECT_GT(check_failed, 0U);
 }
 
 }  // namespace

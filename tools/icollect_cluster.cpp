@@ -15,9 +15,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "node/cluster.h"
+#include "workload/trace_replay.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/snapshotter.h"
@@ -58,7 +61,11 @@ void usage(const char* argv0) {
       "  --trace-out FILE      protocol event trace JSONL "
       "(inject/gossip/\n"
       "                        ttl/pull/decode, virtual-time stamped)\n"
-      "  --progress            progress lines on stderr\n",
+      "  --progress            progress lines on stderr\n"
+      "  --scenario SPEC       hostile scenario, class:key=value,...\n"
+      "                        (byzantine|faults|trace; see\n"
+      "                        docs/SCENARIOS.md). Byzantine runs key\n"
+      "                        completion on the honest population.\n",
       argv0);
 }
 
@@ -86,6 +93,7 @@ int main(int argc, char** argv) {
   double capacity = -1.0;
   std::string metrics_out;
   std::string trace_out;
+  std::string scenario_arg;
   double metrics_interval = 0.5;
   bool progress = false;
 
@@ -147,6 +155,8 @@ int main(int argc, char** argv) {
       metrics_interval = std::strtod(value("--metrics-interval"), nullptr);
     } else if (arg == "--trace-out") {
       trace_out = value("--trace-out");
+    } else if (arg == "--scenario") {
+      scenario_arg = value("--scenario");
     } else if (arg == "--progress") {
       progress = true;
     } else {
@@ -169,8 +179,55 @@ int main(int argc, char** argv) {
                       static_cast<double>(cfg.num_servers);
   }
 
+  // A scenario adjusts the config before the cluster is built (nodes
+  // start inside the constructor); fault windows attach right after.
+  std::unique_ptr<workload::ScenarioSpec> scenario;
+  std::unique_ptr<workload::ArrivalProfile> arrival;
+  if (!scenario_arg.empty()) {
+    try {
+      scenario = std::make_unique<workload::ScenarioSpec>(
+          workload::ScenarioSpec::parse(scenario_arg));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    using Kind = workload::ScenarioSpec::Kind;
+    switch (scenario->kind) {
+      case Kind::kByzantine:
+        cfg.dishonest_fraction = scenario->dishonest_fraction;
+        cfg.corruption = scenario->strategy;
+        cfg.integrity_checks = scenario->integrity_checks;
+        if (cfg.payload_bytes == 0) cfg.payload_bytes = 32;
+        break;
+      case Kind::kFaults:
+        break;  // attached to the loopback hub below
+      case Kind::kTrace:
+        // The cluster has no churn engine; only the load shape applies.
+        arrival = scenario->make_arrival_profile(cfg.lambda);
+        cfg.arrival = arrival.get();
+        break;
+    }
+  }
+
   obs::MetricsRegistry registry;
   node::LoopbackCluster cluster{cfg, &registry};
+  if (scenario && scenario->kind == workload::ScenarioSpec::Kind::kFaults) {
+    std::vector<net::NodeId> ids;
+    const auto count = static_cast<std::size_t>(
+        static_cast<double>(cfg.num_peers) * scenario->partition_fraction);
+    for (std::size_t i = 0; i < count; ++i) {
+      ids.push_back(static_cast<net::NodeId>(i));
+    }
+    if (!ids.empty()) {
+      cluster.net().schedule_partition(scenario->partition_at,
+                                       scenario->heal_at, std::move(ids));
+    }
+    if (scenario->drain_bytes_per_sec > 0.0) {
+      // The first peer becomes a slow reader: every sender's bytes to
+      // it stay in flight until drained, exercising send-queue caps.
+      cluster.net().set_drain_rate(0, scenario->drain_bytes_per_sec);
+    }
+  }
   obs::Snapshotter snaps{registry, metrics_interval};
   if (!metrics_out.empty()) {
     try {
@@ -192,8 +249,15 @@ int main(int argc, char** argv) {
     cluster.set_trace_sink(trace_buf.sink());
   }
 
+  // Byzantine runs can never finish the dishonest peers' own segments
+  // (they corrupt everything they emit), so completion is keyed on the
+  // honest population instead.
+  const bool adversarial = cluster.dishonest_count() > 0;
+  const auto done = [&] {
+    return adversarial ? cluster.honest_complete() : cluster.complete();
+  };
   const double step = 0.25;
-  while (!cluster.complete() && cluster.now() < max_time) {
+  while (!done() && cluster.now() < max_time) {
     cluster.run_for(step);
     if (!metrics_out.empty()) snaps.sample_if_due(cluster.now());
     if (progress) {
@@ -259,7 +323,7 @@ int main(int argc, char** argv) {
       .field_raw("pull_rtt", latency_json(pull_rtt))
       .field_raw("decode_latency", latency_json(decode_latency));
 
-  const bool complete = cluster.complete();
+  const bool complete = done();
   obs::JsonObject out;
   out.field("complete", complete)
       .field("t", cluster.now())
@@ -278,6 +342,22 @@ int main(int argc, char** argv) {
       .field("loopback_drops", cluster.net().drops())
       .field("loopback_bytes", cluster.net().bytes_delivered())
       .field_raw("stats", stats.str());
+  if (scenario) {
+    // Only with --scenario, so the default output — and its golden
+    // pins — stays byte-identical.
+    obs::JsonObject sj;
+    sj.field_raw("spec", scenario->to_json())
+        .field("dishonest_peers", cluster.dishonest_count())
+        .field("honest_complete", cluster.honest_complete())
+        .field("honest_segments_injected",
+               cluster.honest_segments_injected())
+        .field("blocks_corrupted", cluster.blocks_corrupted())
+        .field("blocks_quarantined", cluster.blocks_quarantined())
+        .field("polluted_pulls", cluster.polluted_pulls())
+        .field("fault_drops", cluster.net().fault_drops())
+        .field("queue_refusals", cluster.net().backpressure_refusals());
+    out.field_raw("scenario", sj.str());
+  }
   std::printf("%s\n", out.str().c_str());
   return complete ? 0 : 1;
 }

@@ -26,6 +26,7 @@
 #include "obs/json.h"
 #include "obs/telemetry.h"
 #include "p2p/network_telemetry.h"
+#include "workload/trace_replay.h"
 
 int main(int argc, char** argv) {
   using namespace icollect;
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   bool run_ode = true;
   bool run_direct = false;
   std::string trace_path;
+  std::string scenario_arg;
   obs::TelemetryOptions topts;
   bool trace_out_requested = false;
 
@@ -59,7 +61,14 @@ int main(int argc, char** argv) {
           "  --profile              per-event-type wall-clock profile\n"
           "  --progress             progress line per snapshot (stderr)\n"
           "  --gf-kernel=K          GF(2^8) kernel: scalar|ssse3|avx2|auto\n"
-          "                         (default auto; env ICOLLECT_GF_KERNEL)\n",
+          "                         (default auto; env ICOLLECT_GF_KERNEL)\n"
+          "scenario pack (docs/SCENARIOS.md):\n"
+          "  --scenario=SPEC        hostile scenario, class:key=value,...\n"
+          "                         byzantine:fraction=,strategy=,checks=\n"
+          "                         faults:fraction=,at=,heal=\n"
+          "                         trace:amplitude=,period=,burst=,\n"
+          "                               burst-at=,burst-len=,sigma=,"
+          "lifetime=\n",
           argv[0], config_args_help());
       return 0;
     }
@@ -90,6 +99,8 @@ int main(int argc, char** argv) {
       topts.profile = std::strtol(argv[i] + 10, nullptr, 10) != 0;
     } else if (arg == "--progress") {
       topts.progress = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario_arg = std::string{arg.substr(11)};
     } else if (arg.rfind("--gf-kernel=", 0) == 0) {
       const std::string_view kernel = arg.substr(12);
       if (!gf::Kernels::select_by_name(kernel)) {
@@ -126,11 +137,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A scenario adjusts the config before the system is built; fault
+  // windows and arrival profiles attach right after construction.
+  std::unique_ptr<workload::ScenarioSpec> scenario;
+  if (!scenario_arg.empty()) {
+    try {
+      scenario = std::make_unique<workload::ScenarioSpec>(
+          workload::ScenarioSpec::parse(scenario_arg));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    using Kind = workload::ScenarioSpec::Kind;
+    switch (scenario->kind) {
+      case Kind::kByzantine:
+        cfg.adversary.dishonest_fraction = scenario->dishonest_fraction;
+        cfg.adversary.strategy = scenario->strategy;
+        cfg.adversary.integrity_checks = scenario->integrity_checks;
+        // Pollution needs bytes to pollute; give the blocks a payload
+        // when the base config runs coefficients-only.
+        if (cfg.payload_bytes == 0) cfg.payload_bytes = 32;
+        break;
+      case Kind::kFaults:
+        break;  // attached to the network below
+      case Kind::kTrace:
+        if (scenario->mean_lifetime > 0.0) {
+          cfg.churn.enabled = true;
+          cfg.churn.mean_lifetime = scenario->mean_lifetime;
+          cfg.churn.distribution = p2p::LifetimeDistribution::kLogNormal;
+          cfg.churn.lognormal_sigma = scenario->lognormal_sigma;
+        }
+        break;
+    }
+  }
+
   std::printf("config: %s gf-kernel=%s\n", describe(cfg).c_str(),
               gf::Kernels::active().name);
   std::printf("running: warm-up %.1f, measure %.1f ...\n\n", warm, measure);
 
   CollectionSystem system{cfg};
+  std::unique_ptr<workload::ArrivalProfile> arrival;
+  if (scenario) {
+    using Kind = workload::ScenarioSpec::Kind;
+    if (scenario->kind == Kind::kFaults) {
+      system.network().set_isolation_window(scenario->partition_fraction,
+                                            scenario->partition_at,
+                                            scenario->heal_at);
+    } else if (scenario->kind == Kind::kTrace) {
+      arrival = scenario->make_arrival_profile(cfg.lambda);
+      system.network().set_arrival_profile(arrival.get());
+    }
+  }
   std::unique_ptr<obs::Telemetry> telemetry;
   if (topts.any_enabled()) {
     try {
@@ -196,6 +253,24 @@ int main(int argc, char** argv) {
     std::printf("departed peers %llu, their data recovered %.1f%%\n",
                 static_cast<unsigned long long>(dep.departed_origins),
                 100.0 * dep.recovery_fraction());
+  }
+
+  if (scenario) {
+    // Machine-readable scenario summary (only with --scenario, so the
+    // default output — and its golden pins — stays byte-identical).
+    const auto& m = system.network().metrics();
+    obs::JsonObject sj;
+    sj.field_raw("spec", scenario->to_json())
+        .field("dishonest_peers", system.network().dishonest_count())
+        .field("blocks_corrupted", m.blocks_corrupted)
+        .field("blocks_quarantined", m.blocks_quarantined)
+        .field("polluted_pulls", m.polluted_pulls)
+        .field("gossip_blocked_isolated", m.gossip_blocked_isolated)
+        .field("pulls_blocked_isolated", m.pulls_blocked_isolated)
+        .field("segments_injected", r.segments_injected)
+        .field("segments_decoded", r.segments_decoded)
+        .field("normalized_throughput", r.normalized_throughput);
+    std::printf("\n-- scenario --\n%s\n", sj.str().c_str());
   }
 
   if (telemetry) {
