@@ -109,10 +109,14 @@ void apply_config_args(p2p::ProtocolConfig& cfg,
         bad("unknown gossip policy '" + std::string(value) + "'");
       }
     } else if (key == "pull") {
-      if (value == "non-empty") {
+      if (value == "non-empty" || value == "uniform") {
         cfg.pull_policy = p2p::PullPolicy::kUniformNonEmpty;
       } else if (value == "all") {
         cfg.pull_policy = p2p::PullPolicy::kUniformAll;
+      } else if (value == "rarest" || value == "rarest-first") {
+        cfg.pull_policy = p2p::PullPolicy::kRarestFirst;
+      } else if (value == "deficit" || value == "deficit-weighted") {
+        cfg.pull_policy = p2p::PullPolicy::kDeficitWeighted;
       } else {
         bad("unknown pull policy '" + std::string(value) + "'");
       }
@@ -204,7 +208,8 @@ const char* config_args_help() noexcept {
          "  server_rate=X payload=N seed=N degree=N churn=E[L] (0=off)\n"
          "  lifetimes=exponential|pareto pareto_shape=A (>1)\n"
          "  topology=complete|erdos-renyi|random-regular\n"
-         "  fidelity=real-coding|state-counter pull=non-empty|all\n"
+         "  fidelity=real-coding|state-counter\n"
+         "  pull=non-empty|all|rarest|deficit (server pull scheduling)\n"
          "  gossip=uniform|newest|rarest loss=P (transit drop prob)\n";
 }
 

@@ -13,7 +13,8 @@
 ///   churn=X            (mean lifetime; 0 disables)
 ///   lifetimes=exponential|pareto   pareto_shape=A (> 1)
 ///   fidelity=real-coding|state-counter
-///   pull=non-empty|all (server peer-selection policy)
+///   pull=non-empty|all|rarest|deficit (server pull scheduling; rarest
+///        and deficit accept the -first/-weighted long forms too)
 ///
 /// Values are validated by ProtocolConfig::validate() after parsing.
 

@@ -76,6 +76,7 @@ LoopbackCluster::LoopbackCluster(const ClusterConfig& cfg,
     nc.buffer_cap = cfg.segment_size;  // unused by servers; keep valid
     nc.gamma = cfg.gamma;
     nc.pull_rate = cfg.server_rate;
+    nc.pull_policy = cfg.pull_policy;
     nc.seed = sim::splitmix64(cfg.seed + 0x2000 + i);
     servers_.push_back(std::make_unique<ServerNode>(
         nc,

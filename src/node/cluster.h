@@ -70,6 +70,11 @@ struct ClusterConfig {
   /// the constant `lambda`). Not owned; must outlive the cluster.
   const workload::ArrivalProfile* arrival = nullptr;
 
+  /// Server pull scheduling, copied into every server's NodeConfig
+  /// (docs/PULL_POLICIES.md). Uniform is the paper's rule and the
+  /// byte-identical default.
+  proto::PullPolicyKind pull_policy = proto::PullPolicyKind::kUniform;
+
   std::uint64_t seed = 1;
   net::LoopbackNet::Options net{};
   /// Virtual-time interval of the occupancy sampler feeding

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "proto/adversary.h"
+#include "proto/pull_policy.h"
 
 namespace icollect::node {
 
@@ -61,6 +62,13 @@ struct NodeConfig {
   bool byzantine = false;
   proto::CorruptionStrategy corruption =
       proto::CorruptionStrategy::kRandomPayload;
+
+  /// Server pull scheduling (docs/PULL_POLICIES.md). kUniform is the
+  /// paper's rule and keeps the wire traffic and RNG draw sequence
+  /// byte-identical to pre-scheduling builds; rarest/deficit stand up a
+  /// sched::RankTracker and the BUFFER_SUMMARY feedback loop. Ignored
+  /// by peers.
+  proto::PullPolicyKind pull_policy = proto::PullPolicyKind::kUniform;
 
   std::uint64_t seed = 1;
 

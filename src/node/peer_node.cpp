@@ -217,7 +217,12 @@ void PeerNode::handle_pull_request(Session& session,
   wire::PullBlock reply;
   reply.token = req.token;
   reply.occupancy = static_cast<std::uint32_t>(core_.buffer().size());
-  reply.has_block = core_.answer_pull(reply.block);
+  // A scheduling server names the segment it wants; answer with a
+  // re-code of it when buffered, falling back to the paper's uniform
+  // rule when availability knowledge was stale.
+  reply.has_block =
+      (req.want && core_.answer_pull_for(*req.want, reply.block)) ||
+      core_.answer_pull(reply.block);
   if (reply.has_block && config().byzantine) corrupt_outgoing(reply.block);
   if (reply.has_block) {
     ++pull_replies_;
@@ -225,6 +230,16 @@ void PeerNode::handle_pull_request(Session& session,
     ++pull_empty_replies_;
   }
   send_message(session.conn, wire::Message{std::move(reply)});
+  if (req.want_summary) {
+    // Piggyback the availability report the server asked for (bounded
+    // by its staleness window, so this is per-window, not per-pull).
+    wire::BufferSummary summary;
+    summary.segments = core_.buffer().segments();
+    if (summary.segments.size() > wire::kMaxSummarySegments) {
+      summary.segments.resize(wire::kMaxSummarySegments);
+    }
+    send_message(session.conn, wire::Message{std::move(summary)});
+  }
 }
 
 void PeerNode::handle_ack(const coding::SegmentId& id) {

@@ -1,9 +1,11 @@
 #include "node/server_node.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "proto/selection.h"
+#include "sched/pull_policies.h"
 
 namespace icollect::node {
 
@@ -14,7 +16,10 @@ ServerNode::ServerNode(const NodeConfig& cfg, net::Transport& transport,
       rng_{cfg.seed},
       wheel_clock_{[this] { return wheel_.now(); }},
       core_{/*keep_payloads=*/cfg.payload_bytes > 0, wheel_clock_},
-      pull_policy_{std::make_unique<proto::UniformPullPolicy>()} {
+      pull_policy_{sched::make_pull_policy(cfg.pull_policy)} {
+  if (pull_policy_->wants_feedback()) {
+    tracker_ = std::make_unique<sched::RankTracker>();
+  }
   core_.set_decode_callback(
       [this](const proto::ServerBank::DecodeEvent& ev) {
         on_bank_decode(ev);
@@ -105,15 +110,50 @@ void ServerNode::do_pull() {
   // a uniform draw on eligibility IS the uniform distribution over
   // eligible peers, at O(1) expected cost instead of O(n) per pull.
   const auto eligible_index = [&](std::size_t i) { return eligible(conns[i]); };
-  const std::size_t pick = pull_policy_->pick_filtered(
-      rng_, conns.size(), kPullProbes, proto::EligibleRef{eligible_index});
+  // Scheduling policies first ask for a wanted segment, then bias peer
+  // selection toward eligible peers whose last BUFFER_SUMMARY (within
+  // the tracker's staleness bound) advertises it. When no advertiser is
+  // known the pull falls back to the uniform rule with the want
+  // cleared — the answering peer chooses from its own buffer, which
+  // doubles as discovery of segments the tracker has not seen yet.
+  std::optional<coding::SegmentId> want;
+  std::size_t pick = proto::kNoSelection;
+  if (tracker_ != nullptr) {
+    if (tracker_->open_count() == 0 && tracker_->suspended_count() > 0) {
+      tracker_->reactivate_all();
+    }
+    want = pull_policy_->want_segment(rng_, *tracker_);
+    if (want) {
+      const auto advertises = [&](std::size_t i) {
+        return eligible(conns[i]) && tracker_->peer_has(conns[i], *want, t) &&
+               !tracker_->is_exhausted(conns[i], *want);
+      };
+      pick = pull_policy_->pick_filtered(rng_, conns.size(), kPullProbes,
+                                         proto::EligibleRef{advertises});
+      if (pick == proto::kNoSelection) want.reset();
+    }
+  }
+  if (pick == proto::kNoSelection) {
+    pick = pull_policy_->pick_filtered(
+        rng_, conns.size(), kPullProbes, proto::EligibleRef{eligible_index});
+  }
   if (pick == proto::kNoSelection) {
     ++pulls_starved_;
     return;
   }
   const net::NodeId target = conns[pick];
   const std::uint32_t token = next_token_++;
-  if (send_message(target, wire::Message{wire::PullRequest{token}})) {
+  wire::PullRequest request;
+  request.token = token;
+  if (tracker_ != nullptr) {
+    request.want = want;
+    // Bounded-staleness feedback: ask for a summary only when the
+    // target's last one has aged out — one summary per peer per
+    // staleness window, not per pull.
+    request.want_summary = !tracker_->peer_fresh(target, t);
+    if (want) ++targeted_pulls_;
+  }
+  if (send_message(target, wire::Message{request})) {
     ++pulls_sent_;
     if (pending_pulls_.size() >= kMaxPendingPulls) pending_pulls_.clear();
     pending_pulls_.emplace(token, t);
@@ -161,6 +201,22 @@ void ServerNode::offer_to_bank(const coding::CodedBlock& block,
     }
     return;
   }
+  if (tracker_ != nullptr) {
+    // Deficit feed: innovative advances (pulled or forwarded) update
+    // the open set; redundant pulls build the suspension streak that
+    // keeps rarest-first off segments whose holders are exhausted.
+    if (result == proto::ServerBank::PullResult::kInnovative) {
+      tracker_->on_state(block.segment, core_.bank().state(block.segment),
+                         config().segment_size);
+    } else if (from_pull &&
+               result == proto::ServerBank::PullResult::kRedundant) {
+      // A redundant recode means the answering peer's whole span for
+      // this segment is already known — stop targeting it for this
+      // segment until the suspension cycle resets the evidence.
+      tracker_->mark_exhausted(from_conn, block.segment);
+      tracker_->on_redundant(block.segment);
+    }
+  }
   if (!from_pull) return;  // forwarded blocks don't count as pulls
   trace(proto::TraceEventKind::kServerPull, from_conn, block.segment,
         result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
@@ -195,6 +251,7 @@ void ServerNode::on_bank_decode(const proto::ServerBank::DecodeEvent& event) {
   // decoded, so count the event rather than reading bank state.
   ++segments_decoded_metric_;
   ++acks_sent_;
+  if (tracker_ != nullptr) tracker_->on_decoded(event.id);
   if (const auto it = first_seen_.find(event.id); it != first_seen_.end()) {
     decode_latency_->record_seconds(event.when - it->second);
     first_seen_.erase(it);
@@ -225,6 +282,15 @@ void ServerNode::handle_message(Session& session, wire::Message&& message) {
   } else if (std::holds_alternative<wire::SegmentDecodedAck>(message)) {
     // Another server finished a segment we are still collecting; our
     // own bank converges via forwarding, so this is informational.
+  } else if (const auto* summary =
+                 std::get_if<wire::BufferSummary>(&message)) {
+    // Availability feedback a peer piggybacked on a pull reply. A
+    // server that never asked (uniform policy, tracker-less) tolerates
+    // strays rather than tearing the session down.
+    if (tracker_ != nullptr) {
+      ++summaries_received_;
+      tracker_->merge_summary(session.conn, summary->segments, wheel_.now());
+    }
   } else {
     end_session(session.conn, wire::ByeReason::kProtocolError);
   }
@@ -232,6 +298,7 @@ void ServerNode::handle_message(Session& session, wire::Message&& message) {
 
 void ServerNode::on_session_closed(Session& session) {
   occupancy_.erase(session.conn);
+  if (tracker_ != nullptr) tracker_->forget_peer(session.conn);
 }
 
 }  // namespace icollect::node

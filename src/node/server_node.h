@@ -37,6 +37,7 @@
 #include "obs/clock.h"
 #include "proto/pull_policy.h"
 #include "proto/server_core.h"
+#include "sched/rank_tracker.h"
 #include "stats/latency_histogram.h"
 
 namespace icollect::node {
@@ -63,12 +64,22 @@ class ServerNode final : public NodeBase {
       std::function<void(const coding::SegmentId&, double when)>;
   void set_decode_hook(DecodeHook hook) { decode_hook_ = std::move(hook); }
 
-  /// Replace the peer-selection strategy (call before start()). The
-  /// default proto::UniformPullPolicy reproduces the paper's uniform
-  /// pull over (believed-)non-empty peers.
+  /// Replace the pull-scheduling strategy (call before start()). The
+  /// default follows NodeConfig::pull_policy; uniform reproduces the
+  /// paper's pull over (believed-)non-empty peers. A policy that wants
+  /// deficit feedback gets a RankTracker stood up for it.
   void set_pull_policy(std::unique_ptr<proto::PullPolicy> policy) {
     ICOLLECT_EXPECTS(policy != nullptr);
     pull_policy_ = std::move(policy);
+    if (pull_policy_->wants_feedback() && tracker_ == nullptr) {
+      tracker_ = std::make_unique<sched::RankTracker>();
+    }
+  }
+
+  /// The scheduling state backing rarest/deficit policies; nullptr
+  /// under the default uniform policy.
+  [[nodiscard]] const sched::RankTracker* tracker() const noexcept {
+    return tracker_.get();
   }
 
   [[nodiscard]] const proto::ServerBank& bank() const noexcept {
@@ -118,6 +129,14 @@ class ServerNode final : public NodeBase {
   }
   [[nodiscard]] std::uint64_t segments_decoded() const noexcept {
     return core_.bank().segments_decoded();
+  }
+  /// BUFFER_SUMMARY frames merged into the tracker (0 under uniform).
+  [[nodiscard]] std::uint64_t summaries_received() const noexcept {
+    return summaries_received_;
+  }
+  /// Pulls that requested a specific segment (want-biased pulls).
+  [[nodiscard]] std::uint64_t targeted_pulls() const noexcept {
+    return targeted_pulls_;
   }
 
   // --- latency ------------------------------------------------------------
@@ -175,6 +194,9 @@ class ServerNode final : public NodeBase {
   obs::CallbackClock wheel_clock_;
   proto::ServerCore core_;
   std::unique_ptr<proto::PullPolicy> pull_policy_;
+  /// Deficit + availability state for feedback policies; nullptr under
+  /// uniform so the default hot path carries zero scheduling overhead.
+  std::unique_ptr<sched::RankTracker> tracker_;
   DecodeHook decode_hook_;
   std::uint32_t next_token_ = 1;
 
@@ -207,6 +229,8 @@ class ServerNode final : public NodeBase {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t polluted_pulls_ = 0;
   std::uint64_t segments_decoded_metric_ = 0;
+  std::uint64_t summaries_received_ = 0;
+  std::uint64_t targeted_pulls_ = 0;
 };
 
 }  // namespace icollect::node

@@ -11,6 +11,7 @@
 
 #include "proto/adversary.h"
 #include "proto/policy.h"
+#include "proto/pull_policy.h"
 
 namespace icollect::p2p {
 
@@ -64,14 +65,34 @@ enum class CollectionFidelity {
 enum class PullPolicy {
   kUniformNonEmpty,  ///< the paper's rule (occupancy-aware)
   kUniformAll,       ///< blind probing; empty hits are wasted
+  kRarestFirst,      ///< lowest rank-deficit segment first (sched::)
+  kDeficitWeighted,  ///< segments sampled ∝ remaining deficit (sched::)
 };
 
 [[nodiscard]] constexpr const char* to_string(PullPolicy p) noexcept {
   switch (p) {
     case PullPolicy::kUniformNonEmpty: return "uniform-non-empty";
     case PullPolicy::kUniformAll: return "uniform-all";
+    case PullPolicy::kRarestFirst: return "rarest-first";
+    case PullPolicy::kDeficitWeighted: return "deficit-weighted";
   }
   return "?";
+}
+
+/// The sched-layer policy kind a simulator PullPolicy maps to (both
+/// occupancy variants are the uniform paper rule).
+[[nodiscard]] constexpr proto::PullPolicyKind pull_policy_kind(
+    PullPolicy p) noexcept {
+  switch (p) {
+    case PullPolicy::kUniformNonEmpty:
+    case PullPolicy::kUniformAll:
+      return proto::PullPolicyKind::kUniform;
+    case PullPolicy::kRarestFirst:
+      return proto::PullPolicyKind::kRarestFirst;
+    case PullPolicy::kDeficitWeighted:
+      return proto::PullPolicyKind::kDeficitWeighted;
+  }
+  return proto::PullPolicyKind::kUniform;
 }
 
 /// GossipPolicy — how a gossiping peer picks which buffered segment to

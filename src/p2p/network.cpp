@@ -7,6 +7,7 @@
 #include "common/crc32.h"
 #include "p2p/churn.h"
 #include "proto/selection.h"
+#include "sched/pull_policies.h"
 
 namespace icollect::p2p {
 
@@ -14,6 +15,10 @@ namespace {
 /// Rejection-sampling attempts before falling back to a full scan when
 /// selecting a gossip target u.a.r. among eligible neighbors.
 constexpr int kTargetSampleTries = 12;
+
+/// Same, for finding a holder of the wanted segment among non-empty
+/// peers under a scheduling pull policy.
+constexpr int kHolderSampleTries = 16;
 }  // namespace
 
 Network::Network(ProtocolConfig cfg)
@@ -22,8 +27,12 @@ Network::Network(ProtocolConfig cfg)
       topology_{Topology::build(cfg_, rng_)},
       sim_clock_{[this] { return sim_.now(); }},
       server_core_{/*keep_payloads=*/cfg_.payload_bytes > 0, sim_clock_},
-      pull_policy_{std::make_unique<proto::UniformPullPolicy>()} {
+      pull_policy_{
+          sched::make_pull_policy(pull_policy_kind(cfg_.pull_policy))} {
   cfg_.validate();
+  if (pull_policy_->wants_feedback()) {
+    tracker_ = std::make_unique<sched::RankTracker>();
+  }
   proto::PeerCore::Params core_params;
   core_params.segment_size = cfg_.segment_size;
   core_params.buffer_cap = cfg_.buffer_cap;
@@ -290,19 +299,51 @@ void Network::do_gossip(std::size_t slot) {
 void Network::do_server_pull() {
   const obs::ProfScope prof{prof_server_pull_};
   ++metrics_.server_pull_attempts;
-  std::size_t slot;
-  if (cfg_.pull_policy == PullPolicy::kUniformAll) {
-    // Blind probing: the pull is spent even if the probed peer has
-    // nothing to offer.
-    slot = pull_policy_->pick(rng_, peers_.size());
-    if (!peers_[slot].core.has_blocks()) {
-      ++metrics_.server_empty_probes;
-      return;
+  std::size_t slot = proto::kNoSelection;
+  // Scheduling policies name the segment they want and bias peer
+  // selection toward its holders — here with the simulator's exact
+  // global view in place of the live BUFFER_SUMMARY estimates. A want
+  // with no live holder is parked (suspend) and the pull falls back to
+  // the paper's uniform rule, which doubles as discovery.
+  std::optional<coding::SegmentId> want;
+  if (tracker_ != nullptr) {
+    if (tracker_->open_count() == 0 && tracker_->suspended_count() > 0) {
+      tracker_->reactivate_all();
     }
-  } else {
-    if (non_empty_slots_.empty()) return;
-    slot =
-        non_empty_slots_[pull_policy_->pick(rng_, non_empty_slots_.size())];
+    want = pull_policy_->want_segment(rng_, *tracker_);
+    if (want) {
+      if (!non_empty_slots_.empty()) {
+        const auto by_slot = [&](std::size_t i) {
+          return non_empty_slots_[i];
+        };
+        const auto holds = [&](std::size_t s) {
+          return peers_[s].core.buffer().find(*want) != nullptr &&
+                 !tracker_->is_exhausted(s, *want);
+        };
+        slot = proto::uniform_over_eligible(rng_, non_empty_slots_.size(),
+                                            kHolderSampleTries, by_slot,
+                                            holds);
+      }
+      if (slot == proto::kNoSelection) {
+        tracker_->suspend(*want);
+        want.reset();
+      }
+    }
+  }
+  if (slot == proto::kNoSelection) {
+    if (cfg_.pull_policy == PullPolicy::kUniformAll) {
+      // Blind probing: the pull is spent even if the probed peer has
+      // nothing to offer.
+      slot = pull_policy_->pick(rng_, peers_.size());
+      if (!peers_[slot].core.has_blocks()) {
+        ++metrics_.server_empty_probes;
+        return;
+      }
+    } else {
+      if (non_empty_slots_.empty()) return;
+      slot =
+          non_empty_slots_[pull_policy_->pick(rng_, non_empty_slots_.size())];
+    }
   }
   Peer& d = peers_[slot];
   if (isolated_[slot] != 0) {
@@ -310,7 +351,7 @@ void Network::do_server_pull() {
     ++metrics_.pulls_blocked_isolated;
     return;
   }
-  const coding::SegmentId seg = d.core.choose_pull_segment();
+  const coding::SegmentId seg = want ? *want : d.core.choose_pull_segment();
   metrics_.server_pulls_window.record();
   proto::ServerBank::PullResult result;
   {
@@ -346,11 +387,27 @@ void Network::do_server_pull() {
     ICOLLECT_ENSURES(rit != registry_.end());
     ++rit->second.collected;
   }
+  if (tracker_ != nullptr) {
+    // Deficit feed, straight from the bank outcome. Decodes already
+    // left the tracker via on_segment_decoded; redundant pulls build
+    // the suspension streak that keeps rarest-first off segments whose
+    // live span is exhausted.
+    if (result == proto::ServerBank::PullResult::kInnovative) {
+      tracker_->on_state(offered, server_core_.bank().state(offered),
+                         cfg_.segment_size);
+    } else if (result == proto::ServerBank::PullResult::kRedundant) {
+      // The answering slot's whole span for this segment is already
+      // known; stop re-targeting it until the suspension cycle resets.
+      tracker_->mark_exhausted(slot, offered);
+      tracker_->on_redundant(offered);
+    }
+  }
   emit(TraceEventKind::kServerPull, slot, offered,
        result == proto::ServerBank::PullResult::kInnovative ? 1 : 0);
 }
 
 void Network::on_segment_decoded(const proto::ServerBank::DecodeEvent& event) {
+  if (tracker_ != nullptr) tracker_->on_decoded(event.id);
   const auto it = registry_.find(event.id);
   ICOLLECT_ENSURES(it != registry_.end());
   SegmentInfo& info = it->second;

@@ -46,6 +46,7 @@
 #include "proto/pull_policy.h"
 #include "proto/server_core.h"
 #include "proto/trace.h"
+#include "sched/rank_tracker.h"
 #include "sim/poisson_process.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -135,6 +136,15 @@ class Network {
   void set_server_pull_policy(std::unique_ptr<proto::PullPolicy> policy) {
     ICOLLECT_EXPECTS(policy != nullptr);
     pull_policy_ = std::move(policy);
+    if (pull_policy_->wants_feedback() && tracker_ == nullptr) {
+      tracker_ = std::make_unique<sched::RankTracker>();
+    }
+  }
+
+  /// The scheduling state behind rarest/deficit pulls; nullptr under
+  /// the uniform policies (ProtocolConfig::pull_policy).
+  [[nodiscard]] const sched::RankTracker* pull_tracker() const noexcept {
+    return tracker_.get();
   }
 
   /// Install (or clear, with nullptr) a protocol event trace sink. All
@@ -306,6 +316,10 @@ class Network {
   obs::CallbackClock sim_clock_;
   proto::ServerCore server_core_;
   std::unique_ptr<proto::PullPolicy> pull_policy_;
+  /// Deficit state for feedback policies, fed straight from ServerBank
+  /// outcomes (the simulator needs no BUFFER_SUMMARY — availability is
+  /// the global view itself). nullptr under uniform policies.
+  std::unique_ptr<sched::RankTracker> tracker_;
   NetworkMetrics metrics_;
   std::unordered_map<coding::SegmentId, SegmentInfo> registry_;
   PayloadSource payload_source_;

@@ -141,6 +141,14 @@ bool PeerCore::answer_pull(coding::CodedBlock& out) {
   return true;
 }
 
+bool PeerCore::answer_pull_for(const coding::SegmentId& seg,
+                               coding::CodedBlock& out) {
+  const coding::SegmentBuffer* sb = buffer_.find(seg);
+  if (sb == nullptr || sb->empty()) return false;
+  sb->recode_into(out, rng_);
+  return true;
+}
+
 std::optional<coding::SegmentId> PeerCore::on_ttl_expired(
     coding::BlockHandle handle) {
   return buffer_.erase(handle);

@@ -163,6 +163,10 @@ class PeerCore {
   /// Answer a pull request: false (and `out` untouched) when the buffer
   /// is empty, else a re-coded block of a random buffered segment.
   bool answer_pull(coding::CodedBlock& out);
+  /// Answer a pull that wants a *specific* segment (scheduling
+  /// policies): false (and `out` untouched, no RNG draw) when the
+  /// segment is not buffered or empty, else a re-code of it.
+  bool answer_pull_for(const coding::SegmentId& seg, coding::CodedBlock& out);
 
   // --- TTL ----------------------------------------------------------------
   /// The armed expiry for `handle` fired. Returns the segment the block

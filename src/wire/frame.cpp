@@ -63,9 +63,22 @@ void encode_body(const Message& m, std::vector<std::uint8_t>& out) {
     case MessageType::kGossipBlock:
       write_block(w, std::get<GossipBlock>(m).block);
       break;
-    case MessageType::kPullRequest:
-      w.u32(std::get<PullRequest>(m).token);
+    case MessageType::kPullRequest: {
+      const auto& p = std::get<PullRequest>(m);
+      w.u32(p.token);
+      // Legacy 4-byte body unless a scheduling extension is in play —
+      // the default uniform policy stays byte-identical on the wire.
+      if (p.want_summary || p.want) {
+        const std::uint8_t flags = static_cast<std::uint8_t>(
+            (p.want_summary ? 1U : 0U) | (p.want ? 2U : 0U));
+        w.u8(flags);
+        if (p.want) {
+          w.u32(p.want->origin);
+          w.u32(p.want->seq);
+        }
+      }
       break;
+    }
     case MessageType::kPullBlock: {
       const auto& p = std::get<PullBlock>(m);
       w.u32(p.token);
@@ -83,6 +96,19 @@ void encode_body(const Message& m, std::vector<std::uint8_t>& out) {
     case MessageType::kBye:
       w.u8(static_cast<std::uint8_t>(std::get<Bye>(m).reason));
       break;
+    case MessageType::kBufferSummary: {
+      const auto& s = std::get<BufferSummary>(m);
+      const std::size_t count =
+          std::min(s.segments.size(), kMaxSummarySegments);
+      w.u8(kBufferSummaryVersion);
+      w.u8(0);  // reserved
+      w.u16(static_cast<std::uint16_t>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        w.u32(s.segments[i].origin);
+        w.u32(s.segments[i].seq);
+      }
+      break;
+    }
   }
 }
 
@@ -119,7 +145,25 @@ DecodeStatus decode_body(MessageType type, std::span<const std::uint8_t> body,
     case MessageType::kPullRequest: {
       PullRequest p;
       p.token = r.u32();
-      if (!r.done()) return DecodeStatus::kMalformedBody;
+      if (!r.ok()) return DecodeStatus::kMalformedBody;
+      if (!r.done()) {
+        // Scheduling extension: flags byte, then the wanted segment id
+        // when flag bit 1 is set. A flags byte that encodes nothing
+        // (0) or unknown bits is malformed.
+        const std::uint8_t flags = r.u8();
+        if (!r.ok() || flags == 0 || flags > 3) {
+          return DecodeStatus::kMalformedBody;
+        }
+        p.want_summary = (flags & 1U) != 0;
+        if ((flags & 2U) != 0) {
+          coding::SegmentId want;
+          want.origin = r.u32();
+          want.seq = r.u32();
+          if (!r.ok()) return DecodeStatus::kMalformedBody;
+          p.want = want;
+        }
+        if (!r.done()) return DecodeStatus::kMalformedBody;
+      }
       out = p;
       return DecodeStatus::kFrame;
     }
@@ -154,6 +198,29 @@ DecodeStatus decode_body(MessageType type, std::span<const std::uint8_t> body,
       out = Bye{static_cast<ByeReason>(reason)};
       return DecodeStatus::kFrame;
     }
+    case MessageType::kBufferSummary: {
+      const std::uint8_t version = r.u8();
+      (void)r.u8();  // reserved
+      const std::uint16_t count = r.u16();
+      if (!r.ok() || version != kBufferSummaryVersion ||
+          count > kMaxSummarySegments) {
+        return DecodeStatus::kMalformedBody;
+      }
+      // Validate the advertised count against the bytes actually
+      // present before any allocation (same rule as read_block).
+      if (static_cast<std::size_t>(count) * 8 != r.remaining()) {
+        return DecodeStatus::kMalformedBody;
+      }
+      BufferSummary s;
+      s.segments.resize(count);
+      for (auto& id : s.segments) {
+        id.origin = r.u32();
+        id.seq = r.u32();
+      }
+      if (!r.done()) return DecodeStatus::kMalformedBody;
+      out = std::move(s);
+      return DecodeStatus::kFrame;
+    }
   }
   return DecodeStatus::kBadType;
 }
@@ -165,7 +232,12 @@ std::size_t frame_size(const Message& m) {
     case MessageType::kGossipBlock:
       body = block_bytes(std::get<GossipBlock>(m).block);
       break;
-    case MessageType::kPullRequest: body = 4; break;
+    case MessageType::kPullRequest: {
+      const auto& p = std::get<PullRequest>(m);
+      body = 4;
+      if (p.want_summary || p.want) body += 1 + (p.want ? 8 : 0);
+      break;
+    }
     case MessageType::kPullBlock: {
       const auto& p = std::get<PullBlock>(m);
       body = 9 + (p.has_block ? block_bytes(p.block) : 0);
@@ -173,6 +245,10 @@ std::size_t frame_size(const Message& m) {
     }
     case MessageType::kSegmentDecodedAck: body = 8; break;
     case MessageType::kBye: body = 1; break;
+    case MessageType::kBufferSummary:
+      body = 4 + 8 * std::min(std::get<BufferSummary>(m).segments.size(),
+                              kMaxSummarySegments);
+      break;
   }
   return kFrameHeaderBytes + body;
 }

@@ -11,7 +11,9 @@
 /// frame.h; docs/PROTOCOL.md documents the format normatively.
 
 #include <cstdint>
+#include <optional>
 #include <variant>
+#include <vector>
 
 #include "coding/coded_block.h"
 #include "coding/segment_id.h"
@@ -30,11 +32,12 @@ enum class MessageType : std::uint8_t {
   kPullBlock = 4,
   kSegmentDecodedAck = 5,
   kBye = 6,
+  kBufferSummary = 7,
 };
 
 [[nodiscard]] constexpr bool is_valid_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(MessageType::kHello) &&
-         t <= static_cast<std::uint8_t>(MessageType::kBye);
+         t <= static_cast<std::uint8_t>(MessageType::kBufferSummary);
 }
 
 [[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
@@ -45,6 +48,7 @@ enum class MessageType : std::uint8_t {
     case MessageType::kPullBlock: return "pull-block";
     case MessageType::kSegmentDecodedAck: return "segment-decoded-ack";
     case MessageType::kBye: return "bye";
+    case MessageType::kBufferSummary: return "buffer-summary";
   }
   return "?";
 }
@@ -81,8 +85,18 @@ struct GossipBlock {
 
 /// Server→peer: "send me one re-coded block of a uniformly random
 /// segment in your buffer". `token` correlates the reply.
+///
+/// Scheduling extension (wire-compatible with version-1 nodes that
+/// never set it): `want` names the specific segment the pulling server
+/// wants next — the peer answers with a re-code of that segment when it
+/// holds it and falls back to the uniform rule otherwise — and
+/// `want_summary` asks the peer to piggyback a BUFFER_SUMMARY on the
+/// reply. When neither is set the body encodes in the original 4-byte
+/// form, so default-policy traffic stays byte-identical.
 struct PullRequest {
   std::uint32_t token = 0;
+  bool want_summary = false;
+  std::optional<coding::SegmentId> want;
 };
 
 /// Peer→server reply. `occupancy` piggybacks the peer's current buffered
@@ -123,8 +137,27 @@ struct Bye {
   ByeReason reason = ByeReason::kNormal;
 };
 
+/// BUFFER_SUMMARY body codec version; bumped independently of the frame
+/// protocol version so the summary format can evolve without a
+/// HELLO-level break.
+inline constexpr std::uint8_t kBufferSummaryVersion = 1;
+
+/// Upper bound on segment ids per summary: caps decoder allocation
+/// against forged counts and bounds the piggyback cost per pull reply.
+inline constexpr std::size_t kMaxSummarySegments = 4096;
+
+/// Peer→server: the ids of every segment currently in the sender's
+/// buffer (truncated to kMaxSummarySegments in buffer order). Sent only
+/// on request — a PullRequest with `want_summary` — so servers running
+/// the default uniform policy generate zero summary traffic. Feeds
+/// sched::RankTracker's per-peer availability estimates; staleness
+/// bounding is the receiver's job (docs/PULL_POLICIES.md).
+struct BufferSummary {
+  std::vector<coding::SegmentId> segments;
+};
+
 using Message = std::variant<Hello, GossipBlock, PullRequest, PullBlock,
-                             SegmentDecodedAck, Bye>;
+                             SegmentDecodedAck, Bye, BufferSummary>;
 
 [[nodiscard]] constexpr MessageType type_of(const Message& m) noexcept {
   switch (m.index()) {
@@ -133,7 +166,8 @@ using Message = std::variant<Hello, GossipBlock, PullRequest, PullBlock,
     case 2: return MessageType::kPullRequest;
     case 3: return MessageType::kPullBlock;
     case 4: return MessageType::kSegmentDecodedAck;
-    default: return MessageType::kBye;
+    case 5: return MessageType::kBye;
+    default: return MessageType::kBufferSummary;
   }
 }
 

@@ -1,0 +1,402 @@
+/// Pull-scheduling subsystem tests (src/sched/): RankTracker deficit
+/// bookkeeping, suspension and staleness semantics, the documented RNG
+/// draw contracts of the rarest-first and deficit-weighted policies,
+/// and end-to-end pins — at fixed seeds the feedback policies must not
+/// need more pulls than the uniform control, in both the event-driven
+/// simulator and the live loopback cluster.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "node/cluster.h"
+#include "p2p/network.h"
+#include "proto/pull_policy.h"
+#include "sched/pull_policies.h"
+#include "sched/rank_tracker.h"
+
+namespace icollect {
+namespace {
+
+using coding::SegmentId;
+using sched::RankTracker;
+using sched::RankTrackerOptions;
+
+constexpr SegmentId kA{1, 0};
+constexpr SegmentId kB{2, 0};
+constexpr SegmentId kC{2, 1};
+
+// --- RankTracker deficit bookkeeping --------------------------------------
+
+TEST(Sched, StateOpensAndUpdatesDeficits) {
+  RankTracker t;
+  EXPECT_EQ(t.open_count(), 0U);
+  EXPECT_EQ(t.total_deficit(), 0U);
+
+  t.on_state(kA, 1, 4);  // deficit 3
+  t.on_state(kB, 3, 4);  // deficit 1
+  EXPECT_EQ(t.open_count(), 2U);
+  EXPECT_EQ(t.deficit(kA), 3U);
+  EXPECT_EQ(t.deficit(kB), 1U);
+  EXPECT_EQ(t.total_deficit(), 4U);
+
+  t.on_state(kA, 2, 4);  // advance: deficit 2
+  EXPECT_EQ(t.deficit(kA), 2U);
+  EXPECT_EQ(t.total_deficit(), 3U);
+}
+
+TEST(Sched, FullStateCountsAsDecoded) {
+  RankTracker t;
+  t.on_state(kA, 2, 4);
+  t.on_state(kA, 4, 4);  // collected == s
+  EXPECT_EQ(t.open_count(), 0U);
+  EXPECT_EQ(t.deficit(kA), 0U);
+  EXPECT_EQ(t.total_deficit(), 0U);
+}
+
+TEST(Sched, DecodedSegmentNeverReenters) {
+  RankTracker t;
+  t.on_state(kA, 1, 4);
+  t.on_decoded(kA);
+  EXPECT_EQ(t.open_count(), 0U);
+  // A late state report for a decoded segment must not reopen it (bank
+  // callbacks can interleave with offer processing).
+  t.on_state(kA, 2, 4);
+  EXPECT_EQ(t.open_count(), 0U);
+  EXPECT_EQ(t.total_deficit(), 0U);
+}
+
+TEST(Sched, RedundantStreakSuspendsAndEvidenceReactivates) {
+  RankTracker t{RankTrackerOptions{.redundant_suspend_streak = 2}};
+  t.on_state(kA, 1, 4);
+  t.on_redundant(kA);
+  EXPECT_FALSE(t.is_suspended(kA));
+  t.on_redundant(kA);
+  EXPECT_TRUE(t.is_suspended(kA));
+  EXPECT_EQ(t.open_count(), 0U);
+  EXPECT_EQ(t.suspended_count(), 1U);
+  // Suspended deficits leave the weighted total.
+  EXPECT_EQ(t.total_deficit(), 0U);
+  EXPECT_EQ(t.deficit(kA), 3U);  // still remembered
+
+  // An innovative advance is fresh evidence: the segment reactivates
+  // with its streak reset.
+  t.on_state(kA, 2, 4);
+  EXPECT_FALSE(t.is_suspended(kA));
+  EXPECT_EQ(t.open_count(), 1U);
+  EXPECT_EQ(t.total_deficit(), 2U);
+  t.on_redundant(kA);
+  EXPECT_FALSE(t.is_suspended(kA));  // streak restarted from zero
+}
+
+TEST(Sched, ReactivateAllIsTheEscapeHatch) {
+  RankTracker t{RankTrackerOptions{.redundant_suspend_streak = 1}};
+  t.on_state(kA, 1, 4);
+  t.on_state(kB, 2, 4);
+  t.on_redundant(kA);
+  t.on_redundant(kB);
+  EXPECT_EQ(t.open_count(), 0U);
+  EXPECT_EQ(t.suspended_count(), 2U);
+  t.reactivate_all();
+  EXPECT_EQ(t.open_count(), 2U);
+  EXPECT_EQ(t.suspended_count(), 0U);
+  EXPECT_EQ(t.total_deficit(), 5U);
+}
+
+TEST(Sched, ExhaustionPerPeerClearsOnSuspensionCycle) {
+  RankTracker t{RankTrackerOptions{.redundant_suspend_streak = 2}};
+  t.on_state(kA, 1, 4);
+  t.mark_exhausted(7, kA);
+  EXPECT_TRUE(t.is_exhausted(7, kA));
+  EXPECT_FALSE(t.is_exhausted(8, kA));
+  EXPECT_FALSE(t.is_exhausted(7, kB));
+
+  // Suspension and reactivation forget the exhaustion evidence: spans
+  // drift while a segment is parked.
+  t.on_redundant(kA);
+  t.on_redundant(kA);
+  ASSERT_TRUE(t.is_suspended(kA));
+  t.reactivate_all();
+  EXPECT_FALSE(t.is_exhausted(7, kA));
+}
+
+// --- per-peer availability (BUFFER_SUMMARY merges) ------------------------
+
+TEST(Sched, SummaryMergeReplacesWholesale) {
+  RankTracker t;
+  const std::array<SegmentId, 2> first{kA, kB};
+  t.merge_summary(5, first, 1.0);
+  EXPECT_TRUE(t.peer_has(5, kA, 1.5));
+  EXPECT_TRUE(t.peer_has(5, kB, 1.5));
+
+  const std::array<SegmentId, 1> second{kC};
+  t.merge_summary(5, second, 2.0);
+  EXPECT_FALSE(t.peer_has(5, kA, 2.1));  // old report fully replaced
+  EXPECT_TRUE(t.peer_has(5, kC, 2.1));
+}
+
+TEST(Sched, SummariesExpireAtTheStalenessBound) {
+  RankTracker t{RankTrackerOptions{.staleness_bound = 1.0}};
+  const std::array<SegmentId, 1> segs{kA};
+  t.merge_summary(5, segs, 10.0);
+  EXPECT_TRUE(t.peer_fresh(5, 10.5));
+  EXPECT_TRUE(t.peer_has(5, kA, 11.0));   // exactly at the bound
+  EXPECT_FALSE(t.peer_has(5, kA, 11.01));  // past it
+  EXPECT_FALSE(t.peer_fresh(5, 11.01));
+  EXPECT_FALSE(t.peer_fresh(6, 10.0));  // never reported
+}
+
+TEST(Sched, SummaryAdvertisingSuspendedSegmentReactivatesIt) {
+  RankTracker t{RankTrackerOptions{.redundant_suspend_streak = 1}};
+  t.on_state(kA, 1, 4);
+  t.on_redundant(kA);
+  ASSERT_TRUE(t.is_suspended(kA));
+  const std::array<SegmentId, 1> segs{kA};
+  t.merge_summary(5, segs, 1.0);
+  EXPECT_FALSE(t.is_suspended(kA));
+  EXPECT_EQ(t.open_count(), 1U);
+}
+
+TEST(Sched, ForgetPeerDropsItsReport) {
+  RankTracker t;
+  const std::array<SegmentId, 1> segs{kA};
+  t.merge_summary(5, segs, 1.0);
+  EXPECT_EQ(t.tracked_peers(), 1U);
+  t.forget_peer(5);
+  EXPECT_EQ(t.tracked_peers(), 0U);
+  EXPECT_FALSE(t.peer_has(5, kA, 1.0));
+}
+
+// --- policy draw contracts ------------------------------------------------
+
+TEST(PullPolicy, RarestPicksUniqueMinimumWithoutDrawing) {
+  RankTracker t;
+  t.on_state(kA, 1, 4);  // deficit 3
+  t.on_state(kB, 3, 4);  // deficit 1 — the unique minimum
+  sched::RarestFirstPullPolicy policy;
+  common::Rng rng{11};
+  common::Rng twin{11};
+  const auto want = policy.want_segment(rng, t);
+  ASSERT_TRUE(want.has_value());
+  EXPECT_EQ(*want, kB);
+  // No tie ⇒ no RNG draw: the stream must match an untouched twin.
+  EXPECT_EQ(rng.uniform_index(1U << 20), twin.uniform_index(1U << 20));
+}
+
+TEST(PullPolicy, RarestBreaksTiesWithExactlyOneDraw) {
+  RankTracker t;
+  t.on_state(kA, 2, 4);  // deficit 2
+  t.on_state(kB, 2, 4);  // deficit 2 — tied minimum
+  t.on_state(kC, 1, 4);  // deficit 3
+  sched::RarestFirstPullPolicy policy;
+  common::Rng rng{11};
+  common::Rng twin{11};
+  const auto want = policy.want_segment(rng, t);
+  ASSERT_TRUE(want.has_value());
+  EXPECT_TRUE(*want == kA || *want == kB);
+  // Exactly one uniform_index(ties) draw.
+  (void)twin.uniform_index(2);
+  EXPECT_EQ(rng.uniform_index(1U << 20), twin.uniform_index(1U << 20));
+}
+
+TEST(PullPolicy, RarestReturnsNulloptOnEmptyView) {
+  RankTracker t;
+  sched::RarestFirstPullPolicy policy;
+  common::Rng rng{11};
+  common::Rng twin{11};
+  EXPECT_FALSE(policy.want_segment(rng, t).has_value());
+  EXPECT_EQ(rng.uniform_index(1U << 20), twin.uniform_index(1U << 20));
+}
+
+TEST(PullPolicy, DeficitWeightedDrawsOnceAndSamplesProportionally) {
+  RankTracker t;
+  t.on_state(kA, 1, 4);  // deficit 3
+  t.on_state(kB, 3, 4);  // deficit 1
+  sched::DeficitWeightedPullPolicy policy;
+  {
+    common::Rng rng{11};
+    common::Rng twin{11};
+    ASSERT_TRUE(policy.want_segment(rng, t).has_value());
+    (void)twin.uniform_index(4);  // exactly one draw over total_deficit
+    EXPECT_EQ(rng.uniform_index(1U << 20), twin.uniform_index(1U << 20));
+  }
+  common::Rng rng{29};
+  std::map<SegmentId, int> counts;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) ++counts[*policy.want_segment(rng, t)];
+  // P(kA) = 3/4: a binomial(4000, .75) stays within ±4σ ≈ ±110 of 3000.
+  EXPECT_NEAR(counts[kA], 3000, 150);
+  EXPECT_EQ(counts[kA] + counts[kB], kTrials);
+}
+
+TEST(PullPolicy, PoliciesAreDeterministicUnderAFixedSeed) {
+  RankTracker t;
+  t.on_state(kA, 2, 4);
+  t.on_state(kB, 2, 4);
+  t.on_state(kC, 1, 4);
+  for (const proto::PullPolicyKind kind :
+       {proto::PullPolicyKind::kRarestFirst,
+        proto::PullPolicyKind::kDeficitWeighted}) {
+    const auto policy = sched::make_pull_policy(kind);
+    common::Rng a{123};
+    common::Rng b{123};
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(policy->want_segment(a, t), policy->want_segment(b, t));
+    }
+  }
+}
+
+TEST(PullPolicy, FactoryAndNameParsingRoundTrip) {
+  using proto::PullPolicyKind;
+  EXPECT_EQ(proto::parse_pull_policy_kind("uniform"),
+            PullPolicyKind::kUniform);
+  EXPECT_EQ(proto::parse_pull_policy_kind("rarest"),
+            PullPolicyKind::kRarestFirst);
+  EXPECT_EQ(proto::parse_pull_policy_kind("rarest-first"),
+            PullPolicyKind::kRarestFirst);
+  EXPECT_EQ(proto::parse_pull_policy_kind("deficit"),
+            PullPolicyKind::kDeficitWeighted);
+  EXPECT_EQ(proto::parse_pull_policy_kind("deficit-weighted"),
+            PullPolicyKind::kDeficitWeighted);
+  EXPECT_FALSE(proto::parse_pull_policy_kind("round-robin").has_value());
+  EXPECT_FALSE(proto::parse_pull_policy_kind("").has_value());
+
+  EXPECT_FALSE(
+      sched::make_pull_policy(PullPolicyKind::kUniform)->wants_feedback());
+  EXPECT_TRUE(sched::make_pull_policy(PullPolicyKind::kRarestFirst)
+                  ->wants_feedback());
+  EXPECT_TRUE(sched::make_pull_policy(PullPolicyKind::kDeficitWeighted)
+                  ->wants_feedback());
+}
+
+// --- end-to-end pins: feedback beats uniform at fixed seeds ---------------
+
+/// Simulator pulls-to-completion (the BENCH_pulls.json table-A protocol
+/// in miniature): inject for a fixed window under the paper's
+/// state-counter collection process, stop injection, drain until every
+/// segment resolves, count pulls.
+std::uint64_t sim_pulls_to_completion(p2p::PullPolicy policy,
+                                      std::uint64_t seed) {
+  p2p::ProtocolConfig cfg;
+  cfg.num_peers = 30;
+  cfg.segment_size = 4;
+  cfg.lambda = 8.0;
+  cfg.mu = 8.0;
+  cfg.gamma = 0.25;
+  cfg.buffer_cap = 32;
+  cfg.num_servers = 2;
+  cfg.set_normalized_capacity(2.0);
+  cfg.fidelity = p2p::CollectionFidelity::kStateCounter;
+  cfg.pull_policy = policy;
+  cfg.seed = seed;
+  p2p::Network net{cfg};
+  net.run_until(2.0);
+  net.stop_injection();
+  const auto all_resolved = [&] {
+    for (const auto& [id, info] : net.segment_registry()) {
+      if (!info.decoded && !info.lost) return false;
+    }
+    return true;
+  };
+  double t = 2.0;
+  while (!all_resolved() && t < 300.0) {
+    t += 0.25;
+    net.run_until(t);
+  }
+  EXPECT_TRUE(all_resolved());
+  return net.metrics().server_pull_attempts;
+}
+
+TEST(PullPolicy, SimulatorRarestNeedsNoMorePullsThanUniform) {
+  std::uint64_t uniform = 0;
+  std::uint64_t rarest = 0;
+  std::uint64_t deficit = 0;
+  for (const std::uint64_t seed : {101U, 202U, 303U}) {
+    uniform += sim_pulls_to_completion(p2p::PullPolicy::kUniformNonEmpty,
+                                       seed);
+    rarest += sim_pulls_to_completion(p2p::PullPolicy::kRarestFirst, seed);
+    deficit +=
+        sim_pulls_to_completion(p2p::PullPolicy::kDeficitWeighted, seed);
+  }
+  EXPECT_LE(rarest, uniform);
+  EXPECT_LE(deficit, uniform);
+}
+
+/// Live-cluster pulls-to-completion: every peer injects a fixed budget
+/// over the real wire protocol, run to completion, count pulls.
+std::uint64_t cluster_pulls_to_completion(proto::PullPolicyKind policy,
+                                          std::uint64_t seed) {
+  node::ClusterConfig cfg;
+  cfg.num_peers = 12;
+  cfg.num_servers = 2;
+  cfg.segment_size = 4;
+  cfg.buffer_cap = 32;
+  cfg.payload_bytes = 16;
+  cfg.lambda = 6.0;
+  cfg.mu = 6.0;
+  cfg.gamma = 0.5;
+  cfg.server_rate = 16.0;
+  cfg.segments_per_peer = 3;
+  cfg.retain_own_until_acked = true;
+  cfg.pull_policy = policy;
+  cfg.seed = seed;
+  cfg.net.seed = seed;
+  node::LoopbackCluster cluster{cfg};
+  EXPECT_TRUE(cluster.run_to_completion(600.0));
+  return cluster.pulls_sent();
+}
+
+TEST(PullPolicy, ClusterRarestNeedsNoMorePullsThanUniform) {
+  std::uint64_t uniform = 0;
+  std::uint64_t rarest = 0;
+  std::uint64_t deficit = 0;
+  for (const std::uint64_t seed : {11U, 22U, 33U}) {
+    uniform +=
+        cluster_pulls_to_completion(proto::PullPolicyKind::kUniform, seed);
+    rarest += cluster_pulls_to_completion(
+        proto::PullPolicyKind::kRarestFirst, seed);
+    deficit += cluster_pulls_to_completion(
+        proto::PullPolicyKind::kDeficitWeighted, seed);
+  }
+  EXPECT_LE(rarest, uniform);
+  EXPECT_LE(deficit, uniform);
+}
+
+/// The BUFFER_SUMMARY feedback loop actually runs under the live
+/// policies (and stays silent under uniform).
+TEST(PullPolicy, ClusterFeedbackFlowsOnlyUnderSchedulingPolicies) {
+  for (const proto::PullPolicyKind kind :
+       {proto::PullPolicyKind::kUniform,
+        proto::PullPolicyKind::kRarestFirst}) {
+    node::ClusterConfig cfg;
+    cfg.num_peers = 8;
+    cfg.num_servers = 2;
+    cfg.segment_size = 4;
+    cfg.segments_per_peer = 2;
+    cfg.payload_bytes = 16;
+    cfg.retain_own_until_acked = true;
+    cfg.pull_policy = kind;
+    cfg.seed = 5;
+    cfg.net.seed = 5;
+    node::LoopbackCluster cluster{cfg};
+    EXPECT_TRUE(cluster.run_to_completion(600.0));
+    std::uint64_t summaries = 0;
+    for (std::size_t i = 0; i < cfg.num_servers; ++i) {
+      summaries += cluster.server(i).summaries_received();
+    }
+    if (kind == proto::PullPolicyKind::kUniform) {
+      EXPECT_EQ(summaries, 0U);
+      EXPECT_EQ(cluster.server(0).tracker(), nullptr);
+    } else {
+      EXPECT_GT(summaries, 0U);
+      EXPECT_NE(cluster.server(0).tracker(), nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icollect

@@ -48,7 +48,7 @@ coding::CodedBlock random_block(sim::Rng& rng) {
 }
 
 Message random_message(sim::Rng& rng) {
-  switch (rng.uniform_index(6)) {
+  switch (rng.uniform_index(7)) {
     case 0: {
       Hello h;
       h.role = rng.bernoulli(0.5) ? NodeRole::kServer : NodeRole::kPeer;
@@ -59,9 +59,18 @@ Message random_message(sim::Rng& rng) {
     }
     case 1:
       return Message{GossipBlock{random_block(rng)}};
-    case 2:
-      return Message{PullRequest{
-          static_cast<std::uint32_t>(rng.uniform_index(1U << 24U))}};
+    case 2: {
+      // All three encodings: legacy 4-byte, flags-only, flags + want id.
+      PullRequest p;
+      p.token = static_cast<std::uint32_t>(rng.uniform_index(1U << 24U));
+      p.want_summary = rng.bernoulli(0.5);
+      if (rng.bernoulli(0.5)) {
+        p.want = coding::SegmentId{
+            static_cast<std::uint32_t>(rng.uniform_index(1U << 16U)),
+            static_cast<std::uint32_t>(rng.uniform_index(1U << 16U))};
+      }
+      return Message{p};
+    }
     case 3: {
       PullBlock p;
       p.token = static_cast<std::uint32_t>(rng.uniform_index(1U << 24U));
@@ -74,8 +83,17 @@ Message random_message(sim::Rng& rng) {
       return Message{SegmentDecodedAck{coding::SegmentId{
           static_cast<std::uint32_t>(rng.uniform_index(1U << 16U)),
           static_cast<std::uint32_t>(rng.uniform_index(1U << 16U))}}};
-    default:
+    case 5:
       return Message{Bye{static_cast<ByeReason>(rng.uniform_index(4))}};
+    default: {
+      BufferSummary s;
+      s.segments.resize(rng.uniform_index(12));
+      for (auto& id : s.segments) {
+        id.origin = static_cast<std::uint32_t>(rng.uniform_index(1U << 16U));
+        id.seq = static_cast<std::uint32_t>(rng.uniform_index(1U << 16U));
+      }
+      return Message{s};
+    }
   }
 }
 

@@ -34,6 +34,13 @@ coding::CodedBlock sample_block(std::size_t s, std::size_t payload_bytes,
   return b;
 }
 
+/// A legacy (no scheduling extension) pull request as a Message.
+Message pull_req(std::uint32_t token = 0) {
+  PullRequest p;
+  p.token = token;
+  return Message{p};
+}
+
 /// Encode, feed the whole frame at once, and return the decoded message.
 Message round_trip(const Message& m) {
   FrameDecoder dec;
@@ -45,7 +52,7 @@ Message round_trip(const Message& m) {
 }
 
 TEST(WireFrame, HeaderLayout) {
-  const Message m{PullRequest{.token = 0x01020304}};
+  const Message m = pull_req(0x01020304);
   const auto frame = encoded_frame(m);
   ASSERT_GE(frame.size(), kFrameHeaderBytes);
   EXPECT_EQ(frame[0], kMagic[0]);
@@ -97,8 +104,121 @@ TEST(WireFrame, GossipBlockNoPayloadRoundTrip) {
 
 TEST(WireFrame, PullRequestRoundTrip) {
   const auto out =
-      std::get<PullRequest>(round_trip(Message{PullRequest{.token = 77}}));
+      std::get<PullRequest>(round_trip(pull_req(77)));
   EXPECT_EQ(out.token, 77U);
+}
+
+TEST(WireFrame, PullRequestLegacyBodyStaysFourBytes) {
+  // A request with no scheduling extension must encode in the original
+  // version-1 4-byte form — the byte-identity guarantee for the default
+  // uniform policy.
+  const Message m = pull_req(0x0A0B0C0D);
+  const auto frame = encoded_frame(m);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 4);
+  EXPECT_EQ(frame[kFrameHeaderBytes + 0], 0x0D);  // token, little-endian
+  EXPECT_EQ(frame[kFrameHeaderBytes + 1], 0x0C);
+  EXPECT_EQ(frame[kFrameHeaderBytes + 2], 0x0B);
+  EXPECT_EQ(frame[kFrameHeaderBytes + 3], 0x0A);
+}
+
+TEST(WireFrame, PullRequestWantSummaryRoundTrip) {
+  PullRequest p;
+  p.token = 5;
+  p.want_summary = true;
+  const auto out = std::get<PullRequest>(round_trip(Message{p}));
+  EXPECT_EQ(out.token, 5U);
+  EXPECT_TRUE(out.want_summary);
+  EXPECT_FALSE(out.want.has_value());
+}
+
+TEST(WireFrame, PullRequestWantSegmentRoundTrip) {
+  PullRequest p;
+  p.token = 6;
+  p.want_summary = true;
+  p.want = coding::SegmentId{31, 17};
+  const auto out = std::get<PullRequest>(round_trip(Message{p}));
+  EXPECT_EQ(out.token, 6U);
+  EXPECT_TRUE(out.want_summary);
+  ASSERT_TRUE(out.want.has_value());
+  EXPECT_EQ(*out.want, (coding::SegmentId{31, 17}));
+
+  PullRequest want_only;
+  want_only.token = 7;
+  want_only.want = coding::SegmentId{1, 2};
+  const auto out2 = std::get<PullRequest>(round_trip(Message{want_only}));
+  EXPECT_FALSE(out2.want_summary);
+  ASSERT_TRUE(out2.want.has_value());
+  EXPECT_EQ(*out2.want, (coding::SegmentId{1, 2}));
+}
+
+TEST(WireFrame, PullRequestBadExtensionRejected) {
+  Message out;
+  // flags byte present but zero: encodes nothing, malformed by contract.
+  EXPECT_EQ(decode_body(MessageType::kPullRequest,
+                        std::vector<std::uint8_t>{1, 0, 0, 0, 0}, out),
+            DecodeStatus::kMalformedBody);
+  // Unknown flag bits.
+  EXPECT_EQ(decode_body(MessageType::kPullRequest,
+                        std::vector<std::uint8_t>{1, 0, 0, 0, 4}, out),
+            DecodeStatus::kMalformedBody);
+  // flags says a wanted id follows, but the bytes are missing.
+  EXPECT_EQ(decode_body(MessageType::kPullRequest,
+                        std::vector<std::uint8_t>{1, 0, 0, 0, 2, 9, 9}, out),
+            DecodeStatus::kMalformedBody);
+  // Trailing garbage after a complete extension.
+  std::vector<std::uint8_t> body{1, 0, 0, 0, 1, 0xEE};
+  EXPECT_EQ(decode_body(MessageType::kPullRequest, body, out),
+            DecodeStatus::kMalformedBody);
+}
+
+TEST(WireFrame, BufferSummaryRoundTrip) {
+  BufferSummary s;
+  s.segments = {coding::SegmentId{1, 0}, coding::SegmentId{2, 9},
+                coding::SegmentId{0xFFFFFFFF, 0xFFFFFFFF}};
+  const auto out = std::get<BufferSummary>(round_trip(Message{s}));
+  EXPECT_EQ(out.segments, s.segments);
+}
+
+TEST(WireFrame, BufferSummaryEmptyRoundTrip) {
+  const auto out =
+      std::get<BufferSummary>(round_trip(Message{BufferSummary{}}));
+  EXPECT_TRUE(out.segments.empty());
+}
+
+TEST(WireFrame, BufferSummaryEncoderTruncatesAtCap) {
+  BufferSummary s;
+  s.segments.resize(kMaxSummarySegments + 5,
+                    coding::SegmentId{3, 4});
+  const auto out = std::get<BufferSummary>(round_trip(Message{s}));
+  EXPECT_EQ(out.segments.size(), kMaxSummarySegments);
+  EXPECT_EQ(frame_size(Message{s}),
+            kFrameHeaderBytes + 4 + 8 * kMaxSummarySegments);
+}
+
+TEST(WireFrame, BufferSummaryMalformedRejected) {
+  Message out;
+  std::vector<std::uint8_t> body;
+  encode_body(Message{BufferSummary{{coding::SegmentId{1, 2}}}}, body);
+  // Wrong summary codec version.
+  auto bad = body;
+  bad[0] = static_cast<std::uint8_t>(kBufferSummaryVersion + 1);
+  EXPECT_EQ(decode_body(MessageType::kBufferSummary, bad, out),
+            DecodeStatus::kMalformedBody);
+  // Advertised count disagrees with the bytes present (both ways).
+  bad = body;
+  bad[2] = 2;  // claims 2 ids, carries 1
+  EXPECT_EQ(decode_body(MessageType::kBufferSummary, bad, out),
+            DecodeStatus::kMalformedBody);
+  bad = body;
+  bad.push_back(0);  // trailing garbage
+  EXPECT_EQ(decode_body(MessageType::kBufferSummary, bad, out),
+            DecodeStatus::kMalformedBody);
+  // Forged count past the cap must be rejected before any allocation.
+  bad = body;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  EXPECT_EQ(decode_body(MessageType::kBufferSummary, bad, out),
+            DecodeStatus::kMalformedBody);
 }
 
 TEST(WireFrame, PullBlockWithBlockRoundTrip) {
@@ -162,8 +282,8 @@ TEST(WireFrame, ByteAtATimeReassembly) {
 
 TEST(WireFrame, BackToBackFramesInOneFeed) {
   std::vector<std::uint8_t> stream;
-  encode_frame(Message{PullRequest{.token = 1}}, stream);
-  encode_frame(Message{PullRequest{.token = 2}}, stream);
+  encode_frame(pull_req(1), stream);
+  encode_frame(pull_req(2), stream);
   encode_frame(Message{Bye{}}, stream);
   FrameDecoder dec;
   dec.feed(stream);
@@ -176,22 +296,22 @@ TEST(WireFrame, BackToBackFramesInOneFeed) {
 }
 
 TEST(WireFrame, BadMagicDetectedAndLatched) {
-  auto frame = encoded_frame(Message{PullRequest{}});
+  auto frame = encoded_frame(pull_req());
   frame[0] ^= 0xFF;
   FrameDecoder dec;
   dec.feed(frame);
   EXPECT_EQ(dec.next().status, DecodeStatus::kBadMagic);
   // The error latches: further feeds cannot resurrect the stream.
-  dec.feed(encoded_frame(Message{PullRequest{}}));
+  dec.feed(encoded_frame(pull_req()));
   EXPECT_EQ(dec.next().status, DecodeStatus::kBadMagic);
   EXPECT_EQ(dec.errors(), 1U);
   dec.reset();
-  dec.feed(encoded_frame(Message{PullRequest{}}));
+  dec.feed(encoded_frame(pull_req()));
   EXPECT_EQ(dec.next().status, DecodeStatus::kFrame);
 }
 
 TEST(WireFrame, BadVersionDetected) {
-  auto frame = encoded_frame(Message{PullRequest{}});
+  auto frame = encoded_frame(pull_req());
   frame[4] = kProtocolVersion + 40;
   FrameDecoder dec;
   dec.feed(frame);
@@ -199,7 +319,7 @@ TEST(WireFrame, BadVersionDetected) {
 }
 
 TEST(WireFrame, BadTypeDetected) {
-  auto frame = encoded_frame(Message{PullRequest{}});
+  auto frame = encoded_frame(pull_req());
   frame[5] = 0xEE;
   FrameDecoder dec;
   dec.feed(frame);
@@ -209,7 +329,7 @@ TEST(WireFrame, BadTypeDetected) {
 TEST(WireFrame, OversizedLengthRejectedBeforeBuffering) {
   // A hostile length prefix is rejected from the header alone — no body
   // bytes are ever required, so there is nothing to balloon.
-  auto frame = encoded_frame(Message{PullRequest{}});
+  auto frame = encoded_frame(pull_req());
   frame[8] = 0xFF;
   frame[9] = 0xFF;
   frame[10] = 0xFF;
@@ -220,7 +340,7 @@ TEST(WireFrame, OversizedLengthRejectedBeforeBuffering) {
 }
 
 TEST(WireFrame, CrcMismatchDetected) {
-  auto frame = encoded_frame(Message{PullRequest{.token = 3}});
+  auto frame = encoded_frame(pull_req(3));
   frame.back() ^= 0x01;  // flip one body bit
   FrameDecoder dec;
   dec.feed(frame);
@@ -263,7 +383,7 @@ TEST(WireFrame, PerStatusErrorCountersAndResyncs) {
   // and a reset() that discards a latched error counts as a resync.
   FrameDecoder dec;
 
-  auto bad_magic = encoded_frame(Message{PullRequest{}});
+  auto bad_magic = encoded_frame(pull_req());
   bad_magic[0] ^= 0xFF;
   dec.feed(bad_magic);
   EXPECT_EQ(dec.next().status, DecodeStatus::kBadMagic);
@@ -274,7 +394,7 @@ TEST(WireFrame, PerStatusErrorCountersAndResyncs) {
   dec.reset();
   EXPECT_EQ(dec.resyncs(), 1U);
 
-  auto bad_crc = encoded_frame(Message{PullRequest{.token = 9}});
+  auto bad_crc = encoded_frame(pull_req(9));
   bad_crc.back() ^= 0x01;
   dec.feed(bad_crc);
   EXPECT_EQ(dec.next().status, DecodeStatus::kBadCrc);
@@ -289,7 +409,7 @@ TEST(WireFrame, PerStatusErrorCountersAndResyncs) {
   EXPECT_EQ(dec.resyncs(), 2U);
 
   // A healthy decode touches no error bucket.
-  dec.feed(encoded_frame(Message{PullRequest{.token = 1}}));
+  dec.feed(encoded_frame(pull_req(1)));
   EXPECT_EQ(dec.next().status, DecodeStatus::kFrame);
   EXPECT_EQ(dec.errors(), 2U);
   EXPECT_EQ(dec.errors_by(DecodeStatus::kBadVersion), 0U);
@@ -299,9 +419,9 @@ TEST(WireFrame, PerStatusErrorCountersAndResyncs) {
 
 TEST(WireFrame, EncodeIntoReusesBuffer) {
   std::vector<std::uint8_t> scratch;
-  encode_frame(Message{PullRequest{.token = 1}}, scratch);
+  encode_frame(pull_req(1), scratch);
   const std::size_t first = scratch.size();
-  encode_frame(Message{PullRequest{.token = 2}}, scratch);
+  encode_frame(pull_req(2), scratch);
   // encode_frame appends; callers clear() between sends.
   EXPECT_EQ(scratch.size(), 2 * first);
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "node/cluster.h"
+#include "proto/pull_policy.h"
 #include "workload/trace_replay.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
@@ -53,6 +54,8 @@ void usage(const char* argv0) {
       "  --no-retain           disable source retention of own segments\n"
       "                        (on by default: a peer re-seeds its own\n"
       "                        unACKed segments after TTL losses)\n"
+      "  --pull-policy P       server pull scheduling: uniform|rarest|\n"
+      "                        deficit (default uniform)\n"
       "  --seed S              root seed (default 1)\n"
       "  --metrics-out FILE    snapshot JSONL of cluster, per-node, and\n"
       "                        transport metrics\n"
@@ -146,6 +149,17 @@ int main(int argc, char** argv) {
       cfg.drop_on_ack = true;
     } else if (arg == "--no-retain") {
       cfg.retain_own_until_acked = false;
+    } else if (arg == "--pull-policy") {
+      const char* name = value("--pull-policy");
+      const auto kind = proto::parse_pull_policy_kind(name);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "%s: --pull-policy %s: unknown policy "
+                     "(choices: uniform|rarest|deficit)\n",
+                     argv[0], name);
+        return 2;
+      }
+      cfg.pull_policy = *kind;
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(value("--seed"), nullptr, 10);
       cfg.net.seed = cfg.seed;
@@ -342,6 +356,21 @@ int main(int argc, char** argv) {
       .field("loopback_drops", cluster.net().drops())
       .field("loopback_bytes", cluster.net().bytes_delivered())
       .field_raw("stats", stats.str());
+  if (cfg.pull_policy != proto::PullPolicyKind::kUniform) {
+    // Only for the feedback-driven policies, so the default summary —
+    // and its golden pins — stays byte-identical.
+    std::uint64_t summaries = 0;
+    std::uint64_t targeted = 0;
+    for (std::size_t i = 0; i < cfg.num_servers; ++i) {
+      summaries += cluster.server(i).summaries_received();
+      targeted += cluster.server(i).targeted_pulls();
+    }
+    obs::JsonObject pj;
+    pj.field_str("policy", proto::to_string(cfg.pull_policy))
+        .field("summaries_received", summaries)
+        .field("targeted_pulls", targeted);
+    out.field_raw("pull_policy", pj.str());
+  }
   if (scenario) {
     // Only with --scenario, so the default output — and its golden
     // pins — stays byte-identical.

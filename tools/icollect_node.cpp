@@ -28,6 +28,7 @@
 #include "net/stream_transport.h"
 #include "node/node_config.h"
 #include "node/peer_node.h"
+#include "proto/pull_policy.h"
 #include "node/server_node.h"
 #include "obs/clock.h"
 #include "obs/json.h"
@@ -70,6 +71,8 @@ void usage(const char* argv0) {
       "  --mu x                 peer gossip rate (default 4)\n"
       "  --gamma x              per-block TTL rate (default 0.05)\n"
       "  --pull-rate x          server pulls/sec (default 20)\n"
+      "  --pull-policy P        server pull scheduling: uniform|rarest|\n"
+      "                         deficit (default uniform)\n"
       "  --segments K           peer: inject K segments, exit when all "
       "ACKed\n"
       "  --expect-segments K    server: exit once K segments decoded\n"
@@ -158,6 +161,17 @@ int main(int argc, char** argv) {
       cfg.gamma = std::strtod(value("--gamma"), nullptr);
     } else if (arg == "--pull-rate") {
       cfg.pull_rate = std::strtod(value("--pull-rate"), nullptr);
+    } else if (arg == "--pull-policy") {
+      const char* name = value("--pull-policy");
+      const auto kind = proto::parse_pull_policy_kind(name);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "%s: --pull-policy %s: unknown policy "
+                     "(choices: uniform|rarest|deficit)\n",
+                     argv[0], name);
+        return 2;
+      }
+      cfg.pull_policy = *kind;
     } else if (arg == "--segments") {
       cfg.max_segments = std::strtoul(value("--segments"), nullptr, 10);
     } else if (arg == "--expect-segments") {

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   std::string scenario_arg;
   obs::TelemetryOptions topts;
   bool trace_out_requested = false;
+  std::optional<p2p::PullPolicy> pull_policy_override;
 
   // Split driver options from protocol key=values.
   std::vector<std::string_view> cfg_args;
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
           "usage: %s [key=value ...]\nprotocol keys:\n%s"
           "driver keys:\n  warm=T measure=T ode=0|1 direct=0|1 "
           "trace=FILE.csv\n"
+          "  --pull-policy=uniform|all|rarest|deficit  (server pull "
+          "scheduling)\n"
           "telemetry flags:\n"
           "  --metrics-out=DIR      write a telemetry bundle (config.json,\n"
           "                         snapshots.jsonl/.csv, summary.json)\n"
@@ -101,6 +105,25 @@ int main(int argc, char** argv) {
       topts.progress = true;
     } else if (arg.rfind("--scenario=", 0) == 0) {
       scenario_arg = std::string{arg.substr(11)};
+    } else if (arg.rfind("--pull-policy=", 0) == 0) {
+      // Shared cross-driver flag name; equivalent to the pull= config key
+      // but with the CLI-wide usage-error contract (exit 2).
+      const std::string_view name = arg.substr(14);
+      if (name == "uniform" || name == "non-empty") {
+        pull_policy_override = p2p::PullPolicy::kUniformNonEmpty;
+      } else if (name == "all") {
+        pull_policy_override = p2p::PullPolicy::kUniformAll;
+      } else if (name == "rarest" || name == "rarest-first") {
+        pull_policy_override = p2p::PullPolicy::kRarestFirst;
+      } else if (name == "deficit" || name == "deficit-weighted") {
+        pull_policy_override = p2p::PullPolicy::kDeficitWeighted;
+      } else {
+        std::fprintf(stderr,
+                     "--pull-policy=%.*s: unknown policy "
+                     "(choices: uniform|all|rarest|deficit)\n",
+                     static_cast<int>(name.size()), name.data());
+        return 2;
+      }
     } else if (arg.rfind("--gf-kernel=", 0) == 0) {
       const std::string_view kernel = arg.substr(12);
       if (!gf::Kernels::select_by_name(kernel)) {
@@ -136,6 +159,7 @@ int main(int argc, char** argv) {
                  config_args_help());
     return 1;
   }
+  if (pull_policy_override) cfg.pull_policy = *pull_policy_override;
 
   // A scenario adjusts the config before the system is built; fault
   // windows and arrival profiles attach right after construction.
@@ -271,6 +295,23 @@ int main(int argc, char** argv) {
         .field("segments_decoded", r.segments_decoded)
         .field("normalized_throughput", r.normalized_throughput);
     std::printf("\n-- scenario --\n%s\n", sj.str().c_str());
+  }
+
+  if (cfg.pull_policy != p2p::PullPolicy::kUniformNonEmpty &&
+      cfg.pull_policy != p2p::PullPolicy::kUniformAll) {
+    // Machine-readable scheduling summary (only for the feedback-driven
+    // policies, so default output — and its golden pins — is untouched).
+    obs::JsonObject pj;
+    pj.field_str("policy", to_string(cfg.pull_policy))
+        .field("pulls", r.server_pulls)
+        .field("redundant_fraction", r.redundancy_fraction())
+        .field("segments_injected", r.segments_injected)
+        .field("segments_decoded", r.segments_decoded);
+    if (const auto* trk = system.network().pull_tracker()) {
+      pj.field("open_segments", trk->open_count())
+          .field("suspended_segments", trk->suspended_count());
+    }
+    std::printf("\n-- pull-policy --\n%s\n", pj.str().c_str());
   }
 
   if (telemetry) {
